@@ -1,0 +1,55 @@
+"""Shared configuration for the benchmark harness.
+
+Every paper table/figure has one benchmark module here.  Benchmarks run
+the experiment once (``benchmark.pedantic`` with a single round — these
+are minutes-long workloads, not microbenchmarks), assert the paper's
+*shape* claims, and write the rendered table to
+``benchmarks/results/<name>.txt`` so the regenerated artefacts survive
+the run.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE`` — circuit size multiplier (default 1.0 =
+  paper-sized circuits).  Set e.g. 0.2 for a quick pass.
+* ``REPRO_BENCH_SEED`` — generator/eigensolver seed (default 0).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def bench_seed() -> int:
+    return int(os.environ.get("REPRO_BENCH_SEED", "0"))
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def seed() -> int:
+    return bench_seed()
+
+
+def save_result(name: str, result) -> Path:
+    """Persist a rendered ExperimentResult under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(result.render() + "\n", encoding="utf-8")
+    return path
+
+
+def run_once(benchmark, func):
+    """Run a whole-experiment callable exactly once under timing."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

@@ -1,0 +1,28 @@
+"""Benchmark X3 — the clustering-condensation (multilevel) hybrid.
+
+Paper conclusion: condensing the input via clustering before
+partitioning "is also promising."
+
+Shape claims: the hybrid completes on every circuit and lands within a
+moderate quality factor of flat IG-Match (it trades quality for speed
+on large inputs).
+"""
+
+from repro.experiments import run_multilevel_ablation
+
+from .conftest import run_once, save_result
+
+
+def test_multilevel_hybrid(benchmark, scale, seed):
+    result = run_once(
+        benchmark,
+        lambda: run_multilevel_ablation(scale=scale, seed=seed),
+    )
+    save_result("ablation_clustering", result)
+
+    for circuit, flat, _, hybrid, _, levels in result.rows:
+        assert int(levels) >= 1, circuit
+        assert float(hybrid) <= 10 * float(flat), (
+            f"{circuit}: hybrid quality collapsed "
+            f"({hybrid} vs flat {flat})"
+        )

@@ -1,0 +1,35 @@
+"""Benchmarks A2 + X1 — completion-strategy ablation.
+
+With the net ordering held fixed per circuit, compare the naive
+majority completion, IG-Vote, IG-Match, and the recursive IG-Match
+extension (Section 3 / future work).
+
+Shape claims: IG-Match <= IG-Vote <= naive (in ratio cut, allowing
+rounding noise), and the recursive extension never degrades IG-Match.
+"""
+
+from collections import defaultdict
+
+from repro.experiments import run_completion_ablation
+
+from .conftest import run_once, save_result
+
+
+def test_completion_strategies(benchmark, scale, seed):
+    result = run_once(
+        benchmark,
+        lambda: run_completion_ablation(scale=scale, seed=seed),
+    )
+    save_result("ablation_completion", result)
+
+    table = defaultdict(dict)
+    for circuit, strategy, _, _, ratio in result.rows:
+        table[circuit][strategy] = float(ratio)
+
+    for circuit, ratios in table.items():
+        # IG-Match at least matches IG-Vote on the same ordering.
+        assert ratios["IG-Match"] <= ratios["IG-Vote"] * 1.01, circuit
+        # The recursive extension never degrades the result.
+        assert (
+            ratios["IG-Match-recursive"] <= ratios["IG-Match"] * 1.0001
+        ), circuit

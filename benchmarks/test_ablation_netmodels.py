@@ -1,0 +1,33 @@
+"""Benchmark A3 — net-model ablation under EIG1.
+
+Section 2.1 of the paper: sparse asymmetric models (star/path/cycle)
+trade partition quality for matrix sparsity; the clique model is denser
+but symmetric.
+
+Shape claims: the clique model's graph has (weakly) more nonzeros than
+star/path on every circuit, and the clique model's quality is at least
+in the same league as the sparse models' best.
+"""
+
+from collections import defaultdict
+
+from repro.experiments import run_netmodel_ablation
+
+from .conftest import run_once, save_result
+
+
+def test_netmodel_tradeoff(benchmark, scale, seed):
+    result = run_once(
+        benchmark, lambda: run_netmodel_ablation(scale=scale, seed=seed)
+    )
+    save_result("ablation_netmodels", result)
+
+    nonzeros = defaultdict(dict)
+    ratios = defaultdict(dict)
+    for circuit, model, _, _, ratio, nnz in result.rows:
+        nonzeros[circuit][model] = int(nnz)
+        ratios[circuit][model] = float(ratio)
+
+    for circuit in nonzeros:
+        assert nonzeros[circuit]["clique"] >= nonzeros[circuit]["star"]
+        assert nonzeros[circuit]["clique"] >= nonzeros[circuit]["path"]

@@ -1,0 +1,22 @@
+"""Benchmark X2 — iterative post-refinement of IG-Match output.
+
+Paper conclusion: "the ratio cuts so obtained may optionally be improved
+by using standard iterative techniques."
+
+Shape claim: refinement never degrades the ratio cut.
+"""
+
+from repro.experiments import run_refinement_ablation
+
+from .conftest import run_once, save_result
+
+
+def test_refinement_never_degrades(benchmark, scale, seed):
+    result = run_once(
+        benchmark,
+        lambda: run_refinement_ablation(scale=scale, seed=seed),
+    )
+    save_result("ablation_refinement", result)
+
+    for circuit, before, after, _ in result.rows:
+        assert float(after) <= float(before) * 1.0001, circuit

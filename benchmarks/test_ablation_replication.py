@@ -1,0 +1,41 @@
+"""Benchmark X7 — module replication vs cut.
+
+Shape claims: the cut under replication semantics decreases
+monotonically with the budget, and a modest (10%) budget buys a
+meaningful reduction on at least one circuit.
+"""
+
+from collections import defaultdict
+
+from repro.experiments import run_replication_ablation
+
+from .conftest import run_once, save_result
+
+
+def test_replication_tradeoff(benchmark, scale, seed):
+    result = run_once(
+        benchmark,
+        lambda: run_replication_ablation(scale=scale, seed=seed),
+    )
+    save_result("ablation_replication", result)
+
+    by_circuit = defaultdict(list)
+    for circuit, _, _, before, after, _ in result.rows:
+        by_circuit[circuit].append((int(before), int(after)))
+
+    best_reduction = 0.0
+    for circuit, entries in by_circuit.items():
+        afters = [after for _, after in entries]
+        assert afters == sorted(afters, reverse=True), (
+            f"{circuit}: cut did not decrease monotonically with the "
+            f"budget: {afters}"
+        )
+        before = entries[0][0]
+        if before:
+            best_reduction = max(
+                best_reduction, (before - afters[-1]) / before
+            )
+    assert best_reduction >= 0.2, (
+        "a 10% replication budget should cut at least 20% of the "
+        f"crossing nets somewhere; best was {best_reduction:.0%}"
+    )

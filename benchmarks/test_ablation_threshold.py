@@ -1,0 +1,39 @@
+"""Benchmark X4 — net-size thresholding of the spectral input.
+
+Paper conclusion: thresholding sparsifies the eigenvector computation;
+footnote 2 warns it can discard partitioning information.
+
+Shape claims: nonzeros decrease monotonically with the threshold, and
+the untresholded ordering is never much worse than the best thresholded
+one (information loss hurts, sparsity only helps speed).
+"""
+
+from collections import defaultdict
+
+from repro.experiments import run_threshold_ablation
+
+from .conftest import run_once, save_result
+
+
+def test_threshold_tradeoff(benchmark, scale, seed):
+    result = run_once(
+        benchmark,
+        lambda: run_threshold_ablation(scale=scale, seed=seed),
+    )
+    save_result("ablation_threshold", result)
+
+    by_circuit = defaultdict(list)
+    for circuit, label, nonzeros, _, _, ratio in result.rows:
+        by_circuit[circuit].append((label, int(nonzeros), float(ratio)))
+
+    for circuit, entries in by_circuit.items():
+        # Nonzeros shrink as the threshold tightens (rows are ordered
+        # none, 20, 10, 5).
+        nonzeros = [e[1] for e in entries]
+        assert all(
+            a >= b for a, b in zip(nonzeros, nonzeros[1:])
+        ), f"{circuit}: {nonzeros}"
+        # The full (unthresholded) ordering stays competitive.
+        full_ratio = entries[0][2]
+        best_ratio = min(e[2] for e in entries)
+        assert full_ratio <= 3 * best_ratio, circuit

@@ -1,0 +1,35 @@
+"""Benchmark X6 — relaxed Lanczos convergence (§5).
+
+Shape claims: relaxing the tolerance never makes the eigensolve slower,
+and even at tol=1e-2 the sweep keeps the ratio cut within a moderate
+factor of the tight-tolerance result — the robustness the paper's
+conclusion relies on.
+"""
+
+from collections import defaultdict
+
+from repro.experiments import run_tolerance_ablation
+
+from .conftest import run_once, save_result
+
+
+def test_tolerance_tradeoff(benchmark, scale, seed):
+    result = run_once(
+        benchmark,
+        lambda: run_tolerance_ablation(scale=scale, seed=seed),
+    )
+    save_result("ablation_tolerance", result)
+
+    by_circuit = defaultdict(list)
+    for circuit, tol, secs, _, _, ratio in result.rows:
+        by_circuit[circuit].append(
+            (float(tol), float(secs), float(ratio))
+        )
+
+    for circuit, entries in by_circuit.items():
+        # Rows are ordered tight -> loose.
+        tight_ratio = entries[0][2]
+        for _, _, ratio in entries:
+            assert ratio <= 5 * tight_ratio, (
+                f"{circuit}: relaxed tolerance destroyed quality"
+            )

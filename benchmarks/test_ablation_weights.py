@@ -1,0 +1,30 @@
+"""Benchmark A1 — intersection-graph edge-weighting ablation.
+
+Paper shape claim (Section 2.2): the alternative weightings give
+"extremely similar, high-quality partitioning results" — the dual
+representation is robust to the weighting choice.
+"""
+
+from collections import defaultdict
+
+from repro.experiments import run_weighting_ablation
+
+from .conftest import run_once, save_result
+
+
+def test_weighting_robustness(benchmark, scale, seed):
+    result = run_once(
+        benchmark, lambda: run_weighting_ablation(scale=scale, seed=seed)
+    )
+    save_result("ablation_weights", result)
+
+    by_circuit = defaultdict(list)
+    for row in result.rows:
+        by_circuit[row[0]].append(float(row[4]))
+
+    # Shape: per circuit, the spread across weightings is bounded — the
+    # worst weighting is within a small factor of the best.
+    for circuit, ratios in by_circuit.items():
+        assert max(ratios) <= 5 * min(ratios), (
+            f"{circuit}: weighting spread too large: {ratios}"
+        )

@@ -1,0 +1,38 @@
+"""Benchmark X5 — multiway emulation-board partitioning (§1).
+
+Shape claims: the ratio-cut-driven strategies (recursive IG-Match,
+spectral k-way) multiplex no more signals than balanced FM on average,
+reproducing the §1 hardware-simulation cost argument.
+"""
+
+from collections import defaultdict
+
+from repro.experiments.multiway_exp import run_multiway_comparison
+
+from .conftest import run_once, save_result
+
+
+def test_multiway_emulation(benchmark, scale, seed):
+    result = run_once(
+        benchmark,
+        lambda: run_multiway_comparison(scale=scale, seed=seed),
+    )
+    save_result("multiway", result)
+
+    by_circuit = defaultdict(dict)
+    for row in result.rows:
+        by_circuit[row[0]][row[1]] = int(row[2])  # spanning nets
+
+    wins = 0
+    total = 0
+    for circuit, spanning in by_circuit.items():
+        total += 1
+        best_ratio_cut = min(
+            spanning["recursive IG-Match"], spanning["spectral k-way"]
+        )
+        if best_ratio_cut <= spanning["recursive balanced FM"]:
+            wins += 1
+    assert wins >= (total + 1) // 2, (
+        f"ratio-cut multiway lost to balanced FM on {total - wins} of "
+        f"{total} circuits"
+    )

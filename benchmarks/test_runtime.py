@@ -1,0 +1,57 @@
+"""Benchmark E6 — runtime competitiveness (Section 4 text).
+
+The paper: 83 CPU s for the PrimSC2 eigenvector vs 204 s for 10 RCut1.0
+runs.  Absolute numbers are machine-bound; here pytest-benchmark times
+the individual pipeline stages on the Prim2 stand-in so relative costs
+are visible in the benchmark table, and the E6 experiment table is
+regenerated alongside.
+"""
+
+import pytest
+
+from repro.bench import build_circuit
+from repro.experiments import run_runtime
+from repro.intersection import intersection_graph
+from repro.partitioning import IGMatchConfig, RCutConfig, ig_match, rcut
+from repro.spectral import spectral_ordering
+
+from .conftest import run_once, save_result
+
+
+@pytest.fixture(scope="module")
+def prim2(scale, seed):
+    return build_circuit("Prim2", seed=seed, scale=scale)
+
+
+def test_spectral_ordering_time(benchmark, prim2, seed):
+    graph = intersection_graph(prim2, "paper")
+    order = benchmark.pedantic(
+        lambda: spectral_ordering(graph, seed=seed), rounds=3, iterations=1
+    )
+    assert sorted(order) == list(range(prim2.num_nets))
+
+
+def test_igmatch_pipeline_time(benchmark, prim2, seed):
+    result = run_once(
+        benchmark, lambda: ig_match(prim2, IGMatchConfig(seed=seed))
+    )
+    assert result.nets_cut > 0
+
+
+def test_rcut_10_restarts_time(benchmark, prim2, seed):
+    result = run_once(
+        benchmark,
+        lambda: rcut(prim2, RCutConfig(restarts=10, seed=seed)),
+    )
+    assert result.partition.u_size >= 1
+
+
+def test_runtime_table(benchmark, scale, seed):
+    result = run_once(
+        benchmark,
+        lambda: run_runtime(
+            names=["Prim2"], scale=scale, seed=seed, restarts=10
+        ),
+    )
+    save_result("runtime", result)
+    assert len(result.rows) == 1

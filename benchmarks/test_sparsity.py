@@ -1,0 +1,30 @@
+"""Benchmark E5 — representation sparsity (Sections 1.2/5).
+
+Workload: count adjacency nonzeros for every stand-in under the clique
+model and the intersection graph.
+
+Paper shape claim: the intersection graph is substantially sparser,
+dramatically so on wide-net circuits (real Test05: 219 811 vs 19 935,
+11x).
+"""
+
+from repro.experiments import run_sparsity
+
+from .conftest import run_once, save_result
+
+
+def test_sparsity_comparison(benchmark, scale, seed):
+    result = run_once(
+        benchmark, lambda: run_sparsity(scale=scale, seed=seed)
+    )
+    save_result("sparsity", result)
+
+    ratios = {row[0]: float(row[5]) for row in result.rows}
+    # Shape: IG sparser on average across the suite.
+    mean_ratio = sum(ratios.values()) / len(ratios)
+    assert mean_ratio > 1.0
+    # Shape: the wide-net circuit (Test05) shows a large factor.
+    assert ratios["Test05"] > 3.0, (
+        f"Test05 should be much sparser under IG; got "
+        f"{ratios['Test05']}x"
+    )

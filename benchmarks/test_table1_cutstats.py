@@ -1,0 +1,33 @@
+"""Benchmark E1 — regenerate Table 1 (cut statistics for k-pin nets).
+
+Workload: the Prim2 stand-in (exact Primary2 net-size histogram at full
+scale), partitioned by IG-Match; the table counts cut nets per net size.
+
+Paper shape claim: the cut probability is NOT monotone in net size.
+"""
+
+from repro.experiments import run_table1
+
+from .conftest import run_once, save_result
+
+
+def test_table1_cut_statistics(benchmark, scale, seed):
+    result = run_once(
+        benchmark, lambda: run_table1(scale=scale, seed=seed)
+    )
+    save_result("table1_cutstats", result)
+
+    # Structure: one row per occurring net size, counts positive.
+    assert all(row[1] > 0 for row in result.rows)
+    total_cut = sum(row[2] for row in result.rows)
+    assert total_cut > 0
+
+    # Shape: non-monotone cut fraction, as the paper observes.
+    fractions = [float(row[4]) for row in result.rows if row[1] > 0]
+    monotone = all(
+        a <= b + 1e-12 for a, b in zip(fractions, fractions[1:])
+    )
+    assert not monotone, (
+        "cut probability came out monotone in net size — the paper's "
+        "Table 1 non-monotonicity did not reproduce"
+    )

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Quickstart: partition one netlist end to end.
+
+Builds a small hierarchical circuit, partitions it with IG-Match (the
+paper's algorithm), and walks through what each stage produced — the
+intersection graph, the spectral net ordering, and the completed module
+partition — comparing against the RCut baseline at the end.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    IGMatchConfig,
+    RCutConfig,
+    generate_hierarchical,
+    ig_match,
+    intersection_graph,
+    rcut,
+)
+from repro.hypergraph import describe
+from repro.spectral import fiedler_vector
+
+
+def main() -> None:
+    # 1. A circuit.  Real designs are hierarchical: this generator
+    #    plants a natural 60:240 partition crossed by only 5 nets.
+    circuit = generate_hierarchical(
+        num_modules=300,
+        num_nets=330,
+        natural_fraction=0.2,
+        crossing_nets=5,
+        seed=7,
+        name="quickstart",
+    )
+    print("-- netlist " + "-" * 50)
+    print(describe(circuit))
+
+    # 2. The paper's dual representation: the intersection graph has
+    #    one vertex per NET, with edges between nets sharing modules.
+    graph = intersection_graph(circuit, weighting="paper")
+    print("\n-- intersection graph " + "-" * 39)
+    print(f"vertices (nets):        {graph.num_vertices}")
+    print(f"edges (net overlaps):   {graph.num_edges}")
+    fiedler = fiedler_vector(graph)
+    print(f"lambda_2:               {fiedler.eigenvalue:.6f}")
+    print(
+        "ratio-cut lower bound:  "
+        f"{fiedler.ratio_cut_lower_bound():.3e}  (Theorem 1)"
+    )
+
+    # 3. IG-Match: sweep every split of the sorted eigenvector,
+    #    completing each net partition via maximum matching (Phase I)
+    #    and module assignment (Phase II).
+    result = ig_match(circuit, IGMatchConfig(seed=0))
+    print("\n-- IG-Match " + "-" * 49)
+    print(f"areas:          {result.areas}")
+    print(f"nets cut:       {result.nets_cut}")
+    print(f"ratio cut:      {result.ratio_cut:.3e}")
+    print(f"best split:     rank {result.details['best_rank']} "
+          f"of {circuit.num_nets - 1}")
+    print(f"matching bound: {result.details['matching_bound']} "
+          "(Theorem 5: nets cut never exceeds this)")
+    print(f"wall time:      {result.elapsed_seconds:.2f}s "
+          "(single deterministic run)")
+
+    # 4. The Wei-Cheng RCut baseline needs multiple random restarts.
+    baseline = rcut(circuit, RCutConfig(restarts=10, seed=0))
+    print("\n-- RCut baseline (best of 10 restarts) " + "-" * 22)
+    print(f"areas:     {baseline.areas}")
+    print(f"nets cut:  {baseline.nets_cut}")
+    print(f"ratio cut: {baseline.ratio_cut:.3e}")
+
+    improvement = (
+        (baseline.ratio_cut - result.ratio_cut) / baseline.ratio_cut * 100
+        if baseline.ratio_cut
+        else 0.0
+    )
+    print(f"\nIG-Match improvement over RCut: {improvement:.0f}% "
+          "(paper reports 28.8% on average)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Hardware-emulation / testability partitioning (Section 1 of the paper).
+
+Wei & Cheng's motivating application: mapping a large design onto a
+hardware simulator (or test fixture) means splitting it into blocks.
+Every signal crossing between blocks must be multiplexed through scarce
+inter-board pins, and every external input to a block inflates the test
+vector count — so the objective is to minimise crossing signals per
+block, without forcing artificially balanced blocks.
+
+This example partitions a large synthetic design into 4 emulator boards
+with recursive IG-Match bipartitioning and reports exactly the costs a
+simulation engineer would look at, comparing against a balanced-FM
+split (the pre-ratio-cut standard practice).
+
+Run:  python examples/testability_partition.py
+"""
+
+from repro import (
+    FMConfig,
+    fm_bipartition,
+    generate_hierarchical,
+    recursive_partition,
+)
+from repro.partitioning.multiway import MultiwayResult
+
+
+def board_report(title: str, result: MultiwayResult) -> None:
+    h = result.hypergraph
+    print(f"\n-- {title} " + "-" * max(1, 58 - len(title)))
+    print(f"{'board':>6}  {'modules':>8}  {'external signals':>17}")
+    for block in range(result.num_blocks):
+        external = result.external_nets_of_block(block)
+        print(f"{block:>6}  {result.block_sizes[block]:>8}  "
+              f"{external:>17}")
+    print(f"total multiplexed nets (cut): {result.nets_cut} "
+          f"of {h.num_nets}")
+
+
+def main() -> None:
+    # A 1200-module design with natural clustered structure.
+    design = generate_hierarchical(
+        num_modules=1200,
+        num_nets=1300,
+        natural_fraction=0.35,
+        crossing_nets=20,
+        subcluster_size=60,
+        seed=3,
+        name="emulation-target",
+    )
+    print(f"design: {design.num_modules} modules, "
+          f"{design.num_nets} nets, {design.num_pins} pins")
+
+    # Ratio-cut driven: recursive IG-Match finds natural block
+    # boundaries, so few signals cross.
+    natural = recursive_partition(design, num_blocks=4)
+    board_report("recursive IG-Match (ratio cut)", natural)
+
+    # Balanced-FM driven: forces near-equal boards, cutting through
+    # natural clusters.
+    balanced = recursive_partition(
+        design,
+        num_blocks=4,
+        bipartitioner=lambda h: fm_bipartition(
+            h, FMConfig(balance_tolerance=0.02, seed=0)
+        ),
+    )
+    board_report("recursive balanced FM (bisection)", balanced)
+
+    saved = balanced.nets_cut - natural.nets_cut
+    if balanced.nets_cut:
+        percent = saved / balanced.nets_cut * 100
+        print(f"\nratio-cut partitioning multiplexes {saved} fewer "
+              f"nets ({percent:.0f}% saving) -- the effect behind the "
+              "50-70% hardware-simulation cost savings reported by "
+              "Wei [33].")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Analysis utilities: cut statistics, sparsity, stability, bounds.
+
+The statistical machinery behind the paper's Table 1 (cut probability vs
+net size), its sparsity argument for the intersection graph, its
+stability argument for deterministic spectral methods, and the Theorem 1
+ratio-cut lower bound.
+"""
+
+from .bounds import (
+    RatioCutBound,
+    bisection_width_lower_bound,
+    check_bound,
+    ratio_cut_lower_bound,
+)
+from .cutstats import (
+    CutStatsRow,
+    cut_stats_by_size,
+    is_cut_probability_monotone,
+    random_cut_probability,
+)
+from .sparsity import SparsityComparison, compare_sparsity
+from .spectra import (
+    CheegerBounds,
+    cheeger_bounds,
+    conductance,
+    normalized_fiedler_value,
+    normalized_laplacian,
+    sweep_conductance,
+)
+from .stability import StabilityReport, stability_analysis
+from .wireability import RentFit, rent_analysis, rent_samples
+
+__all__ = [
+    "CheegerBounds",
+    "CutStatsRow",
+    "RatioCutBound",
+    "RentFit",
+    "SparsityComparison",
+    "StabilityReport",
+    "bisection_width_lower_bound",
+    "check_bound",
+    "cheeger_bounds",
+    "compare_sparsity",
+    "conductance",
+    "cut_stats_by_size",
+    "is_cut_probability_monotone",
+    "normalized_fiedler_value",
+    "normalized_laplacian",
+    "random_cut_probability",
+    "ratio_cut_lower_bound",
+    "rent_analysis",
+    "rent_samples",
+    "stability_analysis",
+    "sweep_conductance",
+]

@@ -1,0 +1,76 @@
+"""Cut statistics by net size (the machinery behind Table 1).
+
+Table 1 of the paper tabulates, for an optimised ratio-cut partition of
+Primary2, the number of k-pin nets and how many of each size were cut —
+demonstrating that cut probability is *not* monotone in net size on
+hierarchically organised circuits (contrary to the random-partition
+intuition of roughly ``1 - O(2^-k)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..partitioning import Partition
+
+__all__ = ["CutStatsRow", "cut_stats_by_size", "is_cut_probability_monotone",
+           "random_cut_probability"]
+
+
+@dataclass(frozen=True)
+class CutStatsRow:
+    """One row of a Table 1-style report."""
+
+    net_size: int
+    num_nets: int
+    num_cut: int
+
+    @property
+    def cut_fraction(self) -> float:
+        return self.num_cut / self.num_nets if self.num_nets else 0.0
+
+
+def cut_stats_by_size(partition: Partition) -> List[CutStatsRow]:
+    """Tabulate nets and cut nets per net size for ``partition``.
+
+    Rows are sorted by net size, one row per occurring size — the exact
+    format of the paper's Table 1.
+    """
+    h = partition.hypergraph
+    totals: Dict[int, int] = {}
+    cuts: Dict[int, int] = {}
+    cut_set = set(partition.cut_nets)
+    for net in range(h.num_nets):
+        size = h.net_size(net)
+        totals[size] = totals.get(size, 0) + 1
+        if net in cut_set:
+            cuts[size] = cuts.get(size, 0) + 1
+    return [
+        CutStatsRow(net_size=size, num_nets=totals[size],
+                    num_cut=cuts.get(size, 0))
+        for size in sorted(totals)
+    ]
+
+
+def is_cut_probability_monotone(rows: Sequence[CutStatsRow]) -> bool:
+    """Whether cut fraction increases (weakly) with net size.
+
+    Only sizes with at least one net are considered.  The paper's point
+    is that this returns ``False`` for optimised partitions of real
+    hierarchical circuits.
+    """
+    fractions = [row.cut_fraction for row in rows if row.num_nets > 0]
+    return all(a <= b + 1e-12 for a, b in zip(fractions, fractions[1:]))
+
+
+def random_cut_probability(net_size: int, fraction: float = 0.5) -> float:
+    """Probability a k-pin net is cut by a random partition.
+
+    Under independent uniform side assignment with U-probability
+    ``fraction``: ``1 - f^k - (1-f)^k`` — the ``1 - O(2^-k)`` intuition
+    the paper's thought experiment starts from.
+    """
+    if net_size < 2:
+        return 0.0
+    return 1.0 - fraction**net_size - (1.0 - fraction) ** net_size

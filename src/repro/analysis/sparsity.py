@@ -1,0 +1,58 @@
+"""Sparsity accounting: clique model vs intersection graph.
+
+The paper's numerical argument for the dual representation (Sections 1.2
+and 5): the Test05 intersection graph has 19 935 adjacency nonzeros
+versus 219 811 for the standard clique model — over 10x sparser, which
+directly accelerates the Lanczos computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hypergraph import Hypergraph
+from ..intersection import intersection_nonzeros
+from ..netmodels import get_model
+
+__all__ = ["SparsityComparison", "compare_sparsity"]
+
+
+@dataclass(frozen=True)
+class SparsityComparison:
+    """Adjacency nonzero counts under both representations."""
+
+    circuit: str
+    num_modules: int
+    num_nets: int
+    clique_nonzeros: int
+    intersection_nonzeros: int
+
+    @property
+    def sparsity_ratio(self) -> float:
+        """clique nonzeros / intersection nonzeros (>1 means IG sparser)."""
+        if self.intersection_nonzeros == 0:
+            return float("inf")
+        return self.clique_nonzeros / self.intersection_nonzeros
+
+    def __str__(self) -> str:
+        return (
+            f"{self.circuit}: clique {self.clique_nonzeros} nz, "
+            f"intersection {self.intersection_nonzeros} nz "
+            f"({self.sparsity_ratio:.1f}x sparser)"
+        )
+
+
+def compare_sparsity(h: Hypergraph) -> SparsityComparison:
+    """Count adjacency nonzeros of ``h`` under clique vs intersection.
+
+    The clique count uses the actual merged adjacency (overlapping nets
+    share entries), matching how a real solver would store the matrix.
+    """
+    clique_graph = get_model("clique").to_graph(h)
+    return SparsityComparison(
+        circuit=h.name or "(unnamed)",
+        num_modules=h.num_modules,
+        num_nets=h.num_nets,
+        clique_nonzeros=clique_graph.num_nonzeros,
+        intersection_nonzeros=intersection_nonzeros(h),
+    )

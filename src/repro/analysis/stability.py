@@ -1,0 +1,77 @@
+"""Stability analysis: result variance across random seeds.
+
+One of the paper's practical arguments (Sections 1.1 and 5): iterative
+methods need many random starting configurations "to adequately search
+the solution space and give predictable performance, or 'stability'",
+while the spectral approach "derives its output from a single,
+deterministic execution".  This module quantifies that: run an algorithm
+across seeds and summarise the spread of its ratio cuts.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+from ..hypergraph import Hypergraph
+from ..partitioning import PartitionResult
+
+__all__ = ["StabilityReport", "stability_analysis"]
+
+SeededAlgorithm = Callable[[Hypergraph, int], PartitionResult]
+
+
+@dataclass(frozen=True)
+class StabilityReport:
+    """Ratio-cut spread of one algorithm across seeds."""
+
+    algorithm: str
+    ratio_cuts: List[float]
+
+    @property
+    def best(self) -> float:
+        return min(self.ratio_cuts)
+
+    @property
+    def worst(self) -> float:
+        return max(self.ratio_cuts)
+
+    @property
+    def mean(self) -> float:
+        return statistics.fmean(self.ratio_cuts)
+
+    @property
+    def stdev(self) -> float:
+        if len(self.ratio_cuts) < 2:
+            return 0.0
+        return statistics.stdev(self.ratio_cuts)
+
+    @property
+    def relative_spread(self) -> float:
+        """(worst - best) / best; 0.0 for a deterministic algorithm."""
+        if self.best == 0:
+            return 0.0
+        return (self.worst - self.best) / self.best
+
+    @property
+    def is_deterministic(self) -> bool:
+        return self.worst - self.best < 1e-15
+
+    def __str__(self) -> str:
+        return (
+            f"{self.algorithm}: best {self.best:.4g}, "
+            f"mean {self.mean:.4g}, worst {self.worst:.4g} "
+            f"(spread {100 * self.relative_spread:.1f}%)"
+        )
+
+
+def stability_analysis(
+    h: Hypergraph,
+    algorithm: SeededAlgorithm,
+    name: str,
+    seeds: Sequence[int] = tuple(range(8)),
+) -> StabilityReport:
+    """Run ``algorithm(h, seed)`` for every seed and report the spread."""
+    ratio_cuts = [algorithm(h, seed).ratio_cut for seed in seeds]
+    return StabilityReport(algorithm=name, ratio_cuts=ratio_cuts)

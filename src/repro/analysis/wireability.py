@@ -1,0 +1,151 @@
+"""Wireability analysis via Rent's rule.
+
+Section 1 of the paper lists "wireability analysis in synthesis" among
+the CAD applications of partitioning.  The classical tool is **Rent's
+rule**: recursively partitioning a well-designed circuit yields blocks
+whose terminal count T scales with block size B as ``T = t * B^p``; the
+exponent ``p`` (typically 0.5–0.75 for logic) predicts wiring demand,
+and the prefactor ``t`` approximates average pins per module.
+
+:func:`rent_analysis` drives a recursive ratio-cut bipartition,
+collects (block size, external-net count) samples at every tree node,
+and fits the exponent by least squares in log-log space.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from ..errors import PartitionError, ReproError
+from ..hypergraph import Hypergraph, induced_subhypergraph
+from ..partitioning import PartitionResult
+from ..partitioning.multiway import _default_bipartitioner
+
+__all__ = ["RentFit", "rent_samples", "rent_analysis"]
+
+
+@dataclass(frozen=True)
+class RentFit:
+    """A fitted Rent's rule ``T = t * B^p``.
+
+    ``samples`` holds the (block_size, terminal_count) points used.
+    ``r_squared`` is the goodness of fit in log-log space.
+    """
+
+    exponent: float
+    prefactor: float
+    samples: List[Tuple[int, int]]
+    r_squared: float
+
+    def predicted_terminals(self, block_size: int) -> float:
+        """``t * B^p`` for a block of the given size."""
+        return self.prefactor * block_size**self.exponent
+
+    def __str__(self) -> str:
+        return (
+            f"Rent fit: T = {self.prefactor:.2f} * B^{self.exponent:.3f}"
+            f" (R^2 = {self.r_squared:.3f}, "
+            f"{len(self.samples)} samples)"
+        )
+
+
+def _external_nets(h: Hypergraph, members: List[int]) -> int:
+    """Nets with a pin inside ``members`` and a pin outside."""
+    inside = set(members)
+    count = 0
+    for _, pins in h.iter_nets():
+        pins_inside = sum(1 for p in pins if p in inside)
+        if 0 < pins_inside < len(pins):
+            count += 1
+    return count
+
+
+def rent_samples(
+    h: Hypergraph,
+    min_block: int = 8,
+    bipartitioner: Optional[
+        Callable[[Hypergraph], PartitionResult]
+    ] = None,
+) -> List[Tuple[int, int]]:
+    """Collect (block size, external nets) samples by recursive
+    bipartition down to ``min_block`` modules.
+
+    The root block (the whole circuit, with 0 external nets) is not
+    sampled; every proper sub-block of at least 2 modules is.
+    """
+    if bipartitioner is None:
+        bipartitioner = _default_bipartitioner
+    samples: List[Tuple[int, int]] = []
+
+    def recurse(members: List[int]) -> None:
+        if len(members) < max(2, min_block):
+            return
+        sub, module_map, _ = induced_subhypergraph(h, members)
+        if sub.num_nets < 2:
+            return
+        try:
+            result = bipartitioner(sub)
+        except PartitionError:
+            return
+        for side in (0, 1):
+            block = [
+                module_map[v]
+                for v in range(sub.num_modules)
+                if result.partition.side(v) == side
+            ]
+            if len(block) >= 2:
+                samples.append((len(block), _external_nets(h, block)))
+                recurse(block)
+
+    recurse(list(range(h.num_modules)))
+    return samples
+
+
+def rent_analysis(
+    h: Hypergraph,
+    min_block: int = 8,
+    max_block_fraction: float = 0.25,
+    bipartitioner: Optional[
+        Callable[[Hypergraph], PartitionResult]
+    ] = None,
+) -> RentFit:
+    """Fit Rent's rule to a circuit via recursive ratio-cut bisection.
+
+    Only "region I" samples — blocks of at most ``max_block_fraction``
+    of the circuit — enter the fit: near the top of the hierarchy the
+    terminal count saturates (Rent's region II) and would flatten the
+    exponent.  All samples are still returned in ``RentFit.samples``.
+    """
+    samples = rent_samples(h, min_block=min_block,
+                           bipartitioner=bipartitioner)
+    cutoff = max(min_block, max_block_fraction * h.num_modules)
+    usable = [(b, t) for b, t in samples if t > 0 and b <= cutoff]
+    if len(usable) < 3:
+        raise ReproError(
+            f"only {len(usable)} usable Rent samples; circuit too small "
+            "or too loosely connected for a fit"
+        )
+    xs = [math.log(b) for b, _ in usable]
+    ys = [math.log(t) for _, t in usable]
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    if sxx == 0:
+        raise ReproError("all Rent samples have the same block size")
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    ss_res = sum(
+        (y - (slope * x + intercept)) ** 2 for x, y in zip(xs, ys)
+    )
+    ss_tot = sum((y - mean_y) ** 2 for y in ys)
+    r_squared = 1.0 - (ss_res / ss_tot if ss_tot > 0 else 0.0)
+    return RentFit(
+        exponent=slope,
+        prefactor=math.exp(intercept),
+        samples=samples,
+        r_squared=r_squared,
+    )

@@ -1,0 +1,464 @@
+"""Synthetic hierarchical netlist generation.
+
+Real netlists have "strong hierarchical organization reflecting the
+high-level functional partitioning imposed by the designer" (Section 2.2
+of the paper) — hierarchy at *every* scale, not just one planted cut.
+The generator models this with a recursive scope tree:
+
+* the module range is recursively bisected — the top split at the
+  prescribed ``natural_fraction`` (the planted natural partition), lower
+  splits at midpoints — down to leaves of roughly ``subcluster_size``;
+* every net is *homed* at a tree node: exactly ``crossing_nets`` nets at
+  the root (straddling the planted cut), and the rest by a random
+  descent that stops at each internal node with probability ``escape``
+  — so every internal cut of the hierarchy is straddled by a
+  proportional share of nets, giving the rough, multi-minimum move-gain
+  landscape of real circuits;
+* a net homed at a node draws ``locality`` of its pins from one primary
+  leaf under that node and the rest from anywhere in the node's scope
+  (straddlers force at least one pin on each side of their node's
+  split);
+* a ``noise`` fraction of nets ignores the hierarchy entirely (clocks,
+  resets, scan chains);
+* the exact or sampled *net-size distribution* (Primary2's histogram
+  from Table 1 is reproduced verbatim) is preserved through all repairs.
+
+Every module is guaranteed at least one net, and each side of the
+planted partition is internally connected, so no zero-cut partition
+exists.  Generation is deterministic in the seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import BenchmarkError
+from ..hypergraph import Hypergraph
+from .specs import BenchmarkSpec
+
+__all__ = ["generate_hierarchical", "generate_from_spec", "sample_net_sizes"]
+
+
+def sample_net_sizes(
+    rng: random.Random,
+    num_nets: int,
+    mean_net_size: float = 3.4,
+    max_net_size: int = 30,
+    wide_fraction: float = 0.015,
+    wide_max: int = 80,
+) -> List[int]:
+    """Sample net sizes matching real net-size histograms.
+
+    The bulk is ``2 + Geometric`` with the success rate chosen so the
+    mean matches ``mean_net_size``, truncated at ``max_net_size`` (most
+    nets are 2-pin).  A ``wide_fraction`` share is drawn uniformly from
+    ``[max_net_size, wide_max]`` — the buses, clock trees and scan
+    chains that dominate the clique model's nonzero count (a 100-pin net
+    alone generates 9 900 adjacency nonzeros, the paper's Section 2.1
+    example).
+    """
+    if mean_net_size <= 2.0:
+        raise BenchmarkError(
+            f"mean_net_size must exceed 2.0, got {mean_net_size}"
+        )
+    p = 1.0 / (mean_net_size - 1.0)
+    num_wide = round(wide_fraction * num_nets)
+    wide_max = max(wide_max, max_net_size)
+    sizes = []
+    for _ in range(num_nets - num_wide):
+        size = 2
+        while rng.random() > p and size < max_net_size:
+            size += 1
+        sizes.append(size)
+    for _ in range(num_wide):
+        sizes.append(rng.randint(max_net_size, wide_max))
+    return sizes
+
+
+def _histogram_to_sizes(
+    histogram: Dict[int, int], rng: random.Random
+) -> List[int]:
+    sizes: List[int] = []
+    for size, count in sorted(histogram.items()):
+        if size < 2:
+            raise BenchmarkError(
+                f"net-size histogram contains size {size} < 2"
+            )
+        sizes.extend([size] * count)
+    rng.shuffle(sizes)
+    return sizes
+
+
+# ----------------------------------------------------------------------
+# The scope tree
+# ----------------------------------------------------------------------
+@dataclass
+class _Node:
+    """A scope-tree node covering modules ``lo .. hi-1``."""
+
+    lo: int
+    hi: int
+    children: List["_Node"] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return self.hi - self.lo
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+def _build_tree(lo: int, hi: int, leaf_size: int) -> _Node:
+    node = _Node(lo, hi)
+    if hi - lo > max(2, leaf_size):
+        mid = (lo + hi) // 2
+        node.children = [
+            _build_tree(lo, mid, leaf_size),
+            _build_tree(mid, hi, leaf_size),
+        ]
+    return node
+
+
+def _descend(node: _Node, escape: float, rng: random.Random) -> _Node:
+    """Random descent: stop (home the net here) with prob ``escape`` at
+    each internal node, else recurse into a size-weighted child."""
+    while not node.is_leaf:
+        if rng.random() < escape:
+            return node
+        weights = [c.size for c in node.children]
+        node = rng.choices(node.children, weights=weights)[0]
+    return node
+
+
+def _random_leaf(node: _Node, rng: random.Random) -> _Node:
+    while not node.is_leaf:
+        weights = [c.size for c in node.children]
+        node = rng.choices(node.children, weights=weights)[0]
+    return node
+
+
+def _pick(
+    lo: int,
+    hi: int,
+    count: int,
+    chosen: set,
+    rng: random.Random,
+    uncovered: set,
+) -> List[int]:
+    """Sample ``count`` distinct modules from ``[lo, hi)``, preferring
+    not-yet-covered modules so coverage falls out of generation."""
+    if count <= 0:
+        return []
+    pool = [m for m in range(lo, hi) if m not in chosen]
+    preferred = [m for m in pool if m in uncovered]
+    rng.shuffle(preferred)
+    rest = [m for m in pool if m not in uncovered]
+    rng.shuffle(rest)
+    return (preferred + rest)[:count]
+
+
+def _draw_net(
+    size: int,
+    home: _Node,
+    straddle: bool,
+    locality: float,
+    rng: random.Random,
+    uncovered: set,
+) -> List[int]:
+    """Draw one net's pins inside ``home``'s scope.
+
+    A ``locality`` share of pins comes from a primary leaf; the rest
+    from the whole scope.  A straddling net places its first two pins in
+    different children of ``home``.
+    """
+    size = min(size, home.size)
+    chosen: set = set()
+    pins: List[int] = []
+
+    if straddle and not home.is_leaf and size >= 2:
+        for child in home.children:
+            leaf = _random_leaf(child, rng)
+            got = _pick(leaf.lo, leaf.hi, 1, chosen, rng, uncovered)
+            pins += got
+            chosen.update(got)
+        primary = _random_leaf(home.children[0], rng)
+    else:
+        primary = _random_leaf(home, rng)
+
+    want_local = sum(
+        1 for _ in range(size - len(pins)) if rng.random() < locality
+    )
+    got = _pick(primary.lo, primary.hi, want_local, chosen, rng, uncovered)
+    pins += got
+    chosen.update(got)
+    got = _pick(home.lo, home.hi, size - len(pins), chosen, rng, uncovered)
+    pins += got
+    return pins
+
+
+# ----------------------------------------------------------------------
+# Generation
+# ----------------------------------------------------------------------
+def generate_hierarchical(
+    num_modules: int,
+    num_nets: int,
+    natural_fraction: float = 0.3,
+    crossing_nets: int = 10,
+    subcluster_size: int = 70,
+    locality: float = 0.8,
+    escape: float = 0.08,
+    noise: float = 0.03,
+    net_size_histogram: Optional[Dict[int, int]] = None,
+    mean_net_size: float = 3.4,
+    max_net_size: int = 30,
+    wide_fraction: float = 0.015,
+    wide_max: int = 80,
+    seed: int = 0,
+    name: str = "",
+) -> Hypergraph:
+    """Generate one hierarchical clustered netlist (see module docstring).
+
+    When ``net_size_histogram`` is given it is reproduced exactly and
+    ``num_nets`` is ignored in favour of the histogram total.  The
+    planted natural partition puts modules ``0 .. round(f*n)-1`` on one
+    side; ``crossing_nets`` nets straddle it.
+    """
+    if num_modules < 4:
+        raise BenchmarkError(f"need at least 4 modules, got {num_modules}")
+    if not 0.0 < natural_fraction < 1.0:
+        raise BenchmarkError(
+            f"natural_fraction must be in (0, 1), got {natural_fraction}"
+        )
+    if not 0.0 <= escape < 1.0:
+        raise BenchmarkError(f"escape must be in [0, 1), got {escape}")
+    rng = random.Random(seed)
+
+    if net_size_histogram is not None:
+        sizes = _histogram_to_sizes(net_size_histogram, rng)
+    else:
+        sizes = sample_net_sizes(
+            rng,
+            num_nets,
+            mean_net_size,
+            max_net_size,
+            wide_fraction=wide_fraction,
+            wide_max=wide_max,
+        )
+    if crossing_nets >= len(sizes):
+        raise BenchmarkError(
+            f"crossing_nets={crossing_nets} >= total nets {len(sizes)}"
+        )
+
+    num_u = max(2, min(num_modules - 2, round(natural_fraction * num_modules)))
+    root = _Node(0, num_modules)
+    root.children = [
+        _build_tree(0, num_u, subcluster_size),
+        _build_tree(num_u, num_modules, subcluster_size),
+    ]
+
+    uncovered = set(range(num_modules))
+    nets: List[List[int]] = []
+
+    order = list(range(len(sizes)))
+    rng.shuffle(order)
+    crossing_set = set(order[:crossing_nets])
+    num_noise = round(noise * len(sizes))
+    noise_set = set(order[crossing_nets : crossing_nets + num_noise])
+
+    for index, size in enumerate(sizes):
+        if index in noise_set:
+            pins = _pick(0, num_modules, size, set(), rng, uncovered)
+        elif index in crossing_set:
+            pins = _draw_net(size, root, True, locality, rng, uncovered)
+        else:
+            block = rng.choices(
+                root.children, weights=[c.size for c in root.children]
+            )[0]
+            home = _descend(block, escape, rng)
+            # Nets wider than their home scope (wide buses landing in a
+            # leaf) are re-homed at the block root so their size is kept.
+            if home.size < size:
+                home = block
+            pins = _draw_net(
+                size, home, not home.is_leaf, locality, rng, uncovered
+            )
+        uncovered.difference_update(pins)
+        nets.append(pins)
+
+    _repair_isolated(nets, uncovered, num_modules, rng)
+    # Real circuits are connected designs; connect each side of the
+    # planted cut internally (the crossing nets then connect the sides),
+    # so that no zero-cut partition exists to short-circuit the
+    # ratio-cut metric.
+    _connect_modules(nets, range(0, num_u), rng)
+    _connect_modules(nets, range(num_u, num_modules), rng)
+    return Hypergraph(nets, num_modules=num_modules, name=name)
+
+
+def _repair_isolated(
+    nets: List[List[int]],
+    uncovered: set,
+    num_modules: int,
+    rng: random.Random,
+) -> None:
+    """Give every still-isolated module a pin without changing net sizes.
+
+    Replaces a pin of a net whose victim pin appears on >= 2 nets, so no
+    new isolation is created.  Net sizes are preserved exactly.
+    """
+    if not uncovered:
+        return
+    degree = [0] * num_modules
+    for pins in nets:
+        for pin in pins:
+            degree[pin] += 1
+    net_order = list(range(len(nets)))
+    rng.shuffle(net_order)
+    for module in sorted(uncovered):
+        placed = False
+        for net_index in net_order:
+            pins = nets[net_index]
+            for position, victim in enumerate(pins):
+                if degree[victim] >= 2 and module not in pins:
+                    pins[position] = module
+                    degree[victim] -= 1
+                    degree[module] += 1
+                    placed = True
+                    break
+            if placed:
+                break
+        if not placed:
+            raise BenchmarkError(
+                f"could not attach isolated module {module}: "
+                "every pin is load-bearing (netlist too sparse)"
+            )
+
+
+def _connect_modules(
+    nets: List[List[int]], block: Sequence[int], rng: random.Random
+) -> None:
+    """Rewire pins until the block's modules form one connected component.
+
+    Connectivity is judged over the given modules only (pins outside the
+    block do not merge components, so planted cross-block structure is
+    untouched).  Each repair replaces one pin of a net inside the largest
+    component — a pin whose module has other nets, so nothing becomes
+    isolated — with a module from a smaller component.  Net sizes are
+    preserved exactly.
+    """
+    block_set = set(block)
+    if len(block_set) < 2:
+        return
+
+    max_rounds = len(block_set) + 10
+    for _ in range(max_rounds):
+        parent = {v: v for v in block_set}
+
+        def find(v: int) -> int:
+            while parent[v] != v:
+                parent[v] = parent[parent[v]]
+                v = parent[v]
+            return v
+
+        degree: Dict[int, int] = {v: 0 for v in block_set}
+        for pins in nets:
+            inside = [p for p in pins if p in block_set]
+            for p in inside:
+                degree[p] += 1
+            for a, b in zip(inside, inside[1:]):
+                ra, rb = find(a), find(b)
+                if ra != rb:
+                    parent[ra] = rb
+
+        components: Dict[int, List[int]] = {}
+        for v in block_set:
+            components.setdefault(find(v), []).append(v)
+        if len(components) == 1:
+            return
+        ordered = sorted(components.values(), key=len, reverse=True)
+        giant = set(ordered[0])
+        small = ordered[1]
+
+        repaired = False
+        net_order = list(range(len(nets)))
+        rng.shuffle(net_order)
+        for net_index in net_order:
+            pins = nets[net_index]
+            for position, victim in enumerate(pins):
+                if (
+                    victim in giant
+                    and degree[victim] >= 2
+                    and sum(1 for p in pins if p in giant) >= 2
+                ):
+                    replacement = rng.choice(small)
+                    if replacement in pins:
+                        continue
+                    pins[position] = replacement
+                    repaired = True
+                    break
+            if repaired:
+                break
+        if not repaired:
+            # Last resort: extend a giant-homed net by one pin (the only
+            # repair that perturbs a net size; essentially never needed).
+            for net_index in net_order:
+                pins = nets[net_index]
+                if any(p in giant for p in pins):
+                    pins.append(rng.choice(small))
+                    repaired = True
+                    break
+        if not repaired:
+            raise BenchmarkError(
+                "could not connect block: no net touches its largest "
+                "component"
+            )
+    raise BenchmarkError(
+        "block connectivity repair did not converge "
+        f"(block of {len(block_set)} modules)"
+    )
+
+
+def generate_from_spec(
+    spec: BenchmarkSpec, seed: int = 0, scale: float = 1.0
+) -> Hypergraph:
+    """Realise a :class:`BenchmarkSpec`, optionally scaled down.
+
+    ``scale`` < 1 shrinks the module/net counts proportionally (exact
+    histograms are scaled per-bin); the planted-partition shape is kept.
+    Useful for fast test runs; the experiment harness defaults to full
+    size.
+    """
+    if scale <= 0:
+        raise BenchmarkError(f"scale must be positive, got {scale}")
+    histogram = spec.net_size_histogram
+    num_modules = max(8, round(spec.num_modules * scale))
+    num_nets = max(8, round(spec.num_nets * scale))
+    crossing = max(1, round(spec.crossing_nets * scale))
+    if histogram is not None and scale != 1.0:
+        histogram = {
+            size: max(0, round(count * scale))
+            for size, count in histogram.items()
+        }
+        histogram = {s: c for s, c in histogram.items() if c > 0}
+        if not histogram:
+            histogram = None
+    return generate_hierarchical(
+        num_modules=num_modules,
+        num_nets=num_nets,
+        natural_fraction=spec.natural_fraction,
+        crossing_nets=crossing,
+        subcluster_size=spec.subcluster_size,
+        locality=spec.locality,
+        escape=spec.escape,
+        noise=spec.noise,
+        net_size_histogram=histogram,
+        mean_net_size=spec.mean_net_size,
+        max_net_size=spec.max_net_size,
+        wide_fraction=spec.wide_fraction,
+        wide_max=spec.wide_max,
+        seed=seed,
+        name=spec.name if scale == 1.0 else f"{spec.name}@{scale:g}",
+    )

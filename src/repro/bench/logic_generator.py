@@ -1,0 +1,149 @@
+"""Gate-level synthetic logic generation.
+
+The hierarchical generator (:mod:`repro.bench.generator`) produces
+abstract hypergraphs; this module produces *gate-level circuits* —
+levelised random logic in the style of synthetic-benchmark tools like
+GNL — emitted as structural Verilog, so the whole front-end path
+(Verilog → hypergraph → partitioner) is exercised end to end:
+
+* ``num_inputs`` primary inputs and a levelised combinational core of
+  ``levels`` layers of random gates (``not``/``buf`` for fan-in 1,
+  ``and``/``or``/``nand``/``nor``/``xor`` for 2+), each gate reading
+  mostly from the previous layer with occasional longer feed-forward
+  taps;
+* an optional sequential fraction: selected gate outputs drive ``dff``
+  instances whose ``q`` outputs feed back into the earliest layer, all
+  clocked by one global ``clk`` net — the classic wide net that makes
+  the clique model explode (Section 2.1 of the paper);
+* ``num_outputs`` primary outputs tapped from the last layer.
+
+Deterministic in the seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..errors import BenchmarkError
+from ..hypergraph import Hypergraph
+from ..hypergraph.formats import loads_verilog
+
+__all__ = ["generate_logic_verilog", "generate_logic_circuit"]
+
+_UNARY = ("not", "buf")
+_MULTI = ("and", "or", "nand", "nor", "xor")
+
+
+def generate_logic_verilog(
+    num_inputs: int = 16,
+    num_outputs: int = 8,
+    gates_per_level: int = 24,
+    levels: int = 5,
+    max_fanin: int = 4,
+    dff_fraction: float = 0.15,
+    long_tap_probability: float = 0.15,
+    seed: int = 0,
+    module_name: str = "synth",
+) -> str:
+    """Generate a structural-Verilog netlist (see module docstring)."""
+    if num_inputs < 2:
+        raise BenchmarkError("need at least 2 primary inputs")
+    if levels < 1 or gates_per_level < 1:
+        raise BenchmarkError("need at least one level of gates")
+    if max_fanin < 2:
+        raise BenchmarkError(f"max_fanin must be >= 2, got {max_fanin}")
+    if not 0.0 <= dff_fraction < 1.0:
+        raise BenchmarkError("dff_fraction must lie in [0, 1)")
+    rng = random.Random(seed)
+
+    inputs = [f"pi{i}" for i in range(num_inputs)]
+    sequential = dff_fraction > 0
+    clk = ["clk"] if sequential else []
+
+    wires: List[str] = []
+    statements: List[str] = []
+    gate_count = 0
+    dff_count = 0
+
+    # Signals available as gate inputs, per level (level 0 = PIs + any
+    # flip-flop outputs, created lazily below).
+    available: List[List[str]] = [list(inputs)]
+    feedback_wires: List[str] = []
+
+    for level in range(1, levels + 1):
+        produced: List[str] = []
+        for _ in range(gates_per_level):
+            fanin = rng.randint(1, max_fanin)
+            sources = []
+            pool_previous = available[level - 1]
+            pool_earlier = [
+                s for lvl in available[:-1] for s in lvl
+            ] or pool_previous
+            for _ in range(fanin):
+                if rng.random() < long_tap_probability:
+                    sources.append(rng.choice(pool_earlier))
+                else:
+                    sources.append(rng.choice(pool_previous))
+            sources = list(dict.fromkeys(sources))  # dedupe, keep order
+            gate_type = (
+                rng.choice(_UNARY)
+                if len(sources) == 1
+                else rng.choice(_MULTI)
+            )
+            out = f"n{level}_{len(produced)}"
+            wires.append(out)
+            statements.append(
+                f"  {gate_type} g{gate_count} "
+                f"({out}, {', '.join(sources)});"
+            )
+            gate_count += 1
+            produced.append(out)
+
+            if sequential and rng.random() < dff_fraction:
+                q = f"q{dff_count}"
+                wires.append(q)
+                statements.append(
+                    f"  dff ff{dff_count} ({q}, {out}, clk);"
+                )
+                feedback_wires.append(q)
+                dff_count += 1
+        available.append(produced)
+
+    # Feed flip-flop outputs back into the first layer's input pool by
+    # buffering them onto fresh level-1 consumers.
+    for index, q in enumerate(feedback_wires):
+        out = f"fb{index}"
+        wires.append(out)
+        statements.append(f"  buf gfb{index} ({out}, {q});")
+
+    last = available[-1]
+    num_outputs = min(num_outputs, len(last))
+    outputs = [f"po{i}" for i in range(num_outputs)]
+    for i, po in enumerate(outputs):
+        statements.append(f"  buf gpo{i} ({po}, {last[i]});")
+
+    ports = inputs + clk + outputs
+    lines = [f"// synthetic levelised logic (seed {seed})"]
+    lines.append(f"module {module_name} ({', '.join(ports)});")
+    lines.append(f"  input {', '.join(inputs + clk)};")
+    lines.append(f"  output {', '.join(outputs)};")
+    for i in range(0, len(wires), 12):
+        lines.append(f"  wire {', '.join(wires[i:i + 12])};")
+    lines.extend(statements)
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def generate_logic_circuit(
+    seed: int = 0,
+    name: Optional[str] = None,
+    **kwargs,
+) -> Hypergraph:
+    """Generate gate-level logic and parse it into a hypergraph.
+
+    Accepts the keyword arguments of :func:`generate_logic_verilog`.
+    """
+    text = generate_logic_verilog(seed=seed, **kwargs)
+    h = loads_verilog(text, name=name or f"synth-logic-{seed}")
+    return h

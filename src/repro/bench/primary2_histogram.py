@@ -1,0 +1,79 @@
+"""The Primary2 net-size histogram from Table 1 of the paper.
+
+Table 1 reports, for a locally-minimum ratio-cut partition of MCNC
+Primary2, the number of k-pin nets and how many were cut, for every
+occurring net size k.  The "Number of Nets" column doubles as the exact
+net-size distribution of Primary2, which the synthetic Prim2 stand-in
+reproduces verbatim; the "Number Cut" column is the paper-side data for
+experiment E1 (non-monotone cut probability).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = [
+    "PRIMARY2_NET_SIZE_HISTOGRAM",
+    "PRIMARY2_CUT_HISTOGRAM",
+    "PRIMARY2_NUM_NETS",
+]
+
+#: net size -> number of nets of that size (Table 1, column 2).
+PRIMARY2_NET_SIZE_HISTOGRAM: Dict[int, int] = {
+    2: 1835,
+    3: 365,
+    4: 203,
+    5: 192,
+    6: 120,
+    7: 52,
+    8: 14,
+    9: 83,
+    10: 14,
+    11: 35,
+    12: 5,
+    13: 3,
+    14: 10,
+    15: 3,
+    16: 1,
+    17: 72,
+    18: 1,
+    23: 1,
+    26: 1,
+    29: 1,
+    30: 1,
+    31: 1,
+    33: 14,
+    34: 1,
+    37: 1,
+}
+
+#: net size -> number cut in the paper's optimised partition (column 3).
+PRIMARY2_CUT_HISTOGRAM: Dict[int, int] = {
+    2: 21,
+    3: 29,
+    4: 18,
+    5: 26,
+    6: 5,
+    7: 12,
+    8: 0,
+    9: 5,
+    10: 1,
+    11: 0,
+    12: 0,
+    13: 0,
+    14: 0,
+    15: 0,
+    16: 0,
+    17: 22,
+    18: 1,
+    23: 0,
+    26: 1,
+    29: 0,
+    30: 0,
+    31: 0,
+    33: 4,
+    34: 0,
+    37: 0,
+}
+
+PRIMARY2_NUM_NETS: int = sum(PRIMARY2_NET_SIZE_HISTOGRAM.values())

@@ -1,0 +1,57 @@
+"""The full benchmark suite: one synthetic circuit per paper benchmark.
+
+:func:`build_suite` realises all nine circuits of Tables 2/3 (optionally
+scaled down), caching generated hypergraphs in-process so experiments and
+pytest benchmarks share instances.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence
+
+from ..hypergraph import Hypergraph
+from .generator import generate_from_spec
+from .specs import BENCHMARKS, BenchmarkSpec, get_spec
+
+__all__ = ["build_circuit", "build_suite", "planted_sides"]
+
+
+@lru_cache(maxsize=64)
+def _cached_circuit(name: str, seed: int, scale: float) -> Hypergraph:
+    return generate_from_spec(get_spec(name), seed=seed, scale=scale)
+
+
+def build_circuit(
+    name: str, seed: int = 0, scale: float = 1.0
+) -> Hypergraph:
+    """One benchmark circuit by name (cached per (name, seed, scale))."""
+    return _cached_circuit(name, seed, float(scale))
+
+
+def build_suite(
+    names: Optional[Sequence[str]] = None,
+    seed: int = 0,
+    scale: float = 1.0,
+) -> Dict[str, Hypergraph]:
+    """All (or the named) benchmark circuits, keyed by name."""
+    if names is None:
+        names = [spec.name for spec in BENCHMARKS]
+    return {name: build_circuit(name, seed=seed, scale=scale) for name in names}
+
+
+def planted_sides(h: Hypergraph, spec: BenchmarkSpec) -> List[int]:
+    """The planted natural partition of a generated circuit.
+
+    The generator assigns modules ``0 .. num_u-1`` to the U block; this
+    reconstructs that assignment (used by tests to verify the planted
+    structure is actually a good ratio cut).
+    """
+    num_u = max(
+        2,
+        min(
+            h.num_modules - 2,
+            round(spec.natural_fraction * h.num_modules),
+        ),
+    )
+    return [0 if v < num_u else 1 for v in range(h.num_modules)]

@@ -1,0 +1,281 @@
+"""Command-line interface: partition a netlist file.
+
+Examples
+--------
+Partition a NET-format netlist with IG-Match and print the result::
+
+    repro-partition circuit.net
+    python -m repro circuit.net --algorithm rcut --restarts 10
+
+Generate a synthetic benchmark, save it, then partition it::
+
+    python -m repro --generate Test05 --save test05.net
+    python -m repro test05.net --algorithm ig-vote
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .bench import build_circuit, spec_names
+from .errors import ReproError
+from .hypergraph import Hypergraph, describe, load_json, load_net, save_net
+from .partitioning import (
+    AnnealingConfig,
+    EIG1Config,
+    FMConfig,
+    IGMatchConfig,
+    IGVoteConfig,
+    KLConfig,
+    PartitionResult,
+    RCutConfig,
+    anneal,
+    eig1,
+    fm_bipartition,
+    ig_match,
+    ig_vote,
+    kl_bisection,
+    rcut,
+)
+from .clustering import MultilevelConfig, multilevel_partition
+
+__all__ = ["main"]
+
+_ALGORITHMS = (
+    "ig-match",
+    "ig-vote",
+    "eig1",
+    "rcut",
+    "fm",
+    "kl",
+    "anneal",
+    "multilevel",
+    "spectral-kway",
+)
+
+
+def _load(path: str) -> Hypergraph:
+    file = Path(path)
+    if file.suffix == ".json":
+        return load_json(file)
+    if file.suffix == ".hgr":
+        from .hypergraph import load_hgr
+
+        return load_hgr(file)
+    if file.suffix == ".v":
+        from .hypergraph import load_verilog
+
+        return load_verilog(file)
+    return load_net(file)
+
+
+def _run_algorithm(
+    h: Hypergraph, algorithm: str, seed: int, restarts: int, stride: int
+) -> PartitionResult:
+    if algorithm == "ig-match":
+        return ig_match(h, IGMatchConfig(seed=seed, split_stride=stride))
+    if algorithm == "ig-vote":
+        return ig_vote(h, IGVoteConfig(seed=seed))
+    if algorithm == "eig1":
+        return eig1(h, EIG1Config(seed=seed))
+    if algorithm == "rcut":
+        return rcut(h, RCutConfig(restarts=restarts, seed=seed))
+    if algorithm == "fm":
+        return fm_bipartition(h, FMConfig(seed=seed))
+    if algorithm == "kl":
+        return kl_bisection(h, KLConfig(seed=seed))
+    if algorithm == "anneal":
+        return anneal(h, AnnealingConfig(seed=seed))
+    if algorithm == "multilevel":
+        return multilevel_partition(h, MultilevelConfig(seed=seed))
+    raise ReproError(f"unknown algorithm {algorithm!r}")
+
+
+def _run_multiway(h: Hypergraph, args) -> int:
+    """Handle k-way requests (--blocks > 2 or -a spectral-kway)."""
+    from .partitioning import (
+        SpectralKWayConfig,
+        recursive_partition,
+        scaled_cost,
+        spectral_kway,
+    )
+
+    k = max(2, args.blocks)
+    if args.algorithm == "spectral-kway":
+        result = spectral_kway(h, k, SpectralKWayConfig(seed=args.seed))
+        label = "spectral-kway"
+    else:
+
+        def bipartitioner(sub):
+            return _run_algorithm(
+                sub, args.algorithm, args.seed, args.restarts,
+                args.stride,
+            )
+
+        result = recursive_partition(h, k, bipartitioner=bipartitioner)
+        label = f"recursive {args.algorithm}"
+
+    cost = scaled_cost(h, result.block_of, result.num_blocks)
+    payload = {
+        "algorithm": label,
+        "blocks": result.num_blocks,
+        "block_sizes": result.block_sizes,
+        "nets_cut": result.nets_cut,
+        "scaled_cost": cost,
+        "seconds": round(result.elapsed_seconds, 3),
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(
+            f"{label}: {result.num_blocks} blocks "
+            f"{result.block_sizes}, {result.nets_cut} nets cut, "
+            f"scaled cost {cost:.4e} "
+            f"({result.elapsed_seconds:.2f}s)"
+        )
+    if args.sides_out:
+        lines = [
+            f"{h.module_name(v)} {result.block_of[v]}"
+            for v in range(h.num_modules)
+        ]
+        Path(args.sides_out).write_text(
+            "\n".join(lines) + "\n", encoding="utf-8"
+        )
+        print(f"wrote blocks to {args.sides_out}", file=sys.stderr)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-partition",
+        description="Ratio-cut netlist partitioning "
+        "(IG-Match and baselines).",
+    )
+    parser.add_argument(
+        "netlist", nargs="?",
+        help="input netlist (.net text format, .hgr hMETIS, or .json)",
+    )
+    parser.add_argument(
+        "--blocks", "-k", type=int, default=2,
+        help="number of blocks (k > 2 uses recursive bipartition with "
+        "the chosen algorithm, or direct spectral k-way with "
+        "-a spectral-kway)",
+    )
+    parser.add_argument(
+        "--algorithm", "-a", choices=_ALGORITHMS, default="ig-match",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--restarts", type=int, default=10, help="RCut random restarts"
+    )
+    parser.add_argument(
+        "--stride", type=int, default=1,
+        help="IG-Match split stride (1 = all splits)",
+    )
+    parser.add_argument(
+        "--generate", metavar="BENCHMARK", choices=spec_names(),
+        help="generate a synthetic benchmark instead of reading a file",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="scale factor for --generate",
+    )
+    parser.add_argument(
+        "--save", metavar="PATH",
+        help="write the (generated or loaded) netlist to a .net file",
+    )
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="print netlist statistics before partitioning",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the result as JSON",
+    )
+    parser.add_argument(
+        "--report", action="store_true",
+        help="print a full partition report (cut nets, boundary "
+        "modules, cut histogram)",
+    )
+    parser.add_argument(
+        "--replicate", type=float, metavar="FRACTION", default=None,
+        help="after partitioning, greedily replicate up to FRACTION of "
+        "the modules to reduce the cut (bipartition only)",
+    )
+    parser.add_argument(
+        "--sides-out", metavar="PATH",
+        help="write one '<module-name> <side>' line per module",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        if args.generate:
+            h = build_circuit(args.generate, seed=args.seed, scale=args.scale)
+        elif args.netlist:
+            h = _load(args.netlist)
+        else:
+            parser.error("give a netlist file or --generate BENCHMARK")
+            return 2
+
+        if args.save:
+            save_net(h, args.save)
+            print(f"wrote {h.num_nets} nets to {args.save}", file=sys.stderr)
+
+        if args.stats:
+            print(describe(h))
+            print()
+
+        if args.blocks > 2 or args.algorithm == "spectral-kway":
+            return _run_multiway(h, args)
+
+        result = _run_algorithm(
+            h, args.algorithm, args.seed, args.restarts, args.stride
+        )
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    if args.replicate is not None:
+        from .partitioning import replicate_for_cut
+
+        try:
+            replication = replicate_for_cut(
+                result, max_fraction=args.replicate
+            )
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print(replication)
+
+    if args.json:
+        payload = result.row()
+        payload["details"] = {
+            k: v for k, v in result.details.items()
+            if isinstance(v, (int, float, str, bool))
+        }
+        print(json.dumps(payload, indent=2))
+    elif args.report:
+        from .partitioning import partition_report
+
+        print(partition_report(result))
+    else:
+        print(result)
+
+    if args.sides_out:
+        lines = [
+            f"{h.module_name(v)} {result.partition.side(v)}"
+            for v in range(h.num_modules)
+        ]
+        Path(args.sides_out).write_text(
+            "\n".join(lines) + "\n", encoding="utf-8"
+        )
+        print(f"wrote sides to {args.sides_out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

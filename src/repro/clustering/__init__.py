@@ -1,0 +1,17 @@
+"""Clustering condensation and the multilevel hybrid partitioner.
+
+Implements the coarsening-based hybrid the paper's conclusion proposes:
+heavy-edge matching contraction, a coarsening hierarchy, and the
+coarsen → partition → project → refine pipeline.
+"""
+
+from .coarsen import CoarseningLevel, coarsen, heavy_edge_matching
+from .multilevel import MultilevelConfig, multilevel_partition
+
+__all__ = [
+    "CoarseningLevel",
+    "MultilevelConfig",
+    "coarsen",
+    "heavy_edge_matching",
+    "multilevel_partition",
+]

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by this library derive from :class:`ReproError`, so
+callers can catch one base class.  Specific subclasses distinguish input
+problems (bad netlists, malformed files) from algorithmic failures
+(eigensolver non-convergence, infeasible partitions).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class HypergraphError(ReproError):
+    """Invalid hypergraph structure or an operation on a missing element."""
+
+
+class ValidationError(HypergraphError):
+    """A hypergraph failed structural validation."""
+
+
+class ParseError(ReproError):
+    """A netlist file could not be parsed."""
+
+    def __init__(self, message: str, line: int | None = None):
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+        self.line = line
+
+
+class GraphError(ReproError):
+    """Invalid graph structure or an operation on a missing vertex/edge."""
+
+
+class SpectralError(ReproError):
+    """An eigensolver failed to converge or the matrix was unsuitable."""
+
+
+class MatchingError(ReproError):
+    """Inconsistent state in a bipartite matching computation."""
+
+
+class PartitionError(ReproError):
+    """An infeasible or inconsistent partition was requested or produced."""
+
+
+class BenchmarkError(ReproError):
+    """A benchmark specification could not be realised."""

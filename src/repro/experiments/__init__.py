@@ -1,0 +1,57 @@
+"""Experiment harness: one runner per paper table/figure/claim.
+
+See DESIGN.md's per-experiment index.  ``python -m repro.experiments``
+runs everything.
+"""
+
+from .ablations import (
+    run_completion_ablation,
+    run_multilevel_ablation,
+    run_netmodel_ablation,
+    run_refinement_ablation,
+    run_weighting_ablation,
+)
+from .eig1_comparison import run_eig1_comparison
+from .multiway_exp import run_multiway_comparison
+from .replication_exp import run_replication_ablation
+from .runner import all_experiments, main, run_all
+from .runtime import run_runtime
+from .sparsity import run_sparsity
+from .stability import run_stability
+from .table1 import run_table1
+from .table2 import run_table2
+from .table3 import run_table3
+from .threshold import run_threshold_ablation
+from .tolerance import run_tolerance_ablation
+from .tables import (
+    ExperimentResult,
+    format_ratio,
+    percent_improvement,
+    render_table,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "all_experiments",
+    "format_ratio",
+    "main",
+    "percent_improvement",
+    "render_table",
+    "run_all",
+    "run_completion_ablation",
+    "run_eig1_comparison",
+    "run_multilevel_ablation",
+    "run_multiway_comparison",
+    "run_netmodel_ablation",
+    "run_refinement_ablation",
+    "run_replication_ablation",
+    "run_runtime",
+    "run_sparsity",
+    "run_stability",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_threshold_ablation",
+    "run_tolerance_ablation",
+    "run_weighting_ablation",
+]

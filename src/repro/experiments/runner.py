@@ -1,0 +1,129 @@
+"""Run every experiment and render a full report.
+
+``python -m repro.experiments`` regenerates all paper tables/figures on
+the stand-in suite and prints them; ``--markdown`` emits the
+EXPERIMENTS.md payload.  ``--scale`` shrinks the circuits for quick runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional, Sequence
+
+from .ablations import (
+    run_completion_ablation,
+    run_multilevel_ablation,
+    run_netmodel_ablation,
+    run_refinement_ablation,
+    run_weighting_ablation,
+)
+from .eig1_comparison import run_eig1_comparison
+from .multiway_exp import run_multiway_comparison
+from .replication_exp import run_replication_ablation
+from .runtime import run_runtime
+from .sparsity import run_sparsity
+from .stability import run_stability
+from .table1 import run_table1
+from .table2 import run_table2
+from .table3 import run_table3
+from .tables import ExperimentResult
+from .threshold import run_threshold_ablation
+from .tolerance import run_tolerance_ablation
+
+__all__ = ["all_experiments", "run_all", "main"]
+
+
+def all_experiments(scale: float, seed: int, split_stride: int):
+    """Yield ``(name, runner)`` pairs for every experiment."""
+    return [
+        ("table1", lambda: run_table1(
+            scale=scale, seed=seed, split_stride=split_stride)),
+        ("table2", lambda: run_table2(
+            scale=scale, seed=seed, split_stride=split_stride)),
+        ("table3", lambda: run_table3(
+            scale=scale, seed=seed, split_stride=split_stride)),
+        ("eig1", lambda: run_eig1_comparison(
+            scale=scale, seed=seed, split_stride=split_stride)),
+        ("sparsity", lambda: run_sparsity(scale=scale, seed=seed)),
+        ("runtime", lambda: run_runtime(
+            scale=scale, seed=seed, split_stride=split_stride)),
+        ("stability", lambda: run_stability(
+            scale=scale, seed=seed, split_stride=split_stride)),
+        ("threshold", lambda: run_threshold_ablation(
+            scale=scale, seed=seed, split_stride=split_stride)),
+        ("multiway", lambda: run_multiway_comparison(
+            scale=scale, seed=seed)),
+        ("tolerance", lambda: run_tolerance_ablation(
+            scale=scale, seed=seed, split_stride=split_stride)),
+        ("replication", lambda: run_replication_ablation(
+            scale=scale, seed=seed, split_stride=split_stride)),
+        ("ablation-weights", lambda: run_weighting_ablation(
+            scale=scale, seed=seed, split_stride=split_stride)),
+        ("ablation-completion", lambda: run_completion_ablation(
+            scale=scale, seed=seed, split_stride=split_stride)),
+        ("ablation-netmodels", lambda: run_netmodel_ablation(
+            scale=scale, seed=seed)),
+        ("ablation-refine", lambda: run_refinement_ablation(
+            scale=scale, seed=seed, split_stride=split_stride)),
+        ("ablation-multilevel", lambda: run_multilevel_ablation(
+            scale=scale, seed=seed, split_stride=split_stride)),
+    ]
+
+
+def run_all(
+    scale: float = 1.0,
+    seed: int = 0,
+    split_stride: int = 1,
+    only: Optional[Sequence[str]] = None,
+) -> List[ExperimentResult]:
+    """Run all (or the named) experiments; returns their results."""
+    results = []
+    for name, runner in all_experiments(scale, seed, split_stride):
+        if only and name not in only:
+            continue
+        results.append(runner())
+    return results
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables on the stand-in suite.",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="circuit size multiplier (default 1.0 = paper-size)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--stride", type=int, default=1,
+        help="IG-Match split stride (1 = evaluate all splits)",
+    )
+    parser.add_argument(
+        "--only", nargs="*", default=None,
+        help="subset of experiment names to run",
+    )
+    parser.add_argument(
+        "--markdown", action="store_true",
+        help="emit markdown (for EXPERIMENTS.md) instead of ASCII tables",
+    )
+    args = parser.parse_args(argv)
+
+    start = time.perf_counter()
+    for name, runner in all_experiments(args.scale, args.seed, args.stride):
+        if args.only and name not in args.only:
+            continue
+        result = runner()
+        print(result.to_markdown() if args.markdown else result.render())
+        print()
+    print(
+        f"# total wall time: {time.perf_counter() - start:.1f}s",
+        file=sys.stderr,
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

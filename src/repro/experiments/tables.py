@@ -1,0 +1,102 @@
+"""ASCII table rendering and experiment result records.
+
+Every experiment produces an :class:`ExperimentResult` — an id, a title,
+column headers, data rows and free-form notes — rendered in a fixed-width
+format mirroring the paper's tables, and serialisable for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+__all__ = ["ExperimentResult", "render_table", "percent_improvement",
+           "format_ratio"]
+
+
+def format_ratio(value: float) -> str:
+    """Format a ratio cut the way the paper does (e.g. ``5.53e-05``)."""
+    if value == float("inf"):
+        return "inf"
+    return f"{value:.2e}"
+
+
+def percent_improvement(baseline: float, ours: float) -> float:
+    """Paper-style percent improvement of ``ours`` over ``baseline``.
+
+    Positive when ``ours`` is lower (better); e.g. Table 2 reports
+    ``(rc_RCut - rc_IGMatch) / rc_RCut * 100`` rounded to integers.
+    """
+    if baseline == 0:
+        return 0.0
+    return (baseline - ours) / baseline * 100.0
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render a fixed-width ASCII table.
+
+    Numeric-looking cells are right-aligned, text left-aligned.
+    """
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def is_numeric(text: str) -> bool:
+        stripped = text.replace("-", "").replace("+", "")
+        return bool(stripped) and (
+            stripped[0].isdigit() or stripped.startswith(".")
+        )
+
+    def fmt_row(row: Sequence[str]) -> str:
+        out = []
+        for i, cell in enumerate(row):
+            if is_numeric(cell):
+                out.append(cell.rjust(widths[i]))
+            else:
+                out.append(cell.ljust(widths[i]))
+        return "  ".join(out).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in cells)
+    return "\n".join(lines)
+
+
+@dataclass
+class ExperimentResult:
+    """Structured output of one experiment run."""
+
+    experiment_id: str
+    title: str
+    headers: List[str]
+    rows: List[List[object]]
+    notes: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        text = render_table(
+            self.headers, self.rows, title=f"[{self.experiment_id}] {self.title}"
+        )
+        if self.notes:
+            text += "\n" + "\n".join(f"  note: {n}" for n in self.notes)
+        return text
+
+    def to_markdown(self) -> str:
+        """GitHub-flavoured markdown rendering for EXPERIMENTS.md."""
+        lines = [f"### {self.experiment_id}: {self.title}", ""]
+        lines.append("| " + " | ".join(self.headers) + " |")
+        lines.append("|" + "|".join("---" for _ in self.headers) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(str(c) for c in row) + " |")
+        for note in self.notes:
+            lines.append("")
+            lines.append(f"*{note}*")
+        return "\n".join(lines)

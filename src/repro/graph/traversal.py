@@ -1,0 +1,104 @@
+"""Graph traversal: BFS, connected components, diameters.
+
+Connectivity matters to the spectral pipeline: the Fiedler vector of a
+disconnected graph is degenerate (the second eigenvalue is 0 and the
+eigenvector is an indicator of a component), so
+:mod:`repro.spectral.fiedler` uses :func:`connected_components` to handle
+each component explicitly.  Diameters of the intersection graph were the
+basis of Kahng's earlier 1989 hypergraph bisection heuristic, referenced in
+Section 2.2.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .graph import Graph
+
+__all__ = [
+    "bfs_order",
+    "bfs_distances",
+    "connected_components",
+    "is_connected",
+    "eccentricity",
+    "approximate_diameter",
+]
+
+
+def bfs_order(g: "Graph", start: int) -> List[int]:
+    """Vertices reachable from ``start`` in BFS visitation order."""
+    seen = [False] * g.num_vertices
+    seen[start] = True
+    order = [start]
+    queue = deque([start])
+    while queue:
+        u = queue.popleft()
+        for v in g.neighbors(u):
+            if not seen[v]:
+                seen[v] = True
+                order.append(v)
+                queue.append(v)
+    return order
+
+
+def bfs_distances(g: "Graph", start: int) -> List[Optional[int]]:
+    """Hop distances from ``start``; ``None`` for unreachable vertices."""
+    dist: List[Optional[int]] = [None] * g.num_vertices
+    dist[start] = 0
+    queue = deque([start])
+    while queue:
+        u = queue.popleft()
+        base = dist[u]
+        assert base is not None
+        for v in g.neighbors(u):
+            if dist[v] is None:
+                dist[v] = base + 1
+                queue.append(v)
+    return dist
+
+
+def connected_components(g: "Graph") -> List[List[int]]:
+    """All connected components, each a sorted vertex list.
+
+    Components are ordered by their smallest vertex.  Isolated vertices
+    form singleton components.
+    """
+    seen = [False] * g.num_vertices
+    components: List[List[int]] = []
+    for start in range(g.num_vertices):
+        if seen[start]:
+            continue
+        component = bfs_order(g, start)
+        for v in component:
+            seen[v] = True
+        components.append(sorted(component))
+    return components
+
+
+def is_connected(g: "Graph") -> bool:
+    """True when ``g`` has exactly one connected component (or is empty)."""
+    if g.num_vertices == 0:
+        return True
+    return len(bfs_order(g, 0)) == g.num_vertices
+
+
+def eccentricity(g: "Graph", v: int) -> int:
+    """Largest hop distance from ``v`` to any reachable vertex."""
+    return max(d for d in bfs_distances(g, v) if d is not None)
+
+
+def approximate_diameter(g: "Graph") -> int:
+    """A lower bound on the diameter via double-sweep BFS.
+
+    Runs BFS from vertex 0, then from the farthest vertex found; the
+    second sweep's eccentricity is a well-known 2-approximation that is
+    exact on trees.  Only the component containing vertex 0 is examined.
+    """
+    if g.num_vertices == 0:
+        return 0
+    first = bfs_distances(g, 0)
+    reachable = [(d, v) for v, d in enumerate(first) if d is not None]
+    farthest = max(reachable)[1]
+    return eccentricity(g, farthest)

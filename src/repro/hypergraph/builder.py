@@ -1,0 +1,145 @@
+"""Incremental construction of :class:`~repro.hypergraph.Hypergraph`.
+
+The hypergraph itself is immutable; :class:`HypergraphBuilder` is the
+mutable staging object used by parsers, generators and transformations.
+Modules may be declared explicitly (to fix ordering, names or areas) or
+created on demand by name when nets are added.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ..errors import HypergraphError
+from .hypergraph import Hypergraph
+
+__all__ = ["HypergraphBuilder"]
+
+
+class HypergraphBuilder:
+    """Builds a hypergraph net by net.
+
+    Examples
+    --------
+    >>> b = HypergraphBuilder()
+    >>> a = b.add_module("a"); c = b.add_module("c")
+    >>> _ = b.add_net([a, c], name="clk")
+    >>> h = b.build(name="tiny")
+    >>> h.num_modules, h.num_nets
+    (2, 1)
+    """
+
+    def __init__(self) -> None:
+        self._module_names: List[str] = []
+        self._module_areas: List[float] = []
+        self._module_index: Dict[str, int] = {}
+        self._nets: List[List[int]] = []
+        self._net_names: List[str] = []
+        self._net_name_set: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Modules
+    # ------------------------------------------------------------------
+    @property
+    def num_modules(self) -> int:
+        return len(self._module_names)
+
+    @property
+    def num_nets(self) -> int:
+        return len(self._nets)
+
+    def add_module(self, name: Optional[str] = None, area: float = 1.0) -> int:
+        """Declare a module; returns its index.
+
+        Unnamed modules are given the synthetic name ``m<i>``.  Declaring
+        the same name twice is an error (use :meth:`module` for
+        get-or-create semantics).
+        """
+        index = len(self._module_names)
+        if name is None:
+            name = f"m{index}"
+        if name in self._module_index:
+            raise HypergraphError(f"duplicate module name {name!r}")
+        if area < 0:
+            raise HypergraphError(f"module {name!r} has negative area {area}")
+        self._module_names.append(name)
+        self._module_areas.append(float(area))
+        self._module_index[name] = index
+        return index
+
+    def module(self, name: str, area: float = 1.0) -> int:
+        """Return the index for ``name``, creating the module if needed."""
+        existing = self._module_index.get(name)
+        if existing is not None:
+            return existing
+        return self.add_module(name, area)
+
+    def has_module(self, name: str) -> bool:
+        return name in self._module_index
+
+    def module_index(self, name: str) -> int:
+        """Index of a previously declared module name."""
+        try:
+            return self._module_index[name]
+        except KeyError:
+            raise HypergraphError(f"unknown module name {name!r}") from None
+
+    def set_area(self, module: int, area: float) -> None:
+        """Override the area of an already declared module."""
+        if not 0 <= module < len(self._module_areas):
+            raise HypergraphError(f"module index {module} out of range")
+        if area < 0:
+            raise HypergraphError("module areas must be non-negative")
+        self._module_areas[module] = float(area)
+
+    # ------------------------------------------------------------------
+    # Nets
+    # ------------------------------------------------------------------
+    def add_net(
+        self, pins: Iterable[int], name: Optional[str] = None
+    ) -> int:
+        """Add a net over module *indices*; returns the net index."""
+        index = len(self._nets)
+        pin_list = [int(p) for p in pins]
+        for pin in pin_list:
+            if not 0 <= pin < len(self._module_names):
+                raise HypergraphError(
+                    f"net {name or index} references undeclared module "
+                    f"index {pin}"
+                )
+        if name is None:
+            name = f"n{index}"
+        if name in self._net_name_set:
+            raise HypergraphError(f"duplicate net name {name!r}")
+        self._nets.append(pin_list)
+        self._net_names.append(name)
+        self._net_name_set[name] = index
+        return index
+
+    def add_net_by_names(
+        self, pin_names: Iterable[str], name: Optional[str] = None
+    ) -> int:
+        """Add a net over module *names*, creating modules on demand."""
+        return self.add_net([self.module(p) for p in pin_names], name)
+
+    def connect(self, net: int, module: int) -> None:
+        """Append one more pin to an existing net."""
+        if not 0 <= net < len(self._nets):
+            raise HypergraphError(f"net index {net} out of range")
+        if not 0 <= module < len(self._module_names):
+            raise HypergraphError(f"module index {module} out of range")
+        self._nets[net].append(module)
+
+    # ------------------------------------------------------------------
+    # Finalisation
+    # ------------------------------------------------------------------
+    def build(self, name: str = "") -> Hypergraph:
+        """Freeze the staged data into an immutable :class:`Hypergraph`."""
+        return Hypergraph(
+            self._nets,
+            num_modules=len(self._module_names),
+            module_names=self._module_names,
+            net_names=self._net_names,
+            module_areas=self._module_areas,
+            name=name,
+        )

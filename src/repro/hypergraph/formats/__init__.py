@@ -1,0 +1,36 @@
+"""Industry netlist exchange formats.
+
+* :mod:`repro.hypergraph.formats.hmetis` — the hMETIS ``.hgr`` format
+  (ISPD98 suite, hMETIS, KaHyPar);
+* :mod:`repro.hypergraph.formats.bookshelf` — the GSRC Bookshelf
+  ``.nodes``/``.nets`` pair.
+"""
+
+from .bookshelf import (
+    dumps_bookshelf,
+    load_bookshelf,
+    loads_bookshelf,
+    save_bookshelf,
+)
+from .hmetis import dumps_hgr, load_hgr, loads_hgr, save_hgr
+from .verilog import (
+    dumps_verilog,
+    load_verilog,
+    loads_verilog,
+    save_verilog,
+)
+
+__all__ = [
+    "dumps_bookshelf",
+    "dumps_hgr",
+    "dumps_verilog",
+    "load_bookshelf",
+    "load_hgr",
+    "load_verilog",
+    "loads_bookshelf",
+    "loads_hgr",
+    "loads_verilog",
+    "save_bookshelf",
+    "save_hgr",
+    "save_verilog",
+]

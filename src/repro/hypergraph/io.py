@@ -1,0 +1,167 @@
+"""Netlist file formats.
+
+Two formats are supported:
+
+* **JSON** — a faithful, lossless serialisation of a hypergraph, used for
+  caching generated benchmarks.
+* **NET text format** — a minimal human-editable format in the spirit of
+  the MCNC / bookshelf netlist files the paper's benchmarks shipped in::
+
+      # comment
+      module <name> [area]          (optional; modules auto-created by nets)
+      net <name> <module> <module> ...
+
+  Lines are whitespace-separated; blank lines and ``#`` comments ignored.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Union
+
+from ..errors import ParseError
+from .builder import HypergraphBuilder
+from .hypergraph import Hypergraph
+
+__all__ = [
+    "to_json",
+    "from_json",
+    "save_json",
+    "load_json",
+    "dumps_net",
+    "loads_net",
+    "save_net",
+    "load_net",
+]
+
+PathLike = Union[str, Path]
+
+_JSON_FORMAT = "repro-hypergraph-v1"
+
+
+# ----------------------------------------------------------------------
+# JSON
+# ----------------------------------------------------------------------
+def to_json(h: Hypergraph) -> dict:
+    """Serialise ``h`` to a JSON-compatible dictionary."""
+    doc = {
+        "format": _JSON_FORMAT,
+        "name": h.name,
+        "num_modules": h.num_modules,
+        "nets": [list(h.pins(j)) for j in range(h.num_nets)],
+    }
+    if h.has_module_names:
+        doc["module_names"] = [
+            h.module_name(v) for v in range(h.num_modules)
+        ]
+    if h.has_net_names:
+        doc["net_names"] = [h.net_name(j) for j in range(h.num_nets)]
+    if any(a != 1.0 for a in h.module_areas):
+        doc["module_areas"] = list(h.module_areas)
+    if h.has_net_weights:
+        doc["net_weights"] = list(h.net_weights)
+    return doc
+
+
+def from_json(doc: dict) -> Hypergraph:
+    """Rebuild a hypergraph from :func:`to_json` output."""
+    if doc.get("format") != _JSON_FORMAT:
+        raise ParseError(
+            f"unrecognised format tag {doc.get('format')!r}; "
+            f"expected {_JSON_FORMAT!r}"
+        )
+    return Hypergraph(
+        doc["nets"],
+        num_modules=doc["num_modules"],
+        module_names=doc.get("module_names"),
+        net_names=doc.get("net_names"),
+        module_areas=doc.get("module_areas"),
+        net_weights=doc.get("net_weights"),
+        name=doc.get("name", ""),
+    )
+
+
+def save_json(h: Hypergraph, path: PathLike) -> None:
+    """Write ``h`` as JSON to ``path``."""
+    Path(path).write_text(json.dumps(to_json(h)), encoding="utf-8")
+
+
+def load_json(path: PathLike) -> Hypergraph:
+    """Read a hypergraph from a JSON file written by :func:`save_json`."""
+    return from_json(json.loads(Path(path).read_text(encoding="utf-8")))
+
+
+# ----------------------------------------------------------------------
+# NET text format
+# ----------------------------------------------------------------------
+def dumps_net(h: Hypergraph) -> str:
+    """Render ``h`` in the NET text format."""
+    lines: List[str] = [f"# netlist {h.name or '(unnamed)'}"]
+    lines.append(
+        f"# {h.num_modules} modules, {h.num_nets} nets, {h.num_pins} pins"
+    )
+    for v in range(h.num_modules):
+        area = h.module_area(v)
+        if area != 1.0:
+            lines.append(f"module {h.module_name(v)} {area:g}")
+        else:
+            lines.append(f"module {h.module_name(v)}")
+    for j in range(h.num_nets):
+        pins = " ".join(h.module_name(p) for p in h.pins(j))
+        lines.append(f"net {h.net_name(j)} {pins}")
+    return "\n".join(lines) + "\n"
+
+
+def loads_net(text: str, name: str = "") -> Hypergraph:
+    """Parse the NET text format from a string."""
+    builder = HypergraphBuilder()
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        fields = line.split()
+        keyword = fields[0].lower()
+        if keyword == "module":
+            if len(fields) not in (2, 3):
+                raise ParseError(
+                    "expected 'module <name> [area]'", line=lineno
+                )
+            area = 1.0
+            if len(fields) == 3:
+                try:
+                    area = float(fields[2])
+                except ValueError:
+                    raise ParseError(
+                        f"bad module area {fields[2]!r}", line=lineno
+                    ) from None
+            if builder.has_module(fields[1]):
+                raise ParseError(
+                    f"module {fields[1]!r} declared twice", line=lineno
+                )
+            builder.add_module(fields[1], area)
+        elif keyword == "net":
+            if len(fields) < 2:
+                raise ParseError("expected 'net <name> <pins...>'", line=lineno)
+            try:
+                builder.add_net_by_names(fields[2:], name=fields[1])
+            except Exception as exc:
+                raise ParseError(str(exc), line=lineno) from exc
+        else:
+            raise ParseError(
+                f"unknown keyword {fields[0]!r} "
+                "(expected 'module' or 'net')",
+                line=lineno,
+            )
+    return builder.build(name=name)
+
+
+def save_net(h: Hypergraph, path: PathLike) -> None:
+    """Write ``h`` in the NET text format."""
+    Path(path).write_text(dumps_net(h), encoding="utf-8")
+
+
+def load_net(path: PathLike) -> Hypergraph:
+    """Read a NET-format netlist file."""
+    path = Path(path)
+    return loads_net(path.read_text(encoding="utf-8"), name=path.stem)

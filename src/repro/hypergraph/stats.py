@@ -1,0 +1,94 @@
+"""Descriptive statistics of netlist hypergraphs.
+
+These are the "statistical analyses of netlist structure" the paper uses to
+motivate the intersection-graph representation (Sections 1.2 and 2.2): net
+size histograms, module degree distributions, and pin counts.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .hypergraph import Hypergraph
+
+__all__ = [
+    "net_size_histogram",
+    "module_degree_histogram",
+    "HypergraphStats",
+    "describe",
+]
+
+
+def net_size_histogram(h: Hypergraph) -> Dict[int, int]:
+    """Map each occurring net size *k* to the number of *k*-pin nets.
+
+    This is the "Number of Nets" column of the paper's Table 1.
+    """
+    return dict(sorted(Counter(h.net_sizes()).items()))
+
+
+def module_degree_histogram(h: Hypergraph) -> Dict[int, int]:
+    """Map each occurring module degree to the number of such modules."""
+    return dict(sorted(Counter(h.module_degrees()).items()))
+
+
+def _mean(values: List[int]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+@dataclass(frozen=True)
+class HypergraphStats:
+    """A summary of one hypergraph's shape."""
+
+    name: str
+    num_modules: int
+    num_nets: int
+    num_pins: int
+    mean_net_size: float
+    max_net_size: int
+    mean_module_degree: float
+    max_module_degree: int
+    num_two_pin_nets: int
+    num_large_nets: int  # nets with > 10 pins
+    clique_nonzeros_bound: int
+
+    def as_rows(self) -> List[Tuple[str, str]]:
+        """Key/value rows for text reports."""
+        return [
+            ("name", self.name or "(unnamed)"),
+            ("modules", str(self.num_modules)),
+            ("nets", str(self.num_nets)),
+            ("pins", str(self.num_pins)),
+            ("mean net size", f"{self.mean_net_size:.2f}"),
+            ("max net size", str(self.max_net_size)),
+            ("mean module degree", f"{self.mean_module_degree:.2f}"),
+            ("max module degree", str(self.max_module_degree)),
+            ("2-pin nets", str(self.num_two_pin_nets)),
+            ("nets with >10 pins", str(self.num_large_nets)),
+            ("clique-model nonzero bound", str(self.clique_nonzeros_bound)),
+        ]
+
+    def __str__(self) -> str:
+        width = max(len(k) for k, _ in self.as_rows())
+        return "\n".join(f"{k:<{width}}  {v}" for k, v in self.as_rows())
+
+
+def describe(h: Hypergraph) -> HypergraphStats:
+    """Compute a :class:`HypergraphStats` summary for ``h``."""
+    sizes = h.net_sizes()
+    degrees = h.module_degrees()
+    return HypergraphStats(
+        name=h.name,
+        num_modules=h.num_modules,
+        num_nets=h.num_nets,
+        num_pins=h.num_pins,
+        mean_net_size=_mean(sizes),
+        max_net_size=max(sizes, default=0),
+        mean_module_degree=_mean(degrees),
+        max_module_degree=max(degrees, default=0),
+        num_two_pin_nets=sum(1 for s in sizes if s == 2),
+        num_large_nets=sum(1 for s in sizes if s > 10),
+        clique_nonzeros_bound=h.clique_model_nonzeros(),
+    )

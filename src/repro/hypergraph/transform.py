@@ -1,0 +1,214 @@
+"""Hypergraph transformations.
+
+All transformations are pure: they return new :class:`Hypergraph` objects
+(plus index maps back to the original where applicable).  Included are the
+standard netlist-preparation steps the paper discusses:
+
+* dropping degenerate (empty / single-pin) nets,
+* *thresholding* — discarding nets larger than a bound, the sparsification
+  the paper warns "may actually be discarding useful partitioning
+  information" (Section 2.2, footnote 2),
+* extracting induced sub-hypergraphs,
+* merging (clustering) modules, the primitive under the coarsening hybrid
+  of :mod:`repro.clustering`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from ..errors import HypergraphError
+from .hypergraph import Hypergraph
+
+__all__ = [
+    "drop_degenerate_nets",
+    "threshold_nets",
+    "induced_subhypergraph",
+    "merge_modules",
+    "relabel_modules",
+]
+
+
+def _rebuild(
+    h: Hypergraph,
+    keep_nets: Sequence[int],
+    name_suffix: str,
+) -> Tuple[Hypergraph, List[int]]:
+    """Build a new hypergraph from a subset of h's nets (modules kept)."""
+    nets = [h.pins(j) for j in keep_nets]
+    names = [h.net_name(j) for j in keep_nets] if h.has_net_names else None
+    out = Hypergraph(
+        nets,
+        num_modules=h.num_modules,
+        module_names=[h.module_name(v) for v in range(h.num_modules)]
+        if h.has_module_names
+        else None,
+        net_names=names,
+        module_areas=h.module_areas,
+        net_weights=[h.net_weight(j) for j in keep_nets]
+        if h.has_net_weights
+        else None,
+        name=h.name + name_suffix if h.name else "",
+    )
+    return out, list(keep_nets)
+
+
+def drop_degenerate_nets(h: Hypergraph) -> Tuple[Hypergraph, List[int]]:
+    """Remove nets with fewer than two pins.
+
+    Returns the new hypergraph and the list mapping new net indices to the
+    original indices.  Degenerate nets can never be cut, so removing them
+    changes no partition cost; it does change the intersection graph (a
+    1-pin net would otherwise become a vertex of G').
+    """
+    keep = [j for j in range(h.num_nets) if h.net_size(j) >= 2]
+    return _rebuild(h, keep, ":nodegen")
+
+
+def threshold_nets(
+    h: Hypergraph, max_size: int
+) -> Tuple[Hypergraph, List[int]]:
+    """Remove nets with more than ``max_size`` pins.
+
+    This is the input-sparsification heuristic mentioned in the paper's
+    conclusion ("additionally sparsifying the input through thresholding").
+    """
+    if max_size < 2:
+        raise HypergraphError(f"threshold max_size must be >= 2, got {max_size}")
+    keep = [j for j in range(h.num_nets) if h.net_size(j) <= max_size]
+    return _rebuild(h, keep, f":thr{max_size}")
+
+
+def induced_subhypergraph(
+    h: Hypergraph,
+    modules: Iterable[int],
+    keep_partial_nets: bool = True,
+) -> Tuple[Hypergraph, List[int], List[int]]:
+    """Restrict ``h`` to a module subset.
+
+    Each net is intersected with the subset.  With ``keep_partial_nets``
+    (the default, appropriate for recursive partitioning) a net survives if
+    at least two of its pins remain; otherwise only nets fully contained in
+    the subset survive.
+
+    Returns ``(sub, module_map, net_map)`` where ``module_map[new] = old``
+    for modules and likewise for nets.
+    """
+    module_list = sorted(set(int(v) for v in modules))
+    for v in module_list:
+        if not 0 <= v < h.num_modules:
+            raise HypergraphError(f"module index {v} out of range")
+    old_to_new = {old: new for new, old in enumerate(module_list)}
+
+    nets: List[List[int]] = []
+    net_map: List[int] = []
+    for j in range(h.num_nets):
+        pins = h.pins(j)
+        inside = [old_to_new[p] for p in pins if p in old_to_new]
+        if keep_partial_nets:
+            survives = len(inside) >= 2
+        else:
+            survives = len(inside) == len(pins) and len(pins) >= 2
+        if survives:
+            nets.append(inside)
+            net_map.append(j)
+
+    sub = Hypergraph(
+        nets,
+        num_modules=len(module_list),
+        module_names=[h.module_name(v) for v in module_list]
+        if h.has_module_names
+        else None,
+        net_names=[h.net_name(j) for j in net_map]
+        if h.has_net_names
+        else None,
+        module_areas=[h.module_area(v) for v in module_list],
+        net_weights=[h.net_weight(j) for j in net_map]
+        if h.has_net_weights
+        else None,
+        name=h.name + ":sub" if h.name else "",
+    )
+    return sub, module_list, net_map
+
+
+def merge_modules(
+    h: Hypergraph, clusters: Sequence[Iterable[int]]
+) -> Tuple[Hypergraph, List[int]]:
+    """Contract each cluster of modules into a single coarse module.
+
+    ``clusters`` must partition ``range(h.num_modules)`` (every module in
+    exactly one cluster).  Nets are re-expressed over cluster indices;
+    nets that collapse to fewer than two distinct clusters are dropped
+    (they are internal to a cluster and can never be cut at the coarse
+    level).  Cluster areas are the sums of member areas.
+
+    Returns ``(coarse, assignment)`` where ``assignment[module] = cluster``.
+    """
+    assignment = [-1] * h.num_modules
+    for c, members in enumerate(clusters):
+        for v in members:
+            if not 0 <= v < h.num_modules:
+                raise HypergraphError(f"module index {v} out of range")
+            if assignment[v] != -1:
+                raise HypergraphError(
+                    f"module {v} appears in clusters {assignment[v]} and {c}"
+                )
+            assignment[v] = c
+    missing = [v for v, c in enumerate(assignment) if c == -1]
+    if missing:
+        raise HypergraphError(
+            f"{len(missing)} modules not assigned to any cluster "
+            f"(first: {missing[0]})"
+        )
+
+    num_clusters = len(clusters)
+    areas = [0.0] * num_clusters
+    for v in range(h.num_modules):
+        areas[assignment[v]] += h.module_area(v)
+
+    nets: List[List[int]] = []
+    weights: List[float] = []
+    for j in range(h.num_nets):
+        coarse_pins = sorted({assignment[p] for p in h.pins(j)})
+        if len(coarse_pins) >= 2:
+            nets.append(coarse_pins)
+            weights.append(h.net_weight(j))
+
+    coarse = Hypergraph(
+        nets,
+        num_modules=num_clusters,
+        module_areas=areas,
+        net_weights=weights if h.has_net_weights else None,
+        name=h.name + ":coarse" if h.name else "",
+    )
+    return coarse, assignment
+
+
+def relabel_modules(
+    h: Hypergraph, order: Sequence[int]
+) -> Tuple[Hypergraph, List[int]]:
+    """Permute module indices so that ``order[i]`` becomes module ``i``.
+
+    Useful for canonicalising generated benchmarks.  Returns the relabelled
+    hypergraph and the inverse permutation (old index -> new index).
+    """
+    if sorted(order) != list(range(h.num_modules)):
+        raise HypergraphError("order must be a permutation of module indices")
+    inverse = [0] * h.num_modules
+    for new, old in enumerate(order):
+        inverse[old] = new
+    nets = [[inverse[p] for p in h.pins(j)] for j in range(h.num_nets)]
+    out = Hypergraph(
+        nets,
+        num_modules=h.num_modules,
+        module_names=[h.module_name(old) for old in order]
+        if h.has_module_names
+        else None,
+        net_names=[h.net_name(j) for j in range(h.num_nets)]
+        if h.has_net_names
+        else None,
+        module_areas=[h.module_area(old) for old in order],
+        net_weights=list(h.net_weights) if h.has_net_weights else None,
+        name=h.name,
+    )
+    return out, inverse

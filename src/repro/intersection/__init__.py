@@ -1,0 +1,28 @@
+"""The netlist intersection graph (the paper's dual representation).
+
+Vertices are signal nets; edges join nets sharing at least one module,
+weighted per Section 2.2 of the paper (or any alternative scheme from
+:mod:`repro.intersection.weights`).
+"""
+
+from .build import intersection_graph, intersection_nonzeros, shared_module_map
+from .weights import (
+    available_weightings,
+    get_weighting,
+    jaccard_weight,
+    overlap_weight,
+    paper_weight,
+    unit_weight,
+)
+
+__all__ = [
+    "available_weightings",
+    "get_weighting",
+    "intersection_graph",
+    "intersection_nonzeros",
+    "jaccard_weight",
+    "overlap_weight",
+    "paper_weight",
+    "shared_module_map",
+    "unit_weight",
+]

@@ -1,0 +1,133 @@
+"""Explicit bipartite graphs.
+
+:class:`BipartiteGraph` is the standalone representation used by the
+maximum-matching algorithms and the König decomposition.  The IG-Match
+sweep itself uses an implicit view (edges of the intersection graph that
+cross the current L/R split — see :mod:`repro.matching.incremental`), but
+exposes snapshots as :class:`BipartiteGraph` for testing and analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Set, Tuple
+
+from ..errors import MatchingError
+
+__all__ = ["BipartiteGraph"]
+
+
+class BipartiteGraph:
+    """An undirected bipartite graph with arbitrary hashable vertex ids.
+
+    Examples
+    --------
+    >>> b = BipartiteGraph(["l0", "l1"], ["r0"])
+    >>> b.add_edge("l0", "r0")
+    >>> sorted(b.neighbors("r0"))
+    ['l0']
+    """
+
+    __slots__ = ("_left", "_right", "_adj", "_num_edges")
+
+    def __init__(self, left: Iterable = (), right: Iterable = ()):
+        self._left: Set = set(left)
+        self._right: Set = set(right)
+        overlap = self._left & self._right
+        if overlap:
+            raise MatchingError(
+                f"vertices on both sides: {sorted(map(repr, overlap))[:5]}"
+            )
+        self._adj: Dict = {v: set() for v in self._left | self._right}
+        self._num_edges = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def left(self) -> Set:
+        """The left vertex set (do not mutate)."""
+        return self._left
+
+    @property
+    def right(self) -> Set:
+        """The right vertex set (do not mutate)."""
+        return self._right
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    def add_left(self, v) -> None:
+        """Add an isolated vertex to the left side."""
+        if v in self._right:
+            raise MatchingError(f"vertex {v!r} already on the right side")
+        if v not in self._left:
+            self._left.add(v)
+            self._adj[v] = set()
+
+    def add_right(self, v) -> None:
+        """Add an isolated vertex to the right side."""
+        if v in self._left:
+            raise MatchingError(f"vertex {v!r} already on the left side")
+        if v not in self._right:
+            self._right.add(v)
+            self._adj[v] = set()
+
+    def add_edge(self, left_v, right_v) -> None:
+        """Add the edge ``{left_v, right_v}`` (idempotent)."""
+        if left_v not in self._left:
+            raise MatchingError(f"{left_v!r} is not a left vertex")
+        if right_v not in self._right:
+            raise MatchingError(f"{right_v!r} is not a right vertex")
+        if right_v not in self._adj[left_v]:
+            self._adj[left_v].add(right_v)
+            self._adj[right_v].add(left_v)
+            self._num_edges += 1
+
+    def has_edge(self, u, v) -> bool:
+        return v in self._adj.get(u, ())
+
+    def neighbors(self, v) -> Iterator:
+        try:
+            return iter(self._adj[v])
+        except KeyError:
+            raise MatchingError(f"unknown vertex {v!r}") from None
+
+    def degree(self, v) -> int:
+        try:
+            return len(self._adj[v])
+        except KeyError:
+            raise MatchingError(f"unknown vertex {v!r}") from None
+
+    def edges(self) -> Iterator[Tuple]:
+        """Iterate over edges as ``(left_vertex, right_vertex)``."""
+        for l in self._left:
+            for r in self._adj[l]:
+                yield (l, r)
+
+    def side_of(self, v) -> str:
+        """``"L"`` or ``"R"``."""
+        if v in self._left:
+            return "L"
+        if v in self._right:
+            return "R"
+        raise MatchingError(f"unknown vertex {v!r}")
+
+    def validate_matching(self, match: Dict) -> None:
+        """Raise unless ``match`` is a valid matching of this graph.
+
+        ``match`` maps each matched vertex to its partner, symmetrically.
+        """
+        for u, v in match.items():
+            if match.get(v) != u:
+                raise MatchingError(
+                    f"matching not symmetric at {u!r} -> {v!r}"
+                )
+            if not self.has_edge(u, v):
+                raise MatchingError(
+                    f"matched pair ({u!r}, {v!r}) is not an edge"
+                )
+
+    def __repr__(self) -> str:
+        return (
+            f"<BipartiteGraph: |L|={len(self._left)}, "
+            f"|R|={len(self._right)}, {self._num_edges} edges>"
+        )

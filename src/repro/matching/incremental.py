@@ -1,0 +1,328 @@
+"""Incremental maximum matching under the IG-Match sweep.
+
+The IG-Match main loop (Figure 5 of the paper) moves nets one at a time
+from L to R in sorted-eigenvector order.  The induced bipartite graph
+``B = (L, R, E_B)`` — the intersection-graph edges crossing the split —
+therefore changes only locally per move, and the maximum matching can be
+*maintained* rather than recomputed:
+
+1. If the moving net ``v`` was matched to some ``u`` (in R), unmatch the
+   pair and try one augmenting-path search from ``u`` (it may be
+   re-matchable through other L vertices).
+2. Move ``v`` to R; its crossing edges flip from (v∈L → R neighbours) to
+   (L neighbours → v∈R).
+3. Try one augmenting-path search from ``v``.
+
+Each step changes the maximum matching size by at most one in each
+direction, so one search suffices and the matching stays maximum — this is
+the amortisation behind the paper's O(|V|·(|V|+|E|)) bound (Theorem 6).
+
+``E_B`` is kept *implicit*: a crossing edge is an intersection-graph edge
+whose endpoints are currently on different sides.  This avoids rebuilding
+edge sets and keeps every search O(|V| + |E_G'|).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterator, List, Optional
+
+from ..errors import MatchingError
+from ..graph import Graph
+from .bipartite import BipartiteGraph
+
+__all__ = ["IncrementalMatching", "VertexClass"]
+
+_LEFT = 0
+_RIGHT = 1
+
+
+class VertexClass:
+    """Integer codes for the König classes of :meth:`IncrementalMatching.classify`.
+
+    Names follow the paper's Figure 3: ``EVEN_L``/``EVEN_R`` are winner
+    nets, ``ODD_L`` (R-side) / ``ODD_R`` (L-side) are the critical-set
+    losers, and ``CORE_L``/``CORE_R`` form the perfectly-matched subgraph
+    ``B'`` that Phase II assigns wholesale.
+    """
+
+    EVEN_L = 0
+    ODD_L = 1  # on the R side, reached from U_L at odd distance
+    EVEN_R = 2
+    ODD_R = 3  # on the L side, reached from U_R at odd distance
+    CORE_L = 4
+    CORE_R = 5
+
+
+class IncrementalMatching:
+    """Maximum matching of the crossing bipartite graph, maintained as
+    vertices sweep from L to R.
+
+    Parameters
+    ----------
+    graph:
+        The fixed host graph (for IG-Match, the intersection graph).  All
+        vertices start on the L side; call :meth:`move_to_right` in sweep
+        order.
+    """
+
+    def __init__(self, graph: Graph):
+        self._graph = graph
+        n = graph.num_vertices
+        self._side = [_LEFT] * n
+        self._match: List[int] = [-1] * n
+        self._left_count = n
+        self._matching_size = 0
+        # Epoch-stamped visit marks let classify() run without
+        # reallocating per split.
+        self._visit_l = [0] * n
+        self._visit_r = [0] * n
+        self._epoch = 0
+        # Flat adjacency cache: the per-split alternating BFS touches
+        # every edge, so the Graph method-call overhead would dominate
+        # the whole sweep (Theorem 6's inner loop).
+        self._adjacency = [list(graph.neighbors(v)) for v in range(n)]
+
+    # ------------------------------------------------------------------
+    # State accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return self._graph.num_vertices
+
+    @property
+    def left_count(self) -> int:
+        return self._left_count
+
+    @property
+    def right_count(self) -> int:
+        return self.num_vertices - self._left_count
+
+    @property
+    def matching_size(self) -> int:
+        """Size of the (maximum) matching of the current crossing graph."""
+        return self._matching_size
+
+    def side_of(self, v: int) -> str:
+        """``"L"`` or ``"R"`` for vertex ``v``."""
+        return "L" if self._side[v] == _LEFT else "R"
+
+    def partner(self, v: int) -> Optional[int]:
+        """The vertex matched with ``v``, or ``None``."""
+        p = self._match[v]
+        return None if p == -1 else p
+
+    def left_vertices(self) -> Iterator[int]:
+        return (v for v in range(self.num_vertices) if self._side[v] == _LEFT)
+
+    def right_vertices(self) -> Iterator[int]:
+        return (
+            v for v in range(self.num_vertices) if self._side[v] == _RIGHT
+        )
+
+    def crossing_neighbors(self, v: int) -> Iterator[int]:
+        """Neighbours of ``v`` on the opposite side (the ``E_B`` edges)."""
+        my_side = self._side[v]
+        return (
+            u for u in self._graph.neighbors(v) if self._side[u] != my_side
+        )
+
+    def crossing_edge_count(self) -> int:
+        """``|E_B|``, counted directly (O(E))."""
+        return sum(
+            1
+            for u, v, _ in self._graph.edges()
+            if self._side[u] != self._side[v]
+        )
+
+    # ------------------------------------------------------------------
+    # The sweep primitive
+    # ------------------------------------------------------------------
+    def move_to_right(self, v: int) -> None:
+        """Move vertex ``v`` from L to R, restoring matching maximality.
+
+        This is one iteration of the paper's Figure 5 pseudocode, minus
+        the winner-set construction (see :meth:`snapshot` /
+        :func:`repro.matching.koenig.decompose`).
+        """
+        if self._side[v] != _LEFT:
+            raise MatchingError(f"vertex {v} is not on the L side")
+
+        # Step 1: detach v from the matching; its old partner u (in R)
+        # may be re-matchable along an augmenting path into L.
+        u = self._match[v]
+        if u != -1:
+            self._match[v] = -1
+            self._match[u] = -1
+            self._matching_size -= 1
+
+        # Step 2: flip sides.  Crossing edges update implicitly, but the
+        # matching must stay consistent: any pair matched across the old
+        # split is still crossing after the flip *unless* it involved v,
+        # which we already unmatched.
+        self._side[v] = _RIGHT
+        self._left_count -= 1
+
+        if u != -1:
+            if self._augment_from(u):
+                self._matching_size += 1
+
+        # Step 3: v (now in R) may extend the matching.
+        if self._augment_from(v):
+            self._matching_size += 1
+
+    # ------------------------------------------------------------------
+    # Augmenting search
+    # ------------------------------------------------------------------
+    def _augment_from(self, start: int) -> bool:
+        """BFS one augmenting path from unmatched ``start``; apply it.
+
+        Works from either side.  Returns True when the matching grew.
+        """
+        if self._match[start] != -1:
+            return False
+        match = self._match
+        side = self._side
+        adjacency = self._adjacency
+
+        parent: Dict[int, int] = {start: -1}
+        queue = deque([start])
+        while queue:
+            x = queue.popleft()
+            x_side = side[x]
+            for y in adjacency[x]:
+                if side[y] == x_side or y in parent or match[x] == y:
+                    continue
+                parent[y] = x
+                if match[y] == -1:
+                    # Reconstruct the path start .. x, y and flip its
+                    # edges pairwise from the newly-matched end.
+                    path = [y]
+                    node = x
+                    while node != -1:
+                        path.append(node)
+                        node = parent[node]
+                    for i in range(0, len(path) - 1, 2):
+                        a, b = path[i], path[i + 1]
+                        match[a] = b
+                        match[b] = a
+                    return True
+                partner = match[y]
+                if partner not in parent:
+                    parent[partner] = y
+                    queue.append(partner)
+        return False
+
+    # ------------------------------------------------------------------
+    # König classification (Phase I winner selection)
+    # ------------------------------------------------------------------
+    def classify(self) -> List[int]:
+        """König classes of every vertex for the current split.
+
+        Returns a list of :class:`VertexClass` codes.  Cost is one
+        alternating BFS from each side's unmatched vertices, O(V + E) —
+        the per-split Phase I cost in Theorem 6.
+
+        The matching must be maximum, which :meth:`move_to_right`
+        maintains; with a maximum matching the reaches from the two sides
+        are disjoint, so the six classes partition the vertices.
+        """
+        self._epoch += 1
+        self._alternating_mark(_LEFT, self._visit_l)
+        self._alternating_mark(_RIGHT, self._visit_r)
+        epoch = self._epoch
+        codes = [0] * self.num_vertices
+        for v in range(self.num_vertices):
+            if self._side[v] == _LEFT:
+                if self._visit_l[v] == epoch:
+                    codes[v] = VertexClass.EVEN_L
+                elif self._visit_r[v] == epoch:
+                    codes[v] = VertexClass.ODD_R
+                else:
+                    codes[v] = VertexClass.CORE_L
+            else:
+                if self._visit_r[v] == epoch:
+                    codes[v] = VertexClass.EVEN_R
+                elif self._visit_l[v] == epoch:
+                    codes[v] = VertexClass.ODD_L
+                else:
+                    codes[v] = VertexClass.CORE_R
+        return codes
+
+    def _alternating_mark(self, from_side: int, visit: List[int]) -> None:
+        """Mark everything alternating-reachable from ``from_side``'s
+        unmatched vertices in ``visit`` with the current epoch."""
+        epoch = self._epoch
+        side = self._side
+        match = self._match
+        adjacency = self._adjacency
+        queue = deque()
+        for v in range(self.num_vertices):
+            if side[v] == from_side and match[v] == -1:
+                visit[v] = epoch
+                queue.append(v)
+        while queue:
+            u = queue.popleft()
+            u_side = side[u]
+            for w in adjacency[u]:
+                if side[w] == u_side or visit[w] == epoch:
+                    continue
+                # (u, w) is a crossing non-matching edge (w unmarked, so
+                # it cannot be u's partner, which is marked with u).
+                visit[w] = epoch
+                mate = match[w]
+                if mate != -1 and visit[mate] != epoch:
+                    visit[mate] = epoch
+                    queue.append(mate)
+        # Note: unmatched start vertices were marked before the loop, and
+        # every vertex entered mid-loop is matched (else the matching
+        # would not be maximum).
+
+    # ------------------------------------------------------------------
+    # Snapshots and invariants
+    # ------------------------------------------------------------------
+    def snapshot(self) -> BipartiteGraph:
+        """An explicit :class:`BipartiteGraph` copy of the crossing graph.
+
+        O(V + E); intended for tests and the König decomposition.
+        """
+        b = BipartiteGraph(self.left_vertices(), self.right_vertices())
+        for u, v, _ in self._graph.edges():
+            if self._side[u] != self._side[v]:
+                if self._side[u] == _LEFT:
+                    b.add_edge(u, v)
+                else:
+                    b.add_edge(v, u)
+        return b
+
+    def matching_dict(self) -> Dict[int, int]:
+        """The current matching as a symmetric dict."""
+        return {
+            v: p for v, p in enumerate(self._match) if p != -1
+        }
+
+    def check_invariants(self) -> None:
+        """Raise :class:`MatchingError` on any internal inconsistency.
+
+        Verifies symmetry, that matched pairs are crossing edges, and
+        that the recorded size agrees.  (Maximality is verified in the
+        test suite against Hopcroft–Karp.)
+        """
+        count = 0
+        for v, p in enumerate(self._match):
+            if p == -1:
+                continue
+            if self._match[p] != v:
+                raise MatchingError(f"matching asymmetric at {v}<->{p}")
+            if self._side[v] == self._side[p]:
+                raise MatchingError(
+                    f"matched pair ({v},{p}) on the same side"
+                )
+            if not self._graph.has_edge(v, p):
+                raise MatchingError(f"matched pair ({v},{p}) not an edge")
+            count += 1
+        if count != 2 * self._matching_size:
+            raise MatchingError(
+                f"matching size {self._matching_size} disagrees with "
+                f"{count} matched endpoints"
+            )

@@ -1,0 +1,24 @@
+"""Net models: hypergraph-to-graph conversions.
+
+Importing this package registers all built-in models: ``clique`` (the
+standard ``1/(k-1)``-weighted clique), ``unit-clique``, ``star``, ``path``
+and ``cycle``.  Use :func:`get_model` / :func:`available_models` for
+dynamic lookup.
+"""
+
+from .base import NetModel, available_models, get_model, register_model
+from .clique import StandardCliqueModel, UnitCliqueModel
+from .path import CycleModel, PathModel
+from .star import StarModel
+
+__all__ = [
+    "CycleModel",
+    "NetModel",
+    "PathModel",
+    "StandardCliqueModel",
+    "StarModel",
+    "UnitCliqueModel",
+    "available_models",
+    "get_model",
+    "register_model",
+]

@@ -1,0 +1,47 @@
+"""Spanning path and cycle net models.
+
+A k-pin net becomes a path (k-1 edges) or cycle (k edges) through its pins
+in index order.  These are the "spanning paths, spanning cycles" of
+Section 2.1; like the star model they are sparse but asymmetric — the
+chosen pin order determines which adjacencies exist at all.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from .base import NetModel, register_model
+
+__all__ = ["PathModel", "CycleModel"]
+
+
+@register_model
+class PathModel(NetModel):
+    """Spanning path through the net's pins in sorted index order."""
+
+    name = "path"
+
+    def expand_net(
+        self, pins: Tuple[int, ...]
+    ) -> Iterable[Tuple[int, int, float]]:
+        for u, v in zip(pins, pins[1:]):
+            yield (u, v, 1.0)
+
+
+@register_model
+class CycleModel(NetModel):
+    """Spanning cycle: the path model plus a closing edge.
+
+    For a 2-pin net the closing edge would duplicate the single path edge,
+    so it is emitted only for nets with at least three pins.
+    """
+
+    name = "cycle"
+
+    def expand_net(
+        self, pins: Tuple[int, ...]
+    ) -> Iterable[Tuple[int, int, float]]:
+        for u, v in zip(pins, pins[1:]):
+            yield (u, v, 1.0)
+        if len(pins) >= 3:
+            yield (pins[-1], pins[0], 1.0)

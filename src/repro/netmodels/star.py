@@ -1,0 +1,32 @@
+"""Star net model.
+
+Each k-pin net is expanded as a star centred on its first pin: ``k - 1``
+edges of weight 1.  A real placement tool would use a synthetic centre
+point or the net's centroid; for partitioning, anchoring on a member pin
+keeps the vertex set unchanged while still giving O(k) edges per net.  The
+paper notes centroid-based stars are "inherently dynamic" under placement;
+the member-anchored variant here is static, but inherits the model's
+nondeterministic asymmetry — which pin is the centre changes the graph.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from .base import NetModel, register_model
+
+__all__ = ["StarModel"]
+
+
+@register_model
+class StarModel(NetModel):
+    """Member-anchored star: net pins hang off the lowest-indexed pin."""
+
+    name = "star"
+
+    def expand_net(
+        self, pins: Tuple[int, ...]
+    ) -> Iterable[Tuple[int, int, float]]:
+        center = pins[0]
+        for leaf in pins[1:]:
+            yield (center, leaf, 1.0)

@@ -1,0 +1,137 @@
+"""Simulated-annealing ratio-cut partitioning.
+
+The stochastic hill-climbing family of Kirkpatrick/Sechen (Section 1.1),
+applied directly to the ratio-cut objective: single-module moves accepted
+by the Metropolis criterion under a geometric cooling schedule.  Provided
+as a stability/quality reference point — the paper's argument is that
+deterministic spectral methods beat such randomised searches at far lower
+cost.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..errors import PartitionError
+from ..hypergraph import Hypergraph
+from .fm import random_balanced_sides
+from .metrics import ratio_cut_cost
+from .partition import Partition, PartitionResult
+
+__all__ = ["AnnealingConfig", "anneal"]
+
+
+@dataclass(frozen=True)
+class AnnealingConfig:
+    """Cooling-schedule parameters.
+
+    ``moves_per_temperature`` defaults to 4x the module count (set
+    explicitly for big netlists).  Temperature is in ratio-cut units and
+    decays geometrically by ``cooling`` until ``t_final``.
+    """
+
+    t_initial: float = 1e-2
+    t_final: float = 1e-7
+    cooling: float = 0.9
+    moves_per_temperature: Optional[int] = None
+    seed: int = 0
+
+
+def anneal(
+    h: Hypergraph,
+    config: AnnealingConfig = AnnealingConfig(),
+    initial_sides: Optional[Sequence[int]] = None,
+) -> PartitionResult:
+    """Anneal a ratio-cut bipartition of ``h``."""
+    n = h.num_modules
+    if n < 2:
+        raise PartitionError("annealing needs at least 2 modules")
+    start = time.perf_counter()
+    rng = random.Random(config.seed)
+    sides = (
+        list(initial_sides)
+        if initial_sides is not None
+        else random_balanced_sides(h, rng)
+    )
+
+    sizes = h.net_sizes()
+    pins_on_1 = [0] * h.num_nets
+    for net, pins in h.iter_nets():
+        for p in pins:
+            pins_on_1[net] += sides[p]
+    cut = sum(
+        1
+        for net in range(h.num_nets)
+        if 0 < pins_on_1[net] < sizes[net]
+    )
+    count1 = sum(sides)
+
+    def move_cost_delta(v: int) -> tuple:
+        """(new_cut, new_count1) if v flipped."""
+        s = sides[v]
+        delta_cut = 0
+        for net in h.nets_of(v):
+            size = sizes[net]
+            on1 = pins_on_1[net]
+            was = 0 < on1 < size
+            on1 += 1 if s == 0 else -1
+            now = 0 < on1 < size
+            delta_cut += int(now) - int(was)
+        new_count1 = count1 + (1 if s == 0 else -1)
+        return cut + delta_cut, new_count1
+
+    def apply_move(v: int) -> None:
+        nonlocal cut, count1
+        s = sides[v]
+        for net in h.nets_of(v):
+            size = sizes[net]
+            on1 = pins_on_1[net]
+            was = 0 < on1 < size
+            on1 += 1 if s == 0 else -1
+            pins_on_1[net] = on1
+            now = 0 < on1 < size
+            cut += int(now) - int(was)
+        count1 += 1 if s == 0 else -1
+        sides[v] = 1 - s
+
+    moves = config.moves_per_temperature or 4 * n
+    best_sides = list(sides)
+    best_ratio = ratio_cut_cost(cut, n - count1, count1)
+    accepted_total = 0
+    temperature = config.t_initial
+    while temperature > config.t_final:
+        for _ in range(moves):
+            v = rng.randrange(n)
+            # Keep both sides non-empty.
+            if sides[v] == 1 and count1 == 1:
+                continue
+            if sides[v] == 0 and n - count1 == 1:
+                continue
+            current = ratio_cut_cost(cut, n - count1, count1)
+            new_cut, new_count1 = move_cost_delta(v)
+            candidate = ratio_cut_cost(new_cut, n - new_count1, new_count1)
+            delta = candidate - current
+            if delta <= 0 or rng.random() < math.exp(-delta / temperature):
+                apply_move(v)
+                accepted_total += 1
+                if candidate < best_ratio:
+                    best_ratio = candidate
+                    best_sides = list(sides)
+        temperature *= config.cooling
+
+    elapsed = time.perf_counter() - start
+    return PartitionResult(
+        algorithm="Annealing",
+        partition=Partition(h, best_sides),
+        elapsed_seconds=elapsed,
+        details={
+            "accepted_moves": accepted_total,
+            "seed": config.seed,
+            "t_initial": config.t_initial,
+            "t_final": config.t_final,
+        },
+    )

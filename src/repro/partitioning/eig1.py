@@ -1,0 +1,56 @@
+"""EIG1: spectral ratio-cut partitioning on the module graph.
+
+The algorithm of Hagen–Kahng [13] that the paper uses as its non-dual
+spectral baseline: convert the netlist to a module graph with a net model
+(the standard weighted clique by default), sort the Fiedler vector of its
+Laplacian to get a *module* ordering, evaluate every splitting rank, and
+return the best ratio cut.  IG-Match's reported 22% average improvement
+over EIG1 isolates the value of the intersection-graph representation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..errors import PartitionError
+from ..hypergraph import Hypergraph
+from ..netmodels import get_model
+from ..spectral import spectral_ordering, sweep_module_splits
+from .partition import Partition, PartitionResult
+
+__all__ = ["EIG1Config", "eig1"]
+
+
+@dataclass(frozen=True)
+class EIG1Config:
+    """Net model and eigensolver options."""
+
+    net_model: str = "clique"
+    backend: str = "scipy"
+    seed: int = 0
+
+
+def eig1(h: Hypergraph, config: EIG1Config = EIG1Config()) -> PartitionResult:
+    """Partition ``h`` with the EIG1 spectral sweep."""
+    if h.num_modules < 2:
+        raise PartitionError("EIG1 needs at least 2 modules")
+    start = time.perf_counter()
+    model = get_model(config.net_model)
+    graph = model.to_graph(h)
+    order = spectral_ordering(graph, backend=config.backend, seed=config.seed)
+    sweep = sweep_module_splits(h, order)
+    u_side, _ = sweep.best_sides()
+    partition = Partition.from_u_side(h, u_side)
+    elapsed = time.perf_counter() - start
+    return PartitionResult(
+        algorithm="EIG1",
+        partition=partition,
+        elapsed_seconds=elapsed,
+        details={
+            "net_model": config.net_model,
+            "best_rank": sweep.best.rank,
+            "backend": config.backend,
+            "graph_nonzeros": graph.num_nonzeros,
+        },
+    )

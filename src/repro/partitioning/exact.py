@@ -1,0 +1,124 @@
+"""Exact minimum ratio cut by exhaustive enumeration.
+
+Minimum ratio cut is NP-complete (Section 1.1 of the paper, via Bounded
+Min-Cut Graph Partition), so this solver is only for *small* instances —
+it enumerates all ``2^(n-1) - 1`` bipartitions with bitmask tricks.  Its
+role is verification: the test suite uses it as an optimality oracle for
+the heuristics, and Theorem 1's lower bound can be checked against the
+true optimum.
+
+Net cuts are evaluated in O(m) per candidate using precomputed pin
+bitmasks: a net is cut by module subset ``S`` iff its mask intersects
+both ``S`` and its complement.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Tuple
+
+from ..errors import PartitionError
+from ..hypergraph import Hypergraph
+from .metrics import ratio_cut_cost
+from .partition import Partition, PartitionResult
+
+__all__ = ["exact_min_ratio_cut", "exact_min_cut_bisection"]
+
+_MAX_MODULES = 22
+
+
+def _net_masks(h: Hypergraph) -> List[int]:
+    masks = []
+    for _, pins in h.iter_nets():
+        if len(pins) < 2:
+            continue
+        mask = 0
+        for p in pins:
+            mask |= 1 << p
+        masks.append(mask)
+    return masks
+
+
+def _enumerate(h: Hypergraph):
+    """Yield (subset_mask, nets_cut, u_size) over all bipartitions.
+
+    Module 0 is fixed on the U side, halving the search space (the two
+    orientations of a bipartition are equivalent).
+    """
+    n = h.num_modules
+    masks = _net_masks(h)
+    full = (1 << n) - 1
+    for subset in range(1, 1 << (n - 1)):
+        u_mask = (subset << 1) | 1  # module 0 always in U
+        if u_mask == full:
+            continue
+        w_mask = full & ~u_mask
+        cut = sum(
+            1 for m in masks if (m & u_mask) and (m & w_mask)
+        )
+        yield u_mask, cut, bin(u_mask).count("1")
+
+
+def exact_min_ratio_cut(h: Hypergraph) -> PartitionResult:
+    """The optimal ratio-cut bipartition of a small hypergraph.
+
+    Raises :class:`PartitionError` beyond ``22`` modules — the search is
+    exponential and anything larger is a misuse of this oracle.
+    """
+    n = h.num_modules
+    if n < 2:
+        raise PartitionError("need at least 2 modules")
+    if n > _MAX_MODULES:
+        raise PartitionError(
+            f"exact search limited to {_MAX_MODULES} modules, got {n}"
+        )
+    start = time.perf_counter()
+    best_ratio = float("inf")
+    best_mask: Optional[int] = None
+    best_cut = 0
+    for u_mask, cut, u_size in _enumerate(h):
+        ratio = ratio_cut_cost(cut, u_size, n - u_size)
+        if ratio < best_ratio:
+            best_ratio = ratio
+            best_mask = u_mask
+            best_cut = cut
+    assert best_mask is not None
+    sides = [0 if best_mask >> v & 1 else 1 for v in range(n)]
+    elapsed = time.perf_counter() - start
+    return PartitionResult(
+        algorithm="Exact",
+        partition=Partition(h, sides),
+        elapsed_seconds=elapsed,
+        details={"optimal": True, "nets_cut": best_cut},
+    )
+
+
+def exact_min_cut_bisection(h: Hypergraph) -> PartitionResult:
+    """The optimal minimum-width bisection of a small hypergraph.
+
+    Side sizes differ by at most one; ties in cut are broken toward
+    better balance, then lexicographically.
+    """
+    n = h.num_modules
+    if n < 2:
+        raise PartitionError("need at least 2 modules")
+    if n > _MAX_MODULES:
+        raise PartitionError(
+            f"exact search limited to {_MAX_MODULES} modules, got {n}"
+        )
+    start = time.perf_counter()
+    best: Optional[Tuple[int, int]] = None  # (cut, u_mask)
+    for u_mask, cut, u_size in _enumerate(h):
+        if abs(2 * u_size - n) > 1:
+            continue
+        if best is None or cut < best[0]:
+            best = (cut, u_mask)
+    assert best is not None
+    sides = [0 if best[1] >> v & 1 else 1 for v in range(n)]
+    elapsed = time.perf_counter() - start
+    return PartitionResult(
+        algorithm="Exact-bisection",
+        partition=Partition(h, sides),
+        elapsed_seconds=elapsed,
+        details={"optimal": True, "nets_cut": best[0]},
+    )

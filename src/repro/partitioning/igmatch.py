@@ -1,0 +1,532 @@
+"""IG-Match: spectral net partitioning with matching-based completion.
+
+The paper's main algorithm (Section 3, Figures 5–7):
+
+1. Build the intersection graph ``G'`` of the netlist hypergraph and sort
+   its second Laplacian eigenvector, giving a linear ordering of the nets.
+2. Sweep a split point along the ordering.  At each split, the
+   intersection-graph edges crossing the split form a bipartite graph
+   ``B``; a maximum matching of ``B`` (maintained incrementally) and the
+   König decomposition select a maximum independent set of *winner* nets
+   (Phase I), which pin modules to sides.  The leftover modules are tried
+   wholesale on each side and the better ratio cut kept (Phase II).
+3. Return the best completed module partition over all splits.
+
+Guarantees surfaced as checkable invariants:
+
+* the completed partition never cuts more nets than the size of the
+  maximum matching of ``B`` (Theorem 5) — optionally asserted per split;
+* the output is deterministic for a fixed eigensolver seed, one of the
+  paper's headline practical advantages.
+
+The recursive extension sketched in Section 3 (re-partitioning the
+unassigned core instead of assigning it wholesale) is available via
+``recursive_depth``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import PartitionError
+from ..hypergraph import Hypergraph
+from ..intersection import intersection_graph
+from ..matching import IncrementalMatching
+from ..matching.incremental import VertexClass
+from ..spectral import spectral_ordering
+from .metrics import ratio_cut_cost
+from .partition import Partition, PartitionResult
+
+__all__ = ["IGMatchConfig", "SplitEvaluation", "ig_match", "ig_match_sweep"]
+
+_L_SIDE = 0
+_R_SIDE = 1
+_UNASSIGNED = 2
+
+
+@dataclass(frozen=True)
+class IGMatchConfig:
+    """Tuning knobs for :func:`ig_match`.
+
+    ``weighting`` selects the intersection-graph edge weighting
+    (``"paper"`` by default).  ``backend``/``seed`` control the
+    eigensolver.  ``split_stride`` evaluates every k-th split (1 = all
+    splits, the paper's algorithm; larger values trade quality for
+    speed on very large netlists).  ``check_invariants`` asserts
+    Theorem 5's loser bound at every evaluated split.
+    ``recursive_depth`` > 0 enables the recursive completion extension.
+    """
+
+    weighting: str = "paper"
+    backend: str = "scipy"
+    seed: int = 0
+    split_stride: int = 1
+    check_invariants: bool = False
+    recursive_depth: int = 0
+    min_part_modules: int = 1
+    #: Sweep orderings from this many Laplacian eigenvectors (2nd,
+    #: 3rd, ...) and keep the best completion — the multi-eigenvector
+    #: variant explored in the Hagen–Kahng follow-up work.  Falls back
+    #: to the Fiedler ordering alone when the intersection graph cannot
+    #: supply more eigenvectors (disconnected or too small).
+    candidate_orderings: int = 1
+    #: Optimise the *weighted* ratio cut: the numerator becomes the sum
+    #: of cut-net weights (criticality), so heavy nets are kept uncut
+    #: preferentially — the "critical signal nets" emphasis of the
+    #: paper's introduction.  Theorem 5's loser-count invariant applies
+    #: to net *counts*, so ``check_invariants`` is unavailable in this
+    #: mode.  No-op on unweighted netlists.
+    use_net_weights: bool = False
+
+
+@dataclass(frozen=True)
+class SplitEvaluation:
+    """Outcome of completing the module partition at one split rank.
+
+    ``nets_cut`` is a count normally, or the summed cut-net weight when
+    the sweep runs with ``use_net_weights``.
+    """
+
+    rank: int
+    matching_size: int
+    nets_cut: float
+    ratio_cut: float
+    assign_core_to_l: bool
+
+
+class _SweepArrays:
+    """Precomputed flat pin arrays for the vectorised Phase II.
+
+    ``pin_modules[i]`` / ``pin_nets[i]`` give the module and net of the
+    i-th pin; ``net_valid`` masks nets with >= 2 pins (the only ones
+    that can be cut).  Built once per sweep, O(pins).
+    """
+
+    def __init__(self, h: Hypergraph, use_net_weights: bool = False):
+        import numpy as np
+
+        modules = []
+        nets = []
+        for net, pins in h.iter_nets():
+            for p in pins:
+                modules.append(p)
+                nets.append(net)
+        self.pin_modules = np.asarray(modules, dtype=np.int64)
+        self.pin_nets = np.asarray(nets, dtype=np.int64)
+        self.net_valid = np.asarray(
+            [h.net_size(j) >= 2 for j in range(h.num_nets)]
+        )
+        if use_net_weights and h.has_net_weights:
+            self.net_weights = np.asarray(h.net_weights, dtype=float)
+        else:
+            self.net_weights = None
+        self.num_modules = h.num_modules
+        self.num_nets = h.num_nets
+
+
+def _evaluate_split_vectorised(
+    arrays: _SweepArrays,
+    codes: List[int],
+    rank: int,
+    matching_size: int,
+) -> Tuple[Optional[SplitEvaluation], Optional[List[int]]]:
+    """Vectorised Phase II, equivalent to :func:`_evaluate_split`.
+
+    (The pure-Python version remains the readable reference; the test
+    suite asserts both produce identical evaluations.)
+    """
+    import numpy as np
+
+    codes_arr = np.asarray(codes, dtype=np.int8)
+    net_class = codes_arr[arrays.pin_nets]
+    assign = np.full(arrays.num_modules, _UNASSIGNED, dtype=np.int8)
+    assign[arrays.pin_modules[net_class == VertexClass.EVEN_L]] = _L_SIDE
+    assign[arrays.pin_modules[net_class == VertexClass.EVEN_R]] = _R_SIDE
+
+    num_l = int(np.count_nonzero(assign == _L_SIDE))
+    num_r = int(np.count_nonzero(assign == _R_SIDE))
+    num_n = arrays.num_modules - num_l - num_r
+
+    pin_sides = assign[arrays.pin_modules]
+    m = arrays.num_nets
+    in_l = np.bincount(
+        arrays.pin_nets[pin_sides == _L_SIDE], minlength=m
+    )
+    in_r = np.bincount(
+        arrays.pin_nets[pin_sides == _R_SIDE], minlength=m
+    )
+    in_n = np.bincount(
+        arrays.pin_nets[pin_sides == _UNASSIGNED], minlength=m
+    )
+
+    valid = arrays.net_valid
+    uncut_core_l = (in_r == 0) | ((in_l == 0) & (in_n == 0))
+    uncut_core_r = (in_l == 0) | ((in_r == 0) & (in_n == 0))
+    if arrays.net_weights is None:
+        cut_if_core_l = int(np.count_nonzero(valid & ~uncut_core_l))
+        cut_if_core_r = int(np.count_nonzero(valid & ~uncut_core_r))
+    else:
+        # Criticality mode: the numerator is the summed weight of cut
+        # nets (IGMatchConfig.use_net_weights).
+        cut_if_core_l = float(
+            arrays.net_weights[valid & ~uncut_core_l].sum()
+        )
+        cut_if_core_r = float(
+            arrays.net_weights[valid & ~uncut_core_r].sum()
+        )
+
+    ratio_core_l = ratio_cut_cost(cut_if_core_l, num_l + num_n, num_r)
+    ratio_core_r = ratio_cut_cost(cut_if_core_r, num_l, num_r + num_n)
+    if ratio_core_l == float("inf") and ratio_core_r == float("inf"):
+        return None, None
+
+    core_to_l = ratio_core_l <= ratio_core_r
+    evaluation = SplitEvaluation(
+        rank=rank,
+        matching_size=matching_size,
+        nets_cut=cut_if_core_l if core_to_l else cut_if_core_r,
+        ratio_cut=ratio_core_l if core_to_l else ratio_core_r,
+        assign_core_to_l=core_to_l,
+    )
+    # Converted lazily by the caller; only the best split's assignment
+    # is ever materialised.
+    return evaluation, assign.tolist()
+
+
+def _evaluate_split(
+    h: Hypergraph,
+    codes: List[int],
+    rank: int,
+    matching_size: int,
+) -> Tuple[Optional[SplitEvaluation], Optional[List[int]]]:
+    """Phase II of the main loop: complete the module partition.
+
+    ``codes[net]`` is the König class of each net (R = nets already swept,
+    i.e. the first ``rank`` of the ordering).  Winner nets pin their
+    modules; unassigned modules are tried on the L side and on the R side
+    and the better ratio cut wins.
+
+    Returns the evaluation and the module assignment array (values
+    ``_L_SIDE``/``_R_SIDE``/``_UNASSIGNED``) for the winning option, or
+    ``(None, None)`` when both completions are degenerate (one side
+    empty).
+    """
+    n = h.num_modules
+    assign = [_UNASSIGNED] * n
+    for net in range(h.num_nets):
+        code = codes[net]
+        if code == VertexClass.EVEN_L:
+            for pin in h.pins(net):
+                assign[pin] = _L_SIDE
+        elif code == VertexClass.EVEN_R:
+            for pin in h.pins(net):
+                assign[pin] = _R_SIDE
+
+    num_l = assign.count(_L_SIDE)
+    num_r = assign.count(_R_SIDE)
+    num_n = n - num_l - num_r
+
+    # One pass over the pins classifies each net under both completions.
+    cut_if_core_l = 0  # unassigned modules join the L side
+    cut_if_core_r = 0
+    for net in range(h.num_nets):
+        pins = h.pins(net)
+        if len(pins) < 2:
+            continue
+        in_l = in_r = in_n = 0
+        for pin in pins:
+            side = assign[pin]
+            if side == _L_SIDE:
+                in_l += 1
+            elif side == _R_SIDE:
+                in_r += 1
+            else:
+                in_n += 1
+        # Core → L: uncut iff all pins land in L (in_r == 0) or all in R.
+        if not (in_r == 0 or (in_l == 0 and in_n == 0)):
+            cut_if_core_l += 1
+        if not (in_l == 0 or (in_r == 0 and in_n == 0)):
+            cut_if_core_r += 1
+
+    ratio_core_l = ratio_cut_cost(cut_if_core_l, num_l + num_n, num_r)
+    ratio_core_r = ratio_cut_cost(cut_if_core_r, num_l, num_r + num_n)
+    if ratio_core_l == float("inf") and ratio_core_r == float("inf"):
+        return None, None
+
+    core_to_l = ratio_core_l <= ratio_core_r
+    evaluation = SplitEvaluation(
+        rank=rank,
+        matching_size=matching_size,
+        nets_cut=cut_if_core_l if core_to_l else cut_if_core_r,
+        ratio_cut=ratio_core_l if core_to_l else ratio_core_r,
+        assign_core_to_l=core_to_l,
+    )
+    return evaluation, assign
+
+
+def _materialise(
+    h: Hypergraph, assign: Sequence[int], core_to_l: bool
+) -> List[int]:
+    """Resolve unassigned modules to the chosen side; return 0/1 sides.
+
+    Side 0 (U) is the L side of the net split, side 1 (W) the R side.
+    """
+    resolved = _L_SIDE if core_to_l else _R_SIDE
+    return [
+        (resolved if a == _UNASSIGNED else a) for a in assign
+    ]
+
+
+def ig_match_sweep(
+    h: Hypergraph,
+    config: IGMatchConfig = IGMatchConfig(),
+    order: Optional[Sequence[int]] = None,
+    graph=None,
+) -> Tuple[List[SplitEvaluation], Optional[Partition]]:
+    """Run the full IG-Match sweep; return all evaluations and the best
+    completed partition.
+
+    ``order`` overrides the spectral net ordering (used by ablations that
+    feed the same ordering to several completion strategies); ``graph``
+    supplies a prebuilt intersection graph to avoid rebuilding it across
+    multiple sweeps.
+    """
+    if h.num_modules < 2:
+        raise PartitionError("IG-Match needs at least 2 modules")
+    if h.num_nets < 2:
+        raise PartitionError("IG-Match needs at least 2 nets to split")
+    if config.split_stride < 1:
+        raise PartitionError(
+            f"split_stride must be >= 1, got {config.split_stride}"
+        )
+
+    if graph is None:
+        graph = intersection_graph(h, config.weighting)
+    if order is None:
+        order = spectral_ordering(
+            graph, backend=config.backend, seed=config.seed
+        )
+    elif sorted(order) != list(range(h.num_nets)):
+        raise PartitionError("order must be a permutation of net indices")
+
+    matcher = IncrementalMatching(graph)
+    evaluations: List[SplitEvaluation] = []
+    best_eval: Optional[SplitEvaluation] = None
+    best_assign: Optional[List[int]] = None
+
+    num_nets = h.num_nets
+    use_weights = config.use_net_weights and h.has_net_weights
+    if use_weights and config.check_invariants:
+        raise PartitionError(
+            "check_invariants (Theorem 5, a net-count bound) is not "
+            "available with use_net_weights"
+        )
+    # The vectorised Phase II pays off once circuits are non-trivial;
+    # the pure-Python version stays as the readable reference (and the
+    # tests assert they agree).  The weighted objective is only
+    # implemented in the vectorised path.
+    arrays = (
+        _SweepArrays(h, use_weights)
+        if (num_nets >= 64 or use_weights)
+        else None
+    )
+    for index, net in enumerate(order[:-1]):
+        # Nets swept so far (including this one) form the R side.
+        matcher.move_to_right(net)
+        rank = index + 1
+        if rank % config.split_stride and rank != num_nets - 1:
+            continue
+        codes = matcher.classify()
+        if arrays is not None:
+            evaluation, assign = _evaluate_split_vectorised(
+                arrays, codes, rank, matcher.matching_size
+            )
+        else:
+            evaluation, assign = _evaluate_split(
+                h, codes, rank, matcher.matching_size
+            )
+        if evaluation is None:
+            continue
+        if config.check_invariants and (
+            evaluation.nets_cut > evaluation.matching_size
+        ):
+            raise PartitionError(
+                f"Theorem 5 violated at rank {rank}: "
+                f"{evaluation.nets_cut} nets cut > matching size "
+                f"{evaluation.matching_size}"
+            )
+        evaluations.append(evaluation)
+        if best_eval is None or (
+            (evaluation.ratio_cut, evaluation.rank)
+            < (best_eval.ratio_cut, best_eval.rank)
+        ):
+            best_eval = evaluation
+            best_assign = assign
+
+    if best_eval is None or best_assign is None:
+        return evaluations, None
+    sides = _materialise(h, best_assign, best_eval.assign_core_to_l)
+    partition = Partition(h, sides)
+    if config.recursive_depth > 0:
+        partition = _recursive_refine(
+            h, best_assign, partition, config
+        )
+    return evaluations, partition
+
+
+def _recursive_refine(
+    h: Hypergraph,
+    assign: Sequence[int],
+    baseline: Partition,
+    config: IGMatchConfig,
+) -> Partition:
+    """The recursive extension: instead of sending every unassigned
+    module to one side, bipartition the unassigned set with a recursive
+    IG-Match call and try both orientations of that sub-partition.
+
+    Keeps the better of the baseline and the recursive completion, so it
+    never degrades the result.
+    """
+    unassigned = [v for v, a in enumerate(assign) if a == _UNASSIGNED]
+    if len(unassigned) < 4:
+        return baseline
+
+    from ..hypergraph import induced_subhypergraph
+
+    sub, module_map, _ = induced_subhypergraph(h, unassigned)
+    if sub.num_nets < 2 or sub.num_modules < 2:
+        return baseline
+    sub_config = IGMatchConfig(
+        weighting=config.weighting,
+        backend=config.backend,
+        seed=config.seed,
+        split_stride=config.split_stride,
+        recursive_depth=config.recursive_depth - 1,
+    )
+    try:
+        _, sub_partition = ig_match_sweep(sub, sub_config)
+    except PartitionError:
+        return baseline
+    if sub_partition is None:
+        return baseline
+
+    best = baseline
+    for orientation in (0, 1):
+        sides = list(assign)
+        for sub_index, module in enumerate(module_map):
+            sub_side = sub_partition.side(sub_index)
+            if orientation:
+                sub_side = 1 - sub_side
+            sides[module] = sub_side
+        try:
+            candidate = Partition(h, sides)
+        except PartitionError:
+            continue
+        if candidate.ratio_cut < best.ratio_cut:
+            best = candidate
+    return best
+
+
+def _candidate_orders(
+    h: Hypergraph, graph, config: IGMatchConfig
+) -> List[List[int]]:
+    """Net orderings from the first ``candidate_orderings``
+    eigenvectors, falling back to the single component-aware ordering
+    when the graph cannot supply them."""
+    from ..spectral import nontrivial_eigenvectors, ordering_from_values
+    from ..errors import SpectralError
+
+    count = max(1, config.candidate_orderings)
+    if count > 1:
+        try:
+            _, vectors = nontrivial_eigenvectors(
+                graph, count, backend=config.backend, seed=config.seed
+            )
+            return [
+                ordering_from_values(vectors[:, i])
+                for i in range(vectors.shape[1])
+            ]
+        except SpectralError:
+            pass
+    return [
+        spectral_ordering(graph, backend=config.backend, seed=config.seed)
+    ]
+
+
+def ig_match(
+    h: Hypergraph,
+    config: IGMatchConfig = IGMatchConfig(),
+    order: Optional[Sequence[int]] = None,
+) -> PartitionResult:
+    """Partition ``h`` with IG-Match; the paper's primary algorithm.
+
+    Returns a :class:`PartitionResult` whose ``details`` include the best
+    split rank, the matching-size bound at that split (Theorem 5), and
+    the number of splits evaluated.  With
+    ``config.candidate_orderings > 1`` the sweep is repeated for
+    orderings from additional Laplacian eigenvectors and the best
+    completion kept (still fully deterministic).
+    """
+    start = time.perf_counter()
+    if h.num_modules < 2:
+        raise PartitionError("IG-Match needs at least 2 modules")
+    if h.num_nets < 2:
+        raise PartitionError("IG-Match needs at least 2 nets to split")
+
+    graph = intersection_graph(h, config.weighting)
+    if order is not None:
+        orders: List[Sequence[int]] = [order]
+    else:
+        orders = _candidate_orders(h, graph, config)
+
+    best_partition: Optional[Partition] = None
+    best_eval: Optional[SplitEvaluation] = None
+    best_index = 0
+    total_evaluations = 0
+    for index, candidate in enumerate(orders):
+        evaluations, partition = ig_match_sweep(
+            h, config, order=candidate, graph=graph
+        )
+        total_evaluations += len(evaluations)
+        if partition is None:
+            continue
+        sweep_best = min(
+            evaluations, key=lambda e: (e.ratio_cut, e.rank)
+        )
+        # Compare orderings by the sweep objective (which is the
+        # weighted ratio cut under use_net_weights).
+        if best_eval is None or sweep_best.ratio_cut < best_eval.ratio_cut:
+            best_partition = partition
+            best_eval = sweep_best
+            best_index = index
+    elapsed = time.perf_counter() - start
+    if best_partition is None or best_eval is None:
+        raise PartitionError(
+            "IG-Match found no feasible completion at any split"
+        )
+    return PartitionResult(
+        algorithm="IG-Match",
+        partition=best_partition,
+        elapsed_seconds=elapsed,
+        details={
+            "best_rank": best_eval.rank,
+            "matching_bound": best_eval.matching_size,
+            "splits_evaluated": total_evaluations,
+            "weighting": config.weighting,
+            "backend": config.backend,
+            "recursive_depth": config.recursive_depth,
+            "orderings_tried": len(orders),
+            "best_ordering": best_index,
+            **(
+                {
+                    "weighted_objective": True,
+                    "weighted_ratio_cut": best_eval.ratio_cut,
+                    "weighted_cut": best_eval.nets_cut,
+                }
+                if config.use_net_weights and h.has_net_weights
+                else {}
+            ),
+        },
+    )

@@ -1,0 +1,218 @@
+"""Module bipartitions and result records.
+
+:class:`Partition` couples a hypergraph with an assignment of every module
+to side ``U`` (0) or side ``W`` (1) and lazily evaluates the quality
+metrics used throughout the paper: the net cut and the Wei–Cheng ratio cut
+``e(U, W) / (|U| · |W|)``.
+
+:class:`PartitionResult` is the uniform record the algorithms return, and
+renders the same columns the paper's tables report (areas, nets cut, ratio
+cut).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import PartitionError
+from ..hypergraph import Hypergraph
+from .metrics import (
+    cut_net_indices,
+    net_cut_count,
+    ratio_cut_cost,
+)
+
+__all__ = ["Partition", "PartitionResult"]
+
+
+class Partition:
+    """A bipartition ``(U, W)`` of a hypergraph's modules.
+
+    ``side_of[v]`` is 0 for U and 1 for W.  Instances are immutable; the
+    iterative algorithms work on plain arrays internally and freeze into
+    a ``Partition`` at the end.
+
+    Examples
+    --------
+    >>> h = Hypergraph([[0, 1], [1, 2], [2, 3]])
+    >>> p = Partition(h, [0, 0, 1, 1])
+    >>> p.num_nets_cut
+    1
+    >>> p.ratio_cut
+    0.25
+    """
+
+    __slots__ = ("_h", "_side", "_cut_cache")
+
+    def __init__(self, h: Hypergraph, side_of: Sequence[int]):
+        if len(side_of) != h.num_modules:
+            raise PartitionError(
+                f"side assignment has {len(side_of)} entries for "
+                f"{h.num_modules} modules"
+            )
+        sides = tuple(int(s) for s in side_of)
+        bad = [s for s in sides if s not in (0, 1)]
+        if bad:
+            raise PartitionError(
+                f"sides must be 0 or 1, found {bad[0]!r}"
+            )
+        if sides and (0 not in sides or 1 not in sides):
+            raise PartitionError("both sides of a partition must be non-empty")
+        self._h = h
+        self._side = sides
+        self._cut_cache: Optional[Tuple[int, ...]] = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_u_side(cls, h: Hypergraph, u_modules: Iterable[int]) -> "Partition":
+        """Build from the set of modules on the U side."""
+        u_set = set(int(v) for v in u_modules)
+        for v in u_set:
+            if not 0 <= v < h.num_modules:
+                raise PartitionError(f"module index {v} out of range")
+        return cls(h, [0 if v in u_set else 1 for v in range(h.num_modules)])
+
+    # ------------------------------------------------------------------
+    @property
+    def hypergraph(self) -> Hypergraph:
+        return self._h
+
+    @property
+    def sides(self) -> Tuple[int, ...]:
+        """The full side assignment tuple (0 = U, 1 = W)."""
+        return self._side
+
+    def side(self, module: int) -> int:
+        if not 0 <= module < len(self._side):
+            raise PartitionError(f"module index {module} out of range")
+        return self._side[module]
+
+    @property
+    def u_modules(self) -> List[int]:
+        return [v for v, s in enumerate(self._side) if s == 0]
+
+    @property
+    def w_modules(self) -> List[int]:
+        return [v for v, s in enumerate(self._side) if s == 1]
+
+    @property
+    def u_size(self) -> int:
+        return sum(1 for s in self._side if s == 0)
+
+    @property
+    def w_size(self) -> int:
+        return len(self._side) - self.u_size
+
+    @property
+    def u_area(self) -> float:
+        areas = self._h.module_areas
+        return sum(areas[v] for v, s in enumerate(self._side) if s == 0)
+
+    @property
+    def w_area(self) -> float:
+        return self._h.total_area - self.u_area
+
+    # ------------------------------------------------------------------
+    @property
+    def cut_nets(self) -> Tuple[int, ...]:
+        """Indices of nets with pins on both sides."""
+        if self._cut_cache is None:
+            self._cut_cache = tuple(cut_net_indices(self._h, self._side))
+        return self._cut_cache
+
+    @property
+    def num_nets_cut(self) -> int:
+        return len(self.cut_nets)
+
+    @property
+    def weighted_nets_cut(self) -> float:
+        """Total weight of cut nets (= ``num_nets_cut`` if unweighted)."""
+        return sum(self._h.net_weight(net) for net in self.cut_nets)
+
+    @property
+    def ratio_cut(self) -> float:
+        """``e(U, W) / (|U| · |W|)`` with module-count denominators.
+
+        The module-count convention matches the paper's tables (areas in
+        those tables are element counts; see DESIGN.md).
+        """
+        return ratio_cut_cost(self.num_nets_cut, self.u_size, self.w_size)
+
+    @property
+    def area_string(self) -> str:
+        """``"<U area>:<W area>"`` — the tables' Areas column."""
+        u, w = self.u_area, self.w_area
+        if u == int(u) and w == int(w):
+            return f"{int(u)}:{int(w)}"
+        return f"{u:g}:{w:g}"
+
+    # ------------------------------------------------------------------
+    def flipped(self) -> "Partition":
+        """The same partition with U and W exchanged."""
+        return Partition(self._h, [1 - s for s in self._side])
+
+    def canonical(self) -> "Partition":
+        """Orient so that module 0 is on side U — for comparisons."""
+        if self._side and self._side[0] == 1:
+            return self.flipped()
+        return self
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Partition):
+            return NotImplemented
+        if self._h is not other._h and self._h != other._h:
+            return False
+        return (
+            self._side == other._side
+            or self.flipped()._side == other._side
+        )
+
+    def __hash__(self) -> int:
+        return hash(min(self._side, tuple(1 - s for s in self._side)))
+
+    def __repr__(self) -> str:
+        return (
+            f"<Partition {self.u_size}:{self.w_size}, "
+            f"{self.num_nets_cut} nets cut, "
+            f"ratio cut {self.ratio_cut:.4g}>"
+        )
+
+
+@dataclass
+class PartitionResult:
+    """Uniform record returned by every partitioning algorithm."""
+
+    algorithm: str
+    partition: Partition
+    elapsed_seconds: float = 0.0
+    details: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def nets_cut(self) -> int:
+        return self.partition.num_nets_cut
+
+    @property
+    def ratio_cut(self) -> float:
+        return self.partition.ratio_cut
+
+    @property
+    def areas(self) -> str:
+        return self.partition.area_string
+
+    def row(self) -> Dict[str, object]:
+        """The table row the paper reports for one run."""
+        return {
+            "algorithm": self.algorithm,
+            "areas": self.areas,
+            "nets_cut": self.nets_cut,
+            "ratio_cut": self.ratio_cut,
+            "seconds": round(self.elapsed_seconds, 3),
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"{self.algorithm}: areas {self.areas}, "
+            f"{self.nets_cut} nets cut, ratio cut {self.ratio_cut:.4g} "
+            f"({self.elapsed_seconds:.2f}s)"
+        )

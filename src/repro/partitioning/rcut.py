@@ -1,0 +1,151 @@
+"""RCut: ratio-cut iterative partitioning after Wei & Cheng.
+
+A reimplementation of the RCut1.0 strategy the paper benchmarks against
+([32]; the binary itself is not available).  Wei–Cheng adapt the
+Fiduccia–Mattheyses machinery to the ratio-cut metric with two move
+phases and random-restart stabilisation:
+
+* **shifting** — FM-style passes with *no* balance constraint: cells move
+  by best cut gain, and the pass keeps the prefix with the best *ratio
+  cut* (the denominator term is what lets the partition drift toward its
+  natural sizes);
+* **group swapping** — passes restricted to alternate directions, so
+  groups of cells exchange sides even when individual moves look neutral;
+* **random restarts** — the whole optimisation is run from ``restarts``
+  random initial partitions and the best result returned (the paper
+  compares against the best of 10 RCut1.0 runs).
+
+The initial partition seeds each run; a run iterates shifting and
+swapping passes to convergence.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..errors import PartitionError
+from ..hypergraph import Hypergraph
+from .fm import FMEngine, random_balanced_sides
+from .metrics import ratio_cut_cost
+from .partition import Partition, PartitionResult
+
+__all__ = ["RCutConfig", "rcut"]
+
+
+@dataclass(frozen=True)
+class RCutConfig:
+    """Options for :func:`rcut`.
+
+    ``restarts`` random starting partitions are optimised independently
+    (Wei–Cheng report best-of-10).  ``max_rounds`` bounds the
+    shift/swap rounds per restart.
+    """
+
+    restarts: int = 10
+    max_rounds: int = 12
+    seed: int = 0
+    min_side: int = 1
+
+
+def _ratio(engine: FMEngine) -> float:
+    return ratio_cut_cost(
+        engine.cut, engine.side_count[0], engine.side_count[1]
+    )
+
+
+def _run_single(
+    h: Hypergraph, sides: List[int], config: RCutConfig
+) -> Tuple[List[int], float, int]:
+    """Optimise one starting partition; returns (sides, ratio, rounds)."""
+    engine = FMEngine(h, sides)
+    min_side = max(1, config.min_side)
+
+    def feasible_shift(cell: int) -> bool:
+        return engine.side_count[engine.sides[cell]] > min_side
+
+    rounds = 0
+    best_ratio = _ratio(engine)
+    for _ in range(config.max_rounds):
+        rounds += 1
+        improved = False
+
+        # Shifting: unconstrained best-gain moves, best-ratio prefix.
+        engine.run_pass(feasible_shift, objective="ratio")
+        ratio = _ratio(engine)
+        if ratio < best_ratio - 1e-15:
+            best_ratio = ratio
+            improved = True
+
+        # Group swapping: strictly alternate move directions so the pass
+        # exchanges groups between sides at constant balance.
+        direction = [0]
+
+        def feasible_swap(cell: int) -> bool:
+            if engine.sides[cell] != direction[0]:
+                return False
+            return engine.side_count[engine.sides[cell]] > min_side
+
+        # run_pass consults feasibility before each move; flip the
+        # wanted direction after every kept move by wrapping move
+        # selection: simplest is two half-passes.
+        for phase in (0, 1):
+            direction[0] = phase
+            engine.run_pass(feasible_swap, objective="ratio")
+        ratio = _ratio(engine)
+        if ratio < best_ratio - 1e-15:
+            best_ratio = ratio
+            improved = True
+
+        if not improved:
+            break
+    return list(engine.sides), best_ratio, rounds
+
+
+def rcut(
+    h: Hypergraph,
+    config: RCutConfig = RCutConfig(),
+    initial_sides: Optional[List[int]] = None,
+) -> PartitionResult:
+    """Ratio-cut partitioning with shifting, group swapping and restarts.
+
+    With ``initial_sides`` given, a single run is performed from that
+    partition (no restarts) — used by the refinement wrapper.
+    """
+    if h.num_modules < 2:
+        raise PartitionError("RCut needs at least 2 modules")
+    start = time.perf_counter()
+    rng = random.Random(config.seed)
+
+    best_sides: Optional[List[int]] = None
+    best_ratio = float("inf")
+    runs = []
+    if initial_sides is not None:
+        starts = [list(initial_sides)]
+    else:
+        starts = [
+            random_balanced_sides(h, rng) for _ in range(config.restarts)
+        ]
+    for sides in starts:
+        final_sides, ratio, rounds = _run_single(h, sides, config)
+        runs.append({"ratio_cut": ratio, "rounds": rounds})
+        if ratio < best_ratio:
+            best_ratio = ratio
+            best_sides = final_sides
+
+    elapsed = time.perf_counter() - start
+    if best_sides is None:
+        raise PartitionError("RCut produced no partition")
+    return PartitionResult(
+        algorithm="RCut",
+        partition=Partition(h, best_sides),
+        elapsed_seconds=elapsed,
+        details={
+            "restarts": len(starts),
+            "runs": runs,
+            "best_of_runs": best_ratio,
+            "seed": config.seed,
+        },
+    )

@@ -1,0 +1,102 @@
+"""Human-readable partition reports.
+
+:func:`partition_report` renders everything an engineer inspects after
+a partitioning run: the headline metrics, the cut-net list with each
+net's pin split, the boundary-module census, and the per-net-size cut
+histogram (the Table 1 view of this particular partition).  Exposed on
+the CLI as ``repro-partition ... --report``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List
+
+from .partition import Partition, PartitionResult
+
+__all__ = ["partition_report"]
+
+
+def _cut_net_lines(partition: Partition, limit: int) -> List[str]:
+    h = partition.hypergraph
+    lines = []
+    for net in partition.cut_nets[:limit]:
+        pins = h.pins(net)
+        u_pins = sum(1 for p in pins if partition.side(p) == 0)
+        lines.append(
+            f"    {h.net_name(net):<16} {len(pins)} pins, "
+            f"{u_pins} on U / {len(pins) - u_pins} on W"
+        )
+    hidden = partition.num_nets_cut - limit
+    if hidden > 0:
+        lines.append(f"    ... and {hidden} more")
+    return lines
+
+
+def _boundary_census(partition: Partition) -> Counter:
+    """Modules incident to at least one cut net, counted per side."""
+    h = partition.hypergraph
+    cut = set(partition.cut_nets)
+    census: Counter = Counter()
+    for module in range(h.num_modules):
+        if any(net in cut for net in h.nets_of(module)):
+            census["U" if partition.side(module) == 0 else "W"] += 1
+    return census
+
+
+def _cut_histogram_lines(partition: Partition) -> List[str]:
+    h = partition.hypergraph
+    totals = Counter(h.net_sizes())
+    cuts = Counter(h.net_size(net) for net in partition.cut_nets)
+    lines = [f"    {'size':>4}  {'nets':>6}  {'cut':>5}  {'frac':>6}"]
+    for size in sorted(totals):
+        cut = cuts.get(size, 0)
+        lines.append(
+            f"    {size:>4}  {totals[size]:>6}  {cut:>5}  "
+            f"{cut / totals[size]:>6.3f}"
+        )
+    return lines
+
+
+def partition_report(
+    result: PartitionResult, max_cut_nets: int = 20
+) -> str:
+    """Render a full text report for one partitioning result."""
+    partition = result.partition
+    h = partition.hypergraph
+    census = _boundary_census(partition)
+
+    lines = [
+        f"partition report — {result.algorithm} on "
+        f"{h.name or '(unnamed)'}",
+        "=" * 64,
+        f"modules:        {h.num_modules}  ({partition.u_size} U / "
+        f"{partition.w_size} W)",
+        f"areas:          {partition.area_string}",
+        f"nets:           {h.num_nets}",
+        f"nets cut:       {partition.num_nets_cut}",
+        *(
+            [f"cut weight:     {partition.weighted_nets_cut:g}"]
+            if h.has_net_weights
+            else []
+        ),
+        f"ratio cut:      {partition.ratio_cut:.4e}",
+        f"wall time:      {result.elapsed_seconds:.2f}s",
+    ]
+    for key, value in sorted(result.details.items()):
+        if isinstance(value, (int, float, str, bool)):
+            lines.append(f"{key + ':':<16}{value}")
+
+    lines.append("")
+    lines.append(
+        f"boundary modules: {census.get('U', 0)} on U, "
+        f"{census.get('W', 0)} on W"
+    )
+    if partition.num_nets_cut:
+        lines.append("")
+        lines.append("cut nets:")
+        lines.extend(_cut_net_lines(partition, max_cut_nets))
+    lines.append("")
+    lines.append("cut histogram by net size:")
+    lines.extend(_cut_histogram_lines(partition))
+    return "\n".join(lines)

@@ -1,0 +1,189 @@
+"""Sanchis-style multiway FM refinement.
+
+Sanchis (paper reference [26]) generalised Fiduccia–Mattheyses to
+multiway partitions: moves are (cell, target-block) pairs selected by
+gain, cells lock after moving, and the best prefix of the move sequence
+is kept.  This is the hill-climbing counterpart to the greedy
+:func:`repro.partitioning.kway.net_gain_refine` — a full pass can travel
+through worsening states and revert, escaping the local minima the
+greedy pass stops at.
+
+The gain of moving a cell to block *t* is the reduction in *spanning
+nets* (nets touching more than one block — the multiplexed-signal count
+of the paper's §1 applications).  Gains are maintained incrementally
+from per-net block-population counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..errors import PartitionError
+from ..hypergraph import Hypergraph
+
+__all__ = ["KWayFMConfig", "kway_fm_refine", "kway_fm_pass"]
+
+
+@dataclass(frozen=True)
+class KWayFMConfig:
+    """Options for :func:`kway_fm_refine`.
+
+    ``min_block`` blocks moves that would shrink a block below it;
+    ``max_passes`` bounds the pass loop (stops early when a pass keeps
+    no moves).
+    """
+
+    max_passes: int = 6
+    min_block: int = 1
+
+
+class _KWayState:
+    """Incremental spanning-net bookkeeping for a k-way partition."""
+
+    def __init__(self, h: Hypergraph, block_of: Sequence[int], k: int):
+        self.h = h
+        self.k = k
+        self.block_of = list(block_of)
+        self.counts: List[Dict[int, int]] = []
+        self.spanning = 0
+        for _, pins in h.iter_nets():
+            count: Dict[int, int] = {}
+            for p in pins:
+                b = self.block_of[p]
+                count[b] = count.get(b, 0) + 1
+            self.counts.append(count)
+            if len(count) > 1:
+                self.spanning += 1
+        self.sizes = [0] * k
+        for b in self.block_of:
+            self.sizes[b] += 1
+
+    def gain(self, cell: int, target: int) -> int:
+        """Spanning-net reduction if ``cell`` moved to ``target``."""
+        source = self.block_of[cell]
+        if target == source:
+            return 0
+        gain = 0
+        for net in self.h.nets_of(cell):
+            count = self.counts[net]
+            if self.h.net_size(net) < 2:
+                continue
+            blocks = len(count)
+            # After the move: source population -1, target +1.
+            after = blocks
+            if count[source] == 1:
+                after -= 1
+            if target not in count:
+                after += 1
+            gain += int(blocks > 1) - int(after > 1)
+        return gain
+
+    def move(self, cell: int, target: int) -> None:
+        source = self.block_of[cell]
+        for net in self.h.nets_of(cell):
+            count = self.counts[net]
+            if self.h.net_size(net) < 2:
+                # keep populations consistent even for degenerate nets
+                pass
+            was_spanning = len(count) > 1
+            count[source] -= 1
+            if count[source] == 0:
+                del count[source]
+            count[target] = count.get(target, 0) + 1
+            now_spanning = len(count) > 1
+            if self.h.net_size(net) >= 2:
+                self.spanning += int(now_spanning) - int(was_spanning)
+        self.block_of[cell] = target
+        self.sizes[source] -= 1
+        self.sizes[target] += 1
+
+    def neighbour_blocks(self, cell: int) -> Set[int]:
+        """Blocks adjacent to ``cell`` through its nets."""
+        out: Set[int] = set()
+        for net in self.h.nets_of(cell):
+            out.update(self.counts[net])
+        out.discard(self.block_of[cell])
+        return out
+
+
+def kway_fm_pass(
+    state: _KWayState, min_block: int
+) -> Tuple[int, int]:
+    """One locked pass of multiway FM; returns (moves_kept, spanning).
+
+    Every cell moves at most once.  Candidate moves target neighbour
+    blocks only (moves to unconnected blocks can never reduce the
+    spanning count).  The pass applies best-gain moves greedily (ties:
+    lowest cell index, then block), tracking the prefix with the fewest
+    spanning nets, then reverts the rest.
+    """
+    h = state.h
+    n = h.num_modules
+    locked = [False] * n
+
+    move_log: List[Tuple[int, int, int]] = []  # (cell, source, target)
+    best_prefix = 0
+    best_spanning = state.spanning
+
+    while True:
+        best: Optional[Tuple[int, int, int]] = None  # (-gain, cell, tgt)
+        for cell in range(n):
+            if locked[cell]:
+                continue
+            if state.sizes[state.block_of[cell]] <= min_block:
+                continue
+            for target in sorted(state.neighbour_blocks(cell)):
+                gain = state.gain(cell, target)
+                key = (-gain, cell, target)
+                if best is None or key < best:
+                    best = key
+        if best is None:
+            break
+        _, cell, target = best
+        source = state.block_of[cell]
+        state.move(cell, target)
+        locked[cell] = True
+        move_log.append((cell, source, target))
+        if state.spanning < best_spanning:
+            best_spanning = state.spanning
+            best_prefix = len(move_log)
+        # A full pass over thousands of cells is wasteful once gains
+        # are deeply negative; stop when the pass has drifted far past
+        # the best state.
+        if state.spanning > best_spanning + 50 and (
+            len(move_log) > best_prefix + 2 * state.k + 10
+        ):
+            break
+
+    for cell, source, _ in reversed(move_log[best_prefix:]):
+        state.move(cell, source)
+    return best_prefix, state.spanning
+
+
+def kway_fm_refine(
+    h: Hypergraph,
+    block_of: List[int],
+    k: int,
+    config: KWayFMConfig = KWayFMConfig(),
+) -> int:
+    """Refine a k-way partition in place; returns total moves kept.
+
+    Raises :class:`PartitionError` on malformed inputs (wrong label
+    count or out-of-range labels).
+    """
+    if len(block_of) != h.num_modules:
+        raise PartitionError(
+            f"{len(block_of)} labels for {h.num_modules} modules"
+        )
+    if any(not 0 <= b < k for b in block_of):
+        raise PartitionError(f"block labels must lie in 0..{k - 1}")
+    state = _KWayState(h, block_of, k)
+    total = 0
+    for _ in range(config.max_passes):
+        kept, _ = kway_fm_pass(state, config.min_block)
+        total += kept
+        if kept == 0:
+            break
+    block_of[:] = state.block_of
+    return total

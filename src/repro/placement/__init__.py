@@ -1,0 +1,10 @@
+"""Placement consumers of the partitioning engine.
+
+Two classical families: Hall's analytical quadratic placement lives in
+:mod:`repro.spectral.hall`; this package adds min-cut placement by
+recursive bisection with terminal propagation, scored by HPWL.
+"""
+
+from .mincut import MincutPlacement, hpwl, mincut_placement
+
+__all__ = ["MincutPlacement", "hpwl", "mincut_placement"]

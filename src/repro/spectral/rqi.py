@@ -1,0 +1,102 @@
+"""Rayleigh-quotient iteration: polishing approximate eigenpairs.
+
+The paper's conclusion suggests speeding the eigensolve up "by
+relaxation of the numerical convergence criteria" — run Lanczos with a
+loose tolerance, order the nets from the rough eigenvector, and rely on
+the sweep's robustness.  RQI is the complementary tool: given a rough
+eigenpair it converges *cubically* to a nearby exact one, so a loose
+Lanczos pass plus one or two RQI steps recovers full accuracy at a
+fraction of the cost of tight Lanczos.
+
+Dense factorisation per step makes this practical up to a few thousand
+vertices — exactly the paper's problem sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from ..errors import SpectralError
+
+__all__ = ["RQIResult", "rayleigh_quotient_iteration"]
+
+
+@dataclass(frozen=True)
+class RQIResult:
+    """A polished eigenpair and its convergence record."""
+
+    eigenvalue: float
+    vector: np.ndarray
+    iterations: int
+    residual: float
+
+
+def rayleigh_quotient_iteration(
+    matrix: Union[sp.spmatrix, np.ndarray],
+    x0: np.ndarray,
+    max_iterations: int = 8,
+    tol: float = 1e-12,
+) -> RQIResult:
+    """Polish the eigenpair nearest to ``x0`` by Rayleigh-quotient
+    iteration.
+
+    Each step solves ``(A - mu I) y = x`` with ``mu`` the current
+    Rayleigh quotient and renormalises.  Converges cubically for
+    symmetric matrices; which eigenpair it converges to depends on the
+    starting vector (use a Lanczos approximation, not a random vector).
+    """
+    if sp.issparse(matrix):
+        matrix = sp.csc_matrix(matrix)
+        solve = lambda m, b: spla.spsolve(m, b)  # noqa: E731
+        shifted = lambda mu: matrix - mu * sp.identity(  # noqa: E731
+            matrix.shape[0], format="csc"
+        )
+    else:
+        matrix = np.asarray(matrix, dtype=float)
+        solve = np.linalg.solve
+        shifted = lambda mu: matrix - mu * np.eye(  # noqa: E731
+            matrix.shape[0]
+        )
+    n = matrix.shape[0]
+    if matrix.shape[0] != matrix.shape[1]:
+        raise SpectralError(f"matrix must be square, got {matrix.shape}")
+    x = np.asarray(x0, dtype=float)
+    if x.shape != (n,):
+        raise SpectralError(
+            f"start vector has shape {x.shape}, expected ({n},)"
+        )
+    norm = np.linalg.norm(x)
+    if norm == 0:
+        raise SpectralError("start vector must be nonzero")
+    x = x / norm
+
+    mu = float(x @ (matrix @ x))
+    residual = float(np.linalg.norm(matrix @ x - mu * x))
+    iterations = 0
+    scale = max(1.0, abs(mu))
+    for iterations in range(1, max_iterations + 1):
+        if residual <= tol * scale:
+            iterations -= 1
+            break
+        try:
+            y = solve(shifted(mu), x)
+        except Exception:
+            # (A - mu I) numerically singular: mu is (essentially) an
+            # exact eigenvalue; x is the converged eigenvector.
+            break
+        y = np.asarray(y, dtype=float).reshape(n)
+        norm = np.linalg.norm(y)
+        if not np.isfinite(norm) or norm == 0:
+            break
+        x = y / norm
+        mu = float(x @ (matrix @ x))
+        residual = float(np.linalg.norm(matrix @ x - mu * x))
+        scale = max(1.0, abs(mu))
+    return RQIResult(
+        eigenvalue=mu, vector=x, iterations=iterations, residual=residual
+    )

@@ -1,0 +1,93 @@
+"""Split sweeps over a linear module ordering.
+
+Given an ordering ``v_1 .. v_n`` of the modules (typically from a sorted
+Fiedler vector), the EIG1 method of Hagen–Kahng evaluates every splitting
+rank ``r``: modules with rank <= r form ``U`` and the rest ``W``.  This
+module implements that sweep *incrementally*: moving one module across the
+split touches only its incident nets, so the whole sweep costs O(pins)
+after setup, and the best ratio-cut split falls out directly.
+
+The ratio cut uses module counts for the denominator, matching the paper's
+tables (e.g. bm1: 1 net cut, areas 9:873, ratio cut 12.73e-5 = 1/(9*873)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..errors import PartitionError
+from ..hypergraph import Hypergraph
+
+__all__ = ["SplitPoint", "SplitSweep", "sweep_module_splits"]
+
+
+@dataclass(frozen=True)
+class SplitPoint:
+    """One evaluated split of the ordering.
+
+    ``rank`` modules (orders ``0 .. rank-1``) are on the U side.
+    """
+
+    rank: int
+    nets_cut: int
+    ratio_cut: float
+
+
+@dataclass(frozen=True)
+class SplitSweep:
+    """All splits of one ordering, and the best one found."""
+
+    order: List[int]
+    points: List[SplitPoint]
+
+    @property
+    def best(self) -> SplitPoint:
+        """The split with minimum ratio cut (ties: smaller rank)."""
+        return min(self.points, key=lambda p: (p.ratio_cut, p.rank))
+
+    def best_sides(self) -> tuple:
+        """The (U, W) module lists of the best split."""
+        rank = self.best.rank
+        return (sorted(self.order[:rank]), sorted(self.order[rank:]))
+
+
+def sweep_module_splits(
+    h: Hypergraph, order: Sequence[int]
+) -> SplitSweep:
+    """Evaluate net cut and ratio cut at every split of ``order``.
+
+    ``order`` must be a permutation of all module indices.  Splitting
+    ranks ``1 .. n-1`` are evaluated (both sides non-empty).
+    """
+    n = h.num_modules
+    if sorted(order) != list(range(n)):
+        raise PartitionError(
+            "order must be a permutation of all module indices"
+        )
+    if n < 2:
+        raise PartitionError("need at least 2 modules to split")
+
+    pins_in_u = [0] * h.num_nets
+    sizes = h.net_sizes()
+    nets_cut = 0
+    points: List[SplitPoint] = []
+
+    for rank, module in enumerate(order[:-1], start=1):
+        for net in h.nets_of(module):
+            count = pins_in_u[net]
+            size = sizes[net]
+            was_cut = 0 < count < size
+            count += 1
+            pins_in_u[net] = count
+            is_cut = 0 < count < size
+            nets_cut += int(is_cut) - int(was_cut)
+        denominator = rank * (n - rank)
+        points.append(
+            SplitPoint(
+                rank=rank,
+                nets_cut=nets_cut,
+                ratio_cut=nets_cut / denominator,
+            )
+        )
+    return SplitSweep(order=list(order), points=points)

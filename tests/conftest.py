@@ -1,0 +1,159 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.bench import generate_hierarchical
+from repro.graph import Graph
+from repro.hypergraph import Hypergraph
+
+
+# ----------------------------------------------------------------------
+# Small handcrafted instances
+# ----------------------------------------------------------------------
+@pytest.fixture
+def tiny_hypergraph() -> Hypergraph:
+    """4 modules, 3 nets: a path-like netlist.
+
+    nets: n0={0,1}, n1={1,2,3}, n2={0,3}
+    """
+    return Hypergraph([[0, 1], [1, 2, 3], [0, 3]], name="tiny")
+
+
+@pytest.fixture
+def two_cluster_hypergraph() -> Hypergraph:
+    """Two 4-module cliques of 2-pin nets joined by one bridge net.
+
+    Modules 0-3 and 4-7; the only crossing net is n12 = {3, 4}.
+    The optimal ratio-cut bipartition is {0..3} | {4..7} with 1 net cut.
+    """
+    nets = []
+    for base in (0, 4):
+        group = [base, base + 1, base + 2, base + 3]
+        for i in range(4):
+            for j in range(i + 1, 4):
+                nets.append([group[i], group[j]])
+    nets.append([3, 4])
+    return Hypergraph(nets, name="two-cluster")
+
+
+@pytest.fixture
+def small_circuit() -> Hypergraph:
+    """A 120-module hierarchical circuit with a planted 30:90 partition."""
+    return generate_hierarchical(
+        num_modules=120,
+        num_nets=140,
+        natural_fraction=0.25,
+        crossing_nets=3,
+        subcluster_size=20,
+        seed=7,
+        name="small",
+    )
+
+
+@pytest.fixture
+def medium_circuit() -> Hypergraph:
+    """A 300-module circuit for integration tests."""
+    return generate_hierarchical(
+        num_modules=300,
+        num_nets=330,
+        natural_fraction=0.2,
+        crossing_nets=5,
+        subcluster_size=40,
+        seed=11,
+        name="medium",
+    )
+
+
+# ----------------------------------------------------------------------
+# Random-instance builders (deterministic in the seed)
+# ----------------------------------------------------------------------
+def random_hypergraph(
+    seed: int,
+    num_modules: int = 12,
+    num_nets: int = 15,
+    max_net_size: int = 5,
+) -> Hypergraph:
+    """A uniformly random hypergraph, connected-ish via coverage."""
+    rng = random.Random(seed)
+    nets = []
+    for _ in range(num_nets):
+        size = rng.randint(2, min(max_net_size, num_modules))
+        nets.append(rng.sample(range(num_modules), size))
+    # Guarantee every module appears somewhere.
+    for v in range(num_modules):
+        if not any(v in pins for pins in nets):
+            other = (v + 1) % num_modules
+            nets.append([v, other])
+    return Hypergraph(nets, num_modules=num_modules)
+
+
+def random_graph(
+    seed: int, num_vertices: int = 10, edge_probability: float = 0.3
+) -> Graph:
+    """A random weighted graph."""
+    rng = random.Random(seed)
+    g = Graph(num_vertices)
+    for u in range(num_vertices):
+        for v in range(u + 1, num_vertices):
+            if rng.random() < edge_probability:
+                g.add_edge(u, v, rng.choice([0.5, 1.0, 2.0]))
+    return g
+
+
+def connected_random_graph(
+    seed: int, num_vertices: int = 10, extra_edges: int = 8
+) -> Graph:
+    """A random connected graph: a random spanning tree plus extras."""
+    rng = random.Random(seed)
+    g = Graph(num_vertices)
+    order = list(range(num_vertices))
+    rng.shuffle(order)
+    for i in range(1, num_vertices):
+        g.add_edge(order[i], order[rng.randrange(i)], rng.choice([1.0, 2.0]))
+    for _ in range(extra_edges):
+        u, v = rng.sample(range(num_vertices), 2)
+        if not g.has_edge(u, v):
+            g.add_edge(u, v, 1.0)
+    return g
+
+
+# ----------------------------------------------------------------------
+# Hypothesis strategies
+# ----------------------------------------------------------------------
+@st.composite
+def hypergraph_strategy(
+    draw, min_modules=3, max_modules=12, min_nets=2, max_nets=14
+):
+    """Random small hypergraphs with all nets of size >= 2."""
+    n = draw(st.integers(min_modules, max_modules))
+    m = draw(st.integers(min_nets, max_nets))
+    nets = []
+    for _ in range(m):
+        size = draw(st.integers(2, min(5, n)))
+        pins = draw(
+            st.lists(
+                st.integers(0, n - 1),
+                min_size=size,
+                max_size=size,
+                unique=True,
+            )
+        )
+        nets.append(pins)
+    return Hypergraph(nets, num_modules=n)
+
+
+@st.composite
+def bipartite_strategy(draw, max_side=7):
+    """Random small bipartite graphs as (left, right, edges) triples."""
+    nl = draw(st.integers(1, max_side))
+    nr = draw(st.integers(1, max_side))
+    possible = [(l, r) for l in range(nl) for r in range(nr)]
+    edges = draw(
+        st.lists(st.sampled_from(possible), max_size=len(possible), unique=True)
+    )
+    return nl, nr, edges

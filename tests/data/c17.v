@@ -1,0 +1,13 @@
+// Golden sample: the ISCAS-85 c17 benchmark topology (6 NAND gates),
+// hand-transcribed into the supported structural subset.
+module c17 (n1, n2, n3, n6, n7, n22, n23);
+  input n1, n2, n3, n6, n7;
+  output n22, n23;
+  wire n10, n11, n16, n19;
+  nand g10 (n10, n1, n3);
+  nand g11 (n11, n3, n6);
+  nand g16 (n16, n2, n11);
+  nand g19 (n19, n11, n7);
+  nand g22 (n22, n10, n16);
+  nand g23 (n23, n16, n19);
+endmodule

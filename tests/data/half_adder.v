@@ -1,0 +1,7 @@
+// Golden sample: a half adder in the supported structural subset.
+module half_adder (a, b, sum, carry);
+  input a, b;
+  output sum, carry;
+  xor g_sum (sum, a, b);
+  and g_carry (carry, a, b);
+endmodule

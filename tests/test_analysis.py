@@ -1,0 +1,137 @@
+"""Tests for the analysis utilities (cut stats, sparsity, stability,
+bounds)."""
+
+import pytest
+
+from repro.analysis import (
+    check_bound,
+    compare_sparsity,
+    cut_stats_by_size,
+    is_cut_probability_monotone,
+    random_cut_probability,
+    ratio_cut_lower_bound,
+    stability_analysis,
+)
+from repro.analysis.cutstats import CutStatsRow
+from repro.hypergraph import Hypergraph
+from repro.partitioning import Partition, fm_bipartition, FMConfig
+from tests.conftest import connected_random_graph
+
+
+class TestCutStats:
+    def test_rows_sum_to_totals(self, small_circuit):
+        from repro.partitioning import ig_match
+
+        partition = ig_match(small_circuit).partition
+        rows = cut_stats_by_size(partition)
+        assert sum(r.num_nets for r in rows) == small_circuit.num_nets
+        assert sum(r.num_cut for r in rows) == partition.num_nets_cut
+
+    def test_hand_example(self, tiny_hypergraph):
+        p = Partition(tiny_hypergraph, [0, 0, 1, 1])
+        rows = cut_stats_by_size(p)
+        assert rows == [
+            CutStatsRow(net_size=2, num_nets=2, num_cut=1),
+            CutStatsRow(net_size=3, num_nets=1, num_cut=1),
+        ]
+
+    def test_cut_fraction(self):
+        row = CutStatsRow(net_size=2, num_nets=4, num_cut=1)
+        assert row.cut_fraction == 0.25
+
+    def test_monotonicity_check(self):
+        monotone = [
+            CutStatsRow(2, 10, 1),
+            CutStatsRow(3, 10, 5),
+            CutStatsRow(4, 10, 9),
+        ]
+        assert is_cut_probability_monotone(monotone)
+        non_monotone = [
+            CutStatsRow(2, 10, 5),
+            CutStatsRow(3, 10, 1),
+        ]
+        assert not is_cut_probability_monotone(non_monotone)
+
+    def test_random_cut_probability(self):
+        # 2-pin net, fair partition: P(cut) = 1/2.
+        assert random_cut_probability(2) == pytest.approx(0.5)
+        # Grows toward 1 with net size (the paper's 1 - O(2^-k)).
+        assert random_cut_probability(14) > 0.999
+        assert random_cut_probability(1) == 0.0
+
+    def test_random_cut_probability_biased(self):
+        assert random_cut_probability(2, fraction=0.1) == pytest.approx(
+            1 - 0.01 - 0.81
+        )
+
+
+class TestSparsity:
+    def test_wide_net_circuit(self):
+        h = Hypergraph([list(range(20)), [0, 1], [1, 2]], name="wide")
+        cmp = compare_sparsity(h)
+        assert cmp.clique_nonzeros > cmp.intersection_nonzeros
+        assert cmp.sparsity_ratio > 10
+
+    def test_counts_match_library(self, small_circuit):
+        from repro.intersection import intersection_nonzeros
+        from repro.netmodels import get_model
+
+        cmp = compare_sparsity(small_circuit)
+        assert cmp.intersection_nonzeros == intersection_nonzeros(
+            small_circuit
+        )
+        assert cmp.clique_nonzeros == (
+            get_model("clique").to_graph(small_circuit).num_nonzeros
+        )
+
+    def test_str(self, small_circuit):
+        assert "sparser" in str(compare_sparsity(small_circuit))
+
+
+class TestStability:
+    def test_deterministic_algorithm_zero_spread(self, small_circuit):
+        from repro.partitioning import IGMatchConfig, ig_match
+
+        report = stability_analysis(
+            small_circuit,
+            lambda h, seed: ig_match(h, IGMatchConfig(seed=0)),
+            "IG-Match(fixed)",
+            seeds=range(3),
+        )
+        assert report.is_deterministic
+        assert report.relative_spread == 0.0
+
+    def test_randomised_algorithm_spread(self, small_circuit):
+        report = stability_analysis(
+            small_circuit,
+            lambda h, seed: fm_bipartition(h, FMConfig(seed=seed)),
+            "FM",
+            seeds=range(5),
+        )
+        assert report.best <= report.mean <= report.worst
+        assert report.stdev >= 0.0
+        assert "FM" in str(report)
+
+
+class TestBounds:
+    def test_lower_bound_positive_for_connected(self):
+        g = connected_random_graph(1, num_vertices=12)
+        bound = ratio_cut_lower_bound(g)
+        assert bound.bound > 0
+
+    def test_check_bound_holds(self):
+        import random
+
+        g = connected_random_graph(2, num_vertices=12)
+        rng = random.Random(0)
+        for _ in range(10):
+            sides = [rng.randint(0, 1) for _ in range(12)]
+            if 0 < sum(sides) < 12:
+                assert check_bound(g, sides)
+
+    def test_check_bound_rejects_empty_side(self):
+        from repro.errors import SpectralError
+
+        g = connected_random_graph(3, num_vertices=6)
+        with pytest.raises(SpectralError):
+            check_bound(g, [0] * 6)

@@ -1,0 +1,105 @@
+"""Tests for HypergraphBuilder."""
+
+import pytest
+
+from repro.errors import HypergraphError
+from repro.hypergraph import HypergraphBuilder
+
+
+class TestModules:
+    def test_add_module_returns_index(self):
+        b = HypergraphBuilder()
+        assert b.add_module("a") == 0
+        assert b.add_module("b") == 1
+        assert b.num_modules == 2
+
+    def test_auto_names(self):
+        b = HypergraphBuilder()
+        b.add_module()
+        assert b.build().module_name(0) == "m0"
+
+    def test_duplicate_name_rejected(self):
+        b = HypergraphBuilder()
+        b.add_module("a")
+        with pytest.raises(HypergraphError):
+            b.add_module("a")
+
+    def test_module_get_or_create(self):
+        b = HypergraphBuilder()
+        first = b.module("x")
+        again = b.module("x")
+        assert first == again
+        assert b.num_modules == 1
+
+    def test_module_index_lookup(self):
+        b = HypergraphBuilder()
+        b.add_module("a")
+        assert b.module_index("a") == 0
+        with pytest.raises(HypergraphError):
+            b.module_index("nope")
+
+    def test_negative_area_rejected(self):
+        b = HypergraphBuilder()
+        with pytest.raises(HypergraphError):
+            b.add_module("a", area=-2)
+
+    def test_set_area(self):
+        b = HypergraphBuilder()
+        i = b.add_module("a")
+        b.set_area(i, 3.0)
+        assert b.build().module_area(i) == 3.0
+
+
+class TestNets:
+    def test_add_net_by_indices(self):
+        b = HypergraphBuilder()
+        a = b.add_module()
+        c = b.add_module()
+        net = b.add_net([a, c], name="w")
+        h = b.build()
+        assert h.pins(net) == (0, 1)
+        assert h.net_name(net) == "w"
+
+    def test_net_with_undeclared_module_rejected(self):
+        b = HypergraphBuilder()
+        b.add_module()
+        with pytest.raises(HypergraphError):
+            b.add_net([0, 7])
+
+    def test_add_net_by_names_creates_modules(self):
+        b = HypergraphBuilder()
+        b.add_net_by_names(["x", "y", "z"])
+        assert b.num_modules == 3
+        assert b.build().num_pins == 3
+
+    def test_duplicate_net_name_rejected(self):
+        b = HypergraphBuilder()
+        b.add_net_by_names(["x", "y"], name="n")
+        with pytest.raises(HypergraphError):
+            b.add_net_by_names(["x", "y"], name="n")
+
+    def test_connect_appends_pin(self):
+        b = HypergraphBuilder()
+        net = b.add_net_by_names(["x", "y"])
+        z = b.module("z")
+        b.connect(net, z)
+        assert b.build().net_size(net) == 3
+
+    def test_connect_bad_indices(self):
+        b = HypergraphBuilder()
+        b.add_net_by_names(["x", "y"])
+        with pytest.raises(HypergraphError):
+            b.connect(5, 0)
+        with pytest.raises(HypergraphError):
+            b.connect(0, 99)
+
+    def test_build_roundtrip(self):
+        b = HypergraphBuilder()
+        b.add_net_by_names(["a", "b"], name="n1")
+        b.add_net_by_names(["b", "c", "d"], name="n2")
+        h = b.build(name="circuit")
+        assert h.name == "circuit"
+        assert h.num_modules == 4
+        # module "b" was created second, so it has index 1
+        assert h.module_name(1) == "b"
+        assert h.nets_of(1) == (0, 1)

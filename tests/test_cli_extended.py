@@ -1,0 +1,112 @@
+"""Tests for the newer CLI paths: reports, k-way, .hgr/.v inputs."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.hypergraph import save_hgr
+from tests.conftest import random_hypergraph
+
+VERILOG = """
+module m (a, b, y);
+  input a, b;
+  output y;
+  wire w;
+  and g1 (w, a, b);
+  not g2 (y, w);
+endmodule
+"""
+
+
+class TestInputFormats:
+    def test_hgr_input(self, tmp_path, capsys):
+        h = random_hypergraph(4, num_modules=18, num_nets=20)
+        path = tmp_path / "c.hgr"
+        save_hgr(h, path)
+        assert main([str(path)]) == 0
+        assert "IG-Match" in capsys.readouterr().out
+
+    def test_verilog_input(self, tmp_path, capsys):
+        path = tmp_path / "m.v"
+        path.write_text(VERILOG, encoding="utf-8")
+        assert main([str(path), "-a", "fm"]) == 0
+
+    def test_bad_verilog_reports_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.v"
+        path.write_text("module m (a); assign x = a; endmodule")
+        assert main([str(path)]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestReport:
+    def test_report_flag(self, tmp_path, capsys):
+        from repro.hypergraph import save_net
+
+        h = random_hypergraph(5, num_modules=20, num_nets=24)
+        path = tmp_path / "c.net"
+        save_net(h, path)
+        assert main([str(path), "--report"]) == 0
+        out = capsys.readouterr().out
+        assert "partition report" in out
+        assert "cut histogram" in out
+
+
+class TestReplicateFlag:
+    def test_replicate(self, capsys):
+        assert main(
+            ["--generate", "Test02", "--scale", "0.12",
+             "--replicate", "0.1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "replication:" in out
+
+    def test_bad_fraction(self, capsys):
+        assert main(
+            ["--generate", "bm1", "--scale", "0.1",
+             "--replicate", "3.0"]
+        ) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestMultiwayCli:
+    def test_blocks_flag_recursive(self, capsys):
+        assert main(
+            ["--generate", "Test02", "--scale", "0.12", "--blocks", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "3 blocks" in out
+        assert "scaled cost" in out
+
+    def test_spectral_kway_algorithm(self, capsys):
+        assert main(
+            [
+                "--generate", "Test02", "--scale", "0.12",
+                "-a", "spectral-kway", "--blocks", "4",
+            ]
+        ) == 0
+        assert "spectral-kway" in capsys.readouterr().out
+
+    def test_multiway_json(self, capsys):
+        assert main(
+            [
+                "--generate", "bm1", "--scale", "0.12",
+                "--blocks", "4", "--json",
+            ]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["blocks"] == 4
+        assert len(payload["block_sizes"]) == 4
+
+    def test_multiway_sides_out(self, tmp_path, capsys):
+        out_file = tmp_path / "blocks.txt"
+        assert main(
+            [
+                "--generate", "bm1", "--scale", "0.12",
+                "--blocks", "3", "--sides-out", str(out_file),
+            ]
+        ) == 0
+        lines = out_file.read_text().strip().splitlines()
+        labels = {line.split()[1] for line in lines}
+        assert labels <= {"0", "1", "2"}
+        assert len(labels) == 3

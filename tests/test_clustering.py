@@ -1,0 +1,128 @@
+"""Tests for coarsening and the multilevel hybrid partitioner."""
+
+import pytest
+
+from repro.clustering import (
+    MultilevelConfig,
+    coarsen,
+    heavy_edge_matching,
+    multilevel_partition,
+)
+from repro.errors import PartitionError, ReproError
+from repro.hypergraph import Hypergraph
+
+
+class TestHeavyEdgeMatching:
+    def test_covers_all_modules(self, small_circuit):
+        clusters = heavy_edge_matching(small_circuit)
+        flattened = sorted(v for c in clusters for v in c)
+        assert flattened == list(range(small_circuit.num_modules))
+
+    def test_clusters_at_most_pairs(self, small_circuit):
+        clusters = heavy_edge_matching(small_circuit)
+        assert all(1 <= len(c) <= 2 for c in clusters)
+
+    def test_pairs_are_adjacent(self, small_circuit):
+        from repro.netmodels import get_model
+
+        g = get_model("clique").to_graph(small_circuit)
+        for cluster in heavy_edge_matching(small_circuit):
+            if len(cluster) == 2:
+                assert g.has_edge(cluster[0], cluster[1])
+
+    def test_prefers_heavy_edges(self):
+        # The only edges are a double-weight (0,1) and a unit (2,3):
+        # every visitation order must pair {0,1} and {2,3}.
+        h = Hypergraph([[0, 1], [0, 1], [2, 3]])
+        for seed in range(4):
+            clusters = heavy_edge_matching(h, seed=seed)
+            pairs = sorted(sorted(c) for c in clusters if len(c) == 2)
+            assert pairs == [[0, 1], [2, 3]]
+
+    def test_deterministic(self, small_circuit):
+        a = heavy_edge_matching(small_circuit, seed=5)
+        b = heavy_edge_matching(small_circuit, seed=5)
+        assert a == b
+
+
+class TestCoarsen:
+    def test_reaches_target(self, medium_circuit):
+        levels = coarsen(medium_circuit, target_modules=50)
+        assert levels
+        assert levels[-1].coarse.num_modules <= max(
+            50, 0.95 * levels[-1].fine.num_modules
+        )
+
+    def test_hierarchy_consistent(self, medium_circuit):
+        levels = coarsen(medium_circuit, target_modules=60)
+        for level in levels:
+            assert len(level.assignment) == level.fine.num_modules
+            assert max(level.assignment) == level.coarse.num_modules - 1
+            # Areas are conserved through merging.
+            assert level.coarse.total_area == pytest.approx(
+                level.fine.total_area
+            )
+
+    def test_already_small_enough(self, small_circuit):
+        levels = coarsen(small_circuit, target_modules=1000)
+        assert levels == []
+
+    def test_bad_target(self, small_circuit):
+        with pytest.raises(ReproError):
+            coarsen(small_circuit, target_modules=1)
+
+    def test_halving_rate(self, medium_circuit):
+        levels = coarsen(medium_circuit, target_modules=40)
+        for level in levels:
+            assert level.coarse.num_modules >= (
+                level.fine.num_modules // 2
+            )
+
+
+class TestMultilevel:
+    def test_two_clusters(self, two_cluster_hypergraph):
+        result = multilevel_partition(
+            two_cluster_hypergraph, MultilevelConfig(target_modules=4)
+        )
+        assert result.nets_cut == 1
+
+    def test_quality_near_flat(self, medium_circuit):
+        from repro.partitioning import ig_match
+
+        flat = ig_match(medium_circuit)
+        hybrid = multilevel_partition(
+            medium_circuit, MultilevelConfig(target_modules=80)
+        )
+        # The hybrid is a heuristic; demand it lands within 4x of flat.
+        assert hybrid.ratio_cut <= 4 * flat.ratio_cut + 1e-9
+
+    def test_details(self, medium_circuit):
+        result = multilevel_partition(
+            medium_circuit, MultilevelConfig(target_modules=80)
+        )
+        assert result.algorithm == "Multilevel"
+        assert result.details["levels"] >= 1
+        assert result.details["coarsest_modules"] <= (
+            medium_circuit.num_modules
+        )
+
+    def test_custom_core(self, medium_circuit):
+        from repro.partitioning import FMConfig, fm_bipartition
+
+        result = multilevel_partition(
+            medium_circuit,
+            MultilevelConfig(target_modules=60),
+            bipartitioner=lambda h: fm_bipartition(h, FMConfig(seed=0)),
+        )
+        assert result.details["core_algorithm"] == "FM"
+
+    def test_too_small(self):
+        with pytest.raises(PartitionError):
+            multilevel_partition(Hypergraph([[0]], num_modules=1))
+
+    def test_no_refinement_mode(self, medium_circuit):
+        result = multilevel_partition(
+            medium_circuit,
+            MultilevelConfig(target_modules=80, refine_rounds=0),
+        )
+        assert result.partition.u_size >= 1

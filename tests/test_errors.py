@@ -1,0 +1,54 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    BenchmarkError,
+    GraphError,
+    HypergraphError,
+    MatchingError,
+    ParseError,
+    PartitionError,
+    ReproError,
+    SpectralError,
+    ValidationError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            BenchmarkError,
+            GraphError,
+            HypergraphError,
+            MatchingError,
+            ParseError,
+            PartitionError,
+            SpectralError,
+            ValidationError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        assert issubclass(exc, Exception)
+
+    def test_validation_is_hypergraph_error(self):
+        assert issubclass(ValidationError, HypergraphError)
+
+    def test_parse_error_line_prefix(self):
+        err = ParseError("bad token", line=7)
+        assert "line 7" in str(err)
+        assert err.line == 7
+
+    def test_parse_error_without_line(self):
+        err = ParseError("bad token")
+        assert str(err) == "bad token"
+        assert err.line is None
+
+    def test_catch_all_pattern(self):
+        """Library consumers can catch ReproError alone."""
+        from repro.hypergraph import Hypergraph
+
+        with pytest.raises(ReproError):
+            Hypergraph([[0, -5]])

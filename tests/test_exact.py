@@ -1,0 +1,118 @@
+"""Tests for the exact partitioners, and heuristic-vs-optimal checks."""
+
+import pytest
+
+from repro.errors import PartitionError
+from repro.hypergraph import Hypergraph
+from repro.partitioning import (
+    IGMatchConfig,
+    RCutConfig,
+    exact_min_cut_bisection,
+    exact_min_ratio_cut,
+    ig_match,
+    ig_vote,
+    rcut,
+)
+from repro.partitioning.metrics import is_bisection
+from tests.conftest import random_hypergraph
+
+
+class TestExactRatioCut:
+    def test_two_cluster_optimum(self, two_cluster_hypergraph):
+        result = exact_min_ratio_cut(two_cluster_hypergraph)
+        assert result.nets_cut == 1
+        assert result.ratio_cut == pytest.approx(1 / 16)
+        assert result.details["optimal"]
+
+    def test_path_netlist(self):
+        # Chain of 2-pin nets: optimum cuts one net in the middle.
+        h = Hypergraph([[i, i + 1] for i in range(7)])
+        result = exact_min_ratio_cut(h)
+        assert result.nets_cut == 1
+        assert result.ratio_cut == pytest.approx(1 / 16)
+
+    def test_size_limit(self):
+        h = Hypergraph([[i, i + 1] for i in range(30)])
+        with pytest.raises(PartitionError):
+            exact_min_ratio_cut(h)
+
+    def test_too_small(self):
+        with pytest.raises(PartitionError):
+            exact_min_ratio_cut(Hypergraph([], num_modules=1))
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_heuristics_never_beat_exact(self, seed):
+        h = random_hypergraph(seed, num_modules=11, num_nets=13)
+        optimum = exact_min_ratio_cut(h).ratio_cut
+        for heuristic in (
+            ig_match(h, IGMatchConfig()),
+            ig_vote(h),
+            rcut(h, RCutConfig(restarts=4, seed=seed)),
+        ):
+            assert heuristic.ratio_cut >= optimum - 1e-12
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_igmatch_usually_near_optimal(self, seed):
+        """On clustered instances IG-Match should land within 2x of the
+        true optimum (it is exact on the matching subproblem, heuristic
+        only in the ordering)."""
+        from repro.bench import generate_hierarchical
+
+        h = generate_hierarchical(
+            num_modules=16, num_nets=18, natural_fraction=0.4,
+            crossing_nets=1, subcluster_size=8, noise=0.0,
+            seed=seed,
+        )
+        optimum = exact_min_ratio_cut(h).ratio_cut
+        heuristic = ig_match(h).ratio_cut
+        assert heuristic <= 2.5 * optimum + 1e-12
+
+    def test_theorem1_respected_by_optimum(self):
+        """The true hypergraph optimum, evaluated on the clique-model
+        graph cut, respects the spectral lower bound."""
+        from repro.analysis import ratio_cut_lower_bound
+        from repro.netmodels import get_model
+        from repro.partitioning.metrics import graph_edge_cut
+
+        h = random_hypergraph(3, num_modules=10, num_nets=14)
+        g = get_model("clique").to_graph(h)
+        from repro.graph import connected_components
+
+        if len(connected_components(g)) != 1:
+            pytest.skip("instance disconnected")
+        bound = ratio_cut_lower_bound(g).bound
+        best = float("inf")
+        for mask in range(1, 2**9):
+            u_mask = (mask << 1) | 1
+            sides = [0 if u_mask >> v & 1 else 1 for v in range(10)]
+            u = sides.count(0)
+            if u in (0, 10):
+                continue
+            cost = graph_edge_cut(g, sides) / (u * (10 - u))
+            best = min(best, cost)
+        assert best >= bound - 1e-9
+
+
+class TestExactBisection:
+    def test_two_cluster_bisection(self, two_cluster_hypergraph):
+        result = exact_min_cut_bisection(two_cluster_hypergraph)
+        assert result.nets_cut == 1
+        assert is_bisection(result.partition.sides)
+
+    def test_odd_module_count(self):
+        h = Hypergraph([[i, i + 1] for i in range(6)])  # 7 modules
+        result = exact_min_cut_bisection(h)
+        assert is_bisection(result.partition.sides)
+        assert result.nets_cut == 1
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_fm_never_beats_exact_bisection(self, seed):
+        from repro.partitioning import FMConfig, fm_bipartition
+
+        h = random_hypergraph(seed + 20, num_modules=12, num_nets=14)
+        optimum = exact_min_cut_bisection(h)
+        heuristic = fm_bipartition(
+            h, FMConfig(balance_tolerance=0.0, seed=seed)
+        )
+        if is_bisection(heuristic.partition.sides):
+            assert heuristic.nets_cut >= optimum.nets_cut

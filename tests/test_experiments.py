@@ -1,0 +1,186 @@
+"""Tests for the experiment harness (run at tiny scale)."""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentResult,
+    format_ratio,
+    percent_improvement,
+    render_table,
+    run_all,
+    run_completion_ablation,
+    run_eig1_comparison,
+    run_multilevel_ablation,
+    run_multiway_comparison,
+    run_netmodel_ablation,
+    run_refinement_ablation,
+    run_runtime,
+    run_sparsity,
+    run_stability,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_threshold_ablation,
+    run_tolerance_ablation,
+    run_weighting_ablation,
+)
+
+SCALE = 0.08
+NAMES = ("bm1", "Prim1")
+
+
+class TestTableHelpers:
+    def test_percent_improvement(self):
+        assert percent_improvement(10.0, 5.0) == pytest.approx(50.0)
+        assert percent_improvement(5.0, 10.0) == pytest.approx(-100.0)
+        assert percent_improvement(0.0, 1.0) == 0.0
+
+    def test_format_ratio(self):
+        assert format_ratio(5.53e-5) == "5.53e-05"
+        assert format_ratio(float("inf")) == "inf"
+
+    def test_render_table_alignment(self):
+        text = render_table(
+            ["name", "value"], [["abc", 12], ["de", 3456]]
+        )
+        lines = text.splitlines()
+        assert "name" in lines[0]
+        assert "-" in lines[1]
+        assert len(lines) == 4
+
+    def test_experiment_result_render_and_markdown(self):
+        result = ExperimentResult(
+            "T", "Title", ["a", "b"], [[1, 2]], notes=["note"]
+        )
+        assert "Title" in result.render()
+        assert "note" in result.render()
+        md = result.to_markdown()
+        assert md.startswith("### T: Title")
+        assert "| a | b |" in md
+
+
+class TestPaperTables:
+    def test_table1(self):
+        result = run_table1(scale=SCALE)
+        assert result.headers[0] == "Net Size"
+        assert len(result.rows) >= 3
+        total_nets = sum(row[1] for row in result.rows)
+        assert total_nets > 0
+        assert any("monotone" in note for note in result.notes)
+
+    def test_table2(self):
+        result = run_table2(names=NAMES, scale=SCALE, restarts=2)
+        assert len(result.rows) == len(NAMES)
+        assert "average improvement" in result.notes[0]
+        for row in result.rows:
+            assert row[0] in NAMES
+
+    def test_table3(self):
+        result = run_table3(names=NAMES, scale=SCALE)
+        assert len(result.rows) == len(NAMES)
+        assert any("never worse" in note for note in result.notes)
+
+    def test_eig1(self):
+        result = run_eig1_comparison(names=NAMES, scale=SCALE)
+        assert len(result.rows) == len(NAMES)
+
+    def test_sparsity(self):
+        result = run_sparsity(names=NAMES, scale=SCALE)
+        assert len(result.rows) == len(NAMES)
+        for row in result.rows:
+            assert row[3] > 0 and row[4] > 0
+
+    def test_runtime(self):
+        result = run_runtime(names=["bm1"], scale=SCALE, restarts=2)
+        assert len(result.rows) == 1
+
+
+class TestAblations:
+    def test_weighting(self):
+        result = run_weighting_ablation(names=("bm1",), scale=SCALE)
+        weightings = {row[1] for row in result.rows}
+        assert weightings >= {"paper", "unit", "overlap", "jaccard"}
+
+    def test_completion(self):
+        result = run_completion_ablation(names=("bm1",), scale=SCALE)
+        strategies = [row[1] for row in result.rows]
+        assert "IG-Match" in strategies
+        assert "IG-Vote" in strategies
+        assert "naive-majority" in strategies
+        assert "IG-Match-recursive" in strategies
+
+    def test_netmodels(self):
+        result = run_netmodel_ablation(names=("bm1",), scale=SCALE)
+        models = {row[1] for row in result.rows}
+        assert "clique" in models and "star" in models
+
+    def test_refinement(self):
+        result = run_refinement_ablation(names=("bm1",), scale=SCALE)
+        assert result.rows[0][3] in ("yes", "no")
+
+    def test_multilevel(self):
+        result = run_multilevel_ablation(names=("bm1",), scale=SCALE)
+        assert len(result.rows) == 1
+
+    def test_stability(self):
+        result = run_stability(
+            names=("bm1",), scale=SCALE, seeds=range(2)
+        )
+        # 3 algorithms per circuit.
+        assert len(result.rows) == 3
+        igm_row = next(r for r in result.rows if r[1] == "IG-Match")
+        assert igm_row[5] == "0%"
+
+    def test_threshold(self):
+        result = run_threshold_ablation(
+            names=("bm1",), thresholds=(None, 5), scale=SCALE
+        )
+        assert len(result.rows) == 2
+        assert result.rows[0][1] == "none"
+        # Thresholding shrinks the IG nonzero count.
+        assert result.rows[1][2] <= result.rows[0][2]
+
+    def test_tolerance(self):
+        result = run_tolerance_ablation(
+            names=("bm1",), tolerances=(1e-9, 1e-2), scale=SCALE
+        )
+        assert len(result.rows) == 2
+
+    def test_multiway(self):
+        result = run_multiway_comparison(
+            names=("bm1",), num_blocks=3, scale=SCALE
+        )
+        strategies = {row[1] for row in result.rows}
+        assert len(strategies) == 3
+
+    def test_replication(self):
+        from repro.experiments import run_replication_ablation
+
+        result = run_replication_ablation(
+            names=("bm1",), budgets=(0.0, 0.1), scale=SCALE
+        )
+        assert len(result.rows) == 2
+        # Cut never increases with budget.
+        assert int(result.rows[1][4]) <= int(result.rows[0][4])
+
+
+class TestRunner:
+    def test_run_all_subset(self):
+        results = run_all(scale=SCALE, only=["sparsity"])
+        assert len(results) == 1
+        assert results[0].experiment_id.startswith("E5")
+
+    def test_main_cli(self, capsys):
+        from repro.experiments import main
+
+        code = main(["--scale", str(SCALE), "--only", "sparsity"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Sparsity" in out
+
+    def test_main_markdown(self, capsys):
+        from repro.experiments import main
+
+        main(["--scale", str(SCALE), "--only", "sparsity", "--markdown"])
+        out = capsys.readouterr().out
+        assert out.startswith("###")

@@ -1,0 +1,128 @@
+"""Tests for Fiedler vectors and the disconnected-graph handling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SpectralError
+from repro.graph import Graph, laplacian_matrix
+from repro.spectral import component_spectral_values, fiedler_vector
+from tests.conftest import connected_random_graph
+
+
+def path_graph(n):
+    g = Graph(n)
+    for i in range(n - 1):
+        g.add_edge(i, i + 1)
+    return g
+
+
+class TestFiedlerVector:
+    def test_path_known_eigenvalue(self):
+        # Path P_n: lambda_2 = 2(1 - cos(pi/n)).
+        n = 8
+        result = fiedler_vector(path_graph(n))
+        expected = 2 * (1 - np.cos(np.pi / n))
+        assert result.eigenvalue == pytest.approx(expected, abs=1e-8)
+
+    def test_path_vector_monotone(self):
+        # The Fiedler vector of a path is monotone along it.
+        result = fiedler_vector(path_graph(9))
+        diffs = np.diff(result.vector)
+        assert np.all(diffs > 0) or np.all(diffs < 0)
+
+    def test_orthogonal_to_constant(self):
+        g = connected_random_graph(4, num_vertices=15)
+        result = fiedler_vector(g)
+        assert abs(result.vector.sum()) < 1e-7
+
+    def test_eigen_equation(self):
+        g = connected_random_graph(8, num_vertices=15)
+        result = fiedler_vector(g)
+        q = laplacian_matrix(g).toarray()
+        residual = q @ result.vector - result.eigenvalue * result.vector
+        assert np.linalg.norm(residual) < 1e-6
+
+    def test_backends_agree(self):
+        g = connected_random_graph(6, num_vertices=40, extra_edges=30)
+        scipy_result = fiedler_vector(g, backend="scipy")
+        lanczos_result = fiedler_vector(g, backend="lanczos")
+        assert scipy_result.eigenvalue == pytest.approx(
+            lanczos_result.eigenvalue, abs=1e-6
+        )
+        # Vectors agree up to sign (canonicalised, so exactly).
+        dot = abs(np.dot(scipy_result.vector, lanczos_result.vector))
+        assert dot == pytest.approx(1.0, abs=1e-6)
+
+    def test_deterministic(self):
+        g = connected_random_graph(3, num_vertices=25)
+        a = fiedler_vector(g, seed=5)
+        b = fiedler_vector(g, seed=5)
+        assert np.array_equal(a.vector, b.vector)
+
+    def test_complete_graph_eigenvalue(self):
+        n = 7
+        g = Graph(n)
+        for i in range(n):
+            for j in range(i + 1, n):
+                g.add_edge(i, j)
+        result = fiedler_vector(g)
+        assert result.eigenvalue == pytest.approx(n, abs=1e-8)
+
+    def test_ratio_cut_lower_bound_property(self):
+        g = connected_random_graph(10, num_vertices=12)
+        result = fiedler_vector(g)
+        assert result.ratio_cut_lower_bound() == pytest.approx(
+            result.eigenvalue / 12
+        )
+
+
+class TestFiedlerValidation:
+    def test_too_small(self):
+        with pytest.raises(SpectralError):
+            fiedler_vector(Graph(1))
+
+    def test_disconnected_rejected(self):
+        g = Graph(4)
+        g.add_edge(0, 1)
+        g.add_edge(2, 3)
+        with pytest.raises(SpectralError):
+            fiedler_vector(g)
+
+    def test_bad_backend(self):
+        g = path_graph(4)
+        with pytest.raises(SpectralError):
+            fiedler_vector(g, backend="magic")
+
+
+class TestComponentValues:
+    def test_connected_graph_matches_ordering(self):
+        g = path_graph(10)
+        values = component_spectral_values(g)
+        order = np.argsort(values)
+        # A path's spectral order is the path order (or its reverse).
+        assert list(order) in ([*range(10)], [*reversed(range(10))])
+
+    def test_components_get_disjoint_ranges(self):
+        g = Graph(8)
+        for base in (0, 4):
+            for i in range(3):
+                g.add_edge(base + i, base + i + 1)
+        values = component_spectral_values(g)
+        first = values[:4]
+        second = values[4:]
+        assert max(first) < min(second) or max(second) < min(first)
+
+    def test_singleton_components(self):
+        g = Graph(3)
+        g.add_edge(0, 1)
+        values = component_spectral_values(g)
+        assert len(set(values)) == 3
+
+    def test_empty_graph(self):
+        assert component_spectral_values(Graph(0)).size == 0
+
+    def test_two_vertex_component(self):
+        g = Graph(2)
+        g.add_edge(0, 1)
+        values = component_spectral_values(g)
+        assert values[0] != values[1]

@@ -1,0 +1,177 @@
+"""Tests for the Fiduccia–Mattheyses engine and partitioner."""
+
+import pytest
+
+from repro.errors import PartitionError
+from repro.hypergraph import Hypergraph
+from repro.partitioning import FMConfig, FMEngine, GainBuckets, fm_bipartition
+from repro.partitioning.fm import SideBuckets
+from repro.partitioning.metrics import net_cut_count
+from tests.conftest import random_hypergraph
+
+
+class TestGainBuckets:
+    def test_insert_and_len(self):
+        b = GainBuckets()
+        b.insert(0, 2)
+        b.insert(1, 2)
+        b.insert(2, -1)
+        assert len(b) == 3
+
+    def test_best_first_iteration(self):
+        b = GainBuckets()
+        b.insert(0, 1)
+        b.insert(1, 5)
+        b.insert(2, -3)
+        gains = [g for g, _ in b.iter_best_first()]
+        assert gains == sorted(gains, reverse=True)
+        assert gains[0] == 5
+
+    def test_remove(self):
+        b = GainBuckets()
+        b.insert(0, 3)
+        b.remove(0, 3)
+        assert len(b) == 0
+        with pytest.raises(PartitionError):
+            b.remove(0, 3)
+
+    def test_update_moves_cell(self):
+        b = GainBuckets()
+        b.insert(0, 1)
+        new = b.update(0, 1, 3)
+        assert new == 4
+        assert [c for _, c in b.iter_best_first()] == [0]
+
+    def test_update_zero_delta_noop(self):
+        b = GainBuckets()
+        b.insert(0, 1)
+        assert b.update(0, 1, 0) == 1
+
+
+class TestSideBuckets:
+    def test_best_feasible_per_side(self):
+        sb = SideBuckets()
+        sb.insert(0, 5, 0)
+        sb.insert(1, 3, 1)
+        sb.insert(2, 7, 1)
+        assert sb.best_feasible(0, lambda c: True) == (5, 0)
+        assert sb.best_feasible(1, lambda c: True) == (7, 2)
+        assert sb.best_feasible(1, lambda c: c != 2) == (3, 1)
+        assert sb.best_feasible(0, lambda c: False) is None
+
+
+class TestEngineGains:
+    def test_initial_gains_match_definition(self):
+        for seed in range(6):
+            h = random_hypergraph(seed, num_modules=10, num_nets=12)
+            sides = [v % 2 for v in range(h.num_modules)]
+            engine = FMEngine(h, sides)
+            for v in range(h.num_modules):
+                flipped = list(sides)
+                flipped[v] = 1 - flipped[v]
+                true_gain = net_cut_count(h, sides) - net_cut_count(
+                    h, flipped
+                )
+                assert engine.gains[v] == true_gain
+
+    def test_gains_stay_exact_under_moves(self):
+        import random
+
+        for seed in range(6):
+            h = random_hypergraph(seed + 10, num_modules=12, num_nets=14)
+            rng = random.Random(seed)
+            sides = [rng.randint(0, 1) for _ in range(h.num_modules)]
+            engine = FMEngine(h, sides)
+            for _ in range(10):
+                v = rng.randrange(h.num_modules)
+                engine.move(v)
+                # Cross-check the cut and every gain from scratch.
+                assert engine.cut == net_cut_count(h, engine.sides)
+                for u in range(h.num_modules):
+                    flipped = list(engine.sides)
+                    flipped[u] = 1 - flipped[u]
+                    expected = engine.cut - net_cut_count(h, flipped)
+                    assert engine.gains[u] == expected
+
+    def test_side_counters(self):
+        h = Hypergraph([[0, 1], [1, 2]], module_areas=[1.0, 2.0, 3.0])
+        engine = FMEngine(h, [0, 0, 1])
+        assert engine.side_count == [2, 1]
+        assert engine.side_area == [3.0, 3.0]
+        engine.move(1)
+        assert engine.side_count == [1, 2]
+        assert engine.side_area == [1.0, 5.0]
+
+
+class TestRunPass:
+    def test_pass_never_worsens(self):
+        for seed in range(5):
+            h = random_hypergraph(seed, num_modules=16, num_nets=20)
+            import random
+
+            sides = [random.Random(seed).randint(0, 1)
+                     for _ in range(h.num_modules)]
+            engine = FMEngine(h, sides)
+            before = engine.cut
+            engine.run_pass(lambda c: True, objective="cut")
+            assert engine.cut <= before
+
+    def test_bad_objective(self, tiny_hypergraph):
+        engine = FMEngine(tiny_hypergraph, [0, 0, 1, 1])
+        with pytest.raises(PartitionError):
+            engine.run_pass(lambda c: True, objective="nope")
+
+    def test_pass_respects_feasibility(self, two_cluster_hypergraph):
+        engine = FMEngine(two_cluster_hypergraph, [0, 1, 0, 1, 0, 1, 0, 1])
+        frozen = {0, 1}
+        engine.run_pass(lambda c: c not in frozen, objective="cut")
+        assert engine.sides[0] == 0 and engine.sides[1] == 1
+
+
+class TestFmBipartition:
+    def test_finds_two_cluster_cut(self, two_cluster_hypergraph):
+        result = fm_bipartition(
+            two_cluster_hypergraph, FMConfig(balance_tolerance=0.0, seed=1)
+        )
+        assert result.nets_cut == 1
+        assert sorted(result.partition.u_modules) in (
+            [0, 1, 2, 3], [4, 5, 6, 7]
+        )
+
+    def test_respects_balance(self, small_circuit):
+        result = fm_bipartition(
+            small_circuit, FMConfig(balance_tolerance=0.05, seed=2)
+        )
+        total = small_circuit.num_modules
+        assert abs(result.partition.u_size - total / 2) <= (
+            0.05 * total + 1
+        )
+
+    def test_initial_sides_respected(self, two_cluster_hypergraph):
+        result = fm_bipartition(
+            two_cluster_hypergraph,
+            FMConfig(balance_tolerance=0.0),
+            initial_sides=[0, 0, 0, 0, 1, 1, 1, 1],
+        )
+        assert result.nets_cut == 1
+
+    def test_too_few_modules(self):
+        with pytest.raises(PartitionError):
+            fm_bipartition(Hypergraph([], num_modules=1))
+
+    def test_deterministic_given_seed(self, small_circuit):
+        a = fm_bipartition(small_circuit, FMConfig(seed=9))
+        b = fm_bipartition(small_circuit, FMConfig(seed=9))
+        assert a.partition.sides == b.partition.sides
+
+    def test_zero_area_pads_cannot_empty_a_side(self):
+        # Regression: area-based balance alone lets zero-area pads
+        # drain one side completely.
+        h = Hypergraph(
+            [[0, 3], [1, 3], [2, 4], [3, 4]],
+            module_areas=[0.0, 0.0, 0.0, 1.0, 1.0],
+        )
+        for seed in range(5):
+            result = fm_bipartition(h, FMConfig(seed=seed))
+            assert result.partition.u_size >= 1
+            assert result.partition.w_size >= 1

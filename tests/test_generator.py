@@ -1,0 +1,131 @@
+"""Tests for the synthetic hierarchical netlist generator."""
+
+import random
+
+import pytest
+
+from repro.bench import generate_hierarchical, sample_net_sizes
+from repro.errors import BenchmarkError
+from repro.graph import connected_components
+from repro.hypergraph import net_size_histogram, validate
+from repro.netmodels import get_model
+from repro.partitioning.metrics import net_cut_count
+
+
+class TestSampleSizes:
+    def test_count_and_bounds(self):
+        rng = random.Random(0)
+        sizes = sample_net_sizes(rng, 500, mean_net_size=3.4,
+                                 max_net_size=20, wide_max=60)
+        assert len(sizes) == 500
+        assert all(2 <= s <= 60 for s in sizes)
+
+    def test_mean_approximate(self):
+        rng = random.Random(1)
+        sizes = sample_net_sizes(
+            rng, 4000, mean_net_size=3.4, wide_fraction=0.0
+        )
+        mean = sum(sizes) / len(sizes)
+        assert 3.0 < mean < 3.8
+
+    def test_wide_tail_present(self):
+        rng = random.Random(2)
+        sizes = sample_net_sizes(
+            rng, 1000, max_net_size=20, wide_fraction=0.02, wide_max=80
+        )
+        assert sum(1 for s in sizes if s >= 20) >= 15
+
+    def test_bad_mean(self):
+        with pytest.raises(BenchmarkError):
+            sample_net_sizes(random.Random(0), 10, mean_net_size=1.5)
+
+
+class TestGenerate:
+    def test_counts(self):
+        h = generate_hierarchical(
+            num_modules=150, num_nets=170, natural_fraction=0.3,
+            crossing_nets=4, seed=0,
+        )
+        assert h.num_modules == 150
+        assert h.num_nets == 170
+
+    def test_deterministic(self):
+        a = generate_hierarchical(100, 110, seed=42)
+        b = generate_hierarchical(100, 110, seed=42)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = generate_hierarchical(100, 110, seed=1)
+        b = generate_hierarchical(100, 110, seed=2)
+        assert a != b
+
+    def test_no_isolated_modules(self):
+        for seed in range(4):
+            h = generate_hierarchical(120, 130, seed=seed)
+            assert h.isolated_modules() == []
+
+    def test_validation_clean_of_errors(self):
+        h = generate_hierarchical(100, 120, seed=3)
+        assert validate(h).ok
+
+    def test_each_side_connected(self):
+        h = generate_hierarchical(
+            num_modules=200, num_nets=220, natural_fraction=0.25,
+            crossing_nets=3, seed=5,
+        )
+        g = get_model("clique").to_graph(h)
+        assert len(connected_components(g)) == 1
+
+    def test_planted_partition_cut(self):
+        n, crossing, noise = 200, 5, 0.0
+        h = generate_hierarchical(
+            num_modules=n, num_nets=230, natural_fraction=0.3,
+            crossing_nets=crossing, noise=noise, seed=7,
+        )
+        num_u = round(0.3 * n)
+        sides = [0 if v < num_u else 1 for v in range(n)]
+        cut = net_cut_count(h, sides)
+        # All planted crossings cut; rewiring repair may add a few.
+        assert crossing <= cut <= crossing + 8
+
+    def test_exact_histogram(self):
+        hist = {2: 40, 3: 20, 5: 10, 9: 2}
+        h = generate_hierarchical(
+            num_modules=80, num_nets=0, net_size_histogram=hist,
+            crossing_nets=2, seed=1,
+        )
+        assert net_size_histogram(h) == hist
+
+    def test_noise_nets_cross(self):
+        h_clean = generate_hierarchical(
+            200, 220, natural_fraction=0.5, crossing_nets=2,
+            noise=0.0, seed=9,
+        )
+        h_noisy = generate_hierarchical(
+            200, 220, natural_fraction=0.5, crossing_nets=2,
+            noise=0.2, seed=9,
+        )
+        sides = [0 if v < 100 else 1 for v in range(200)]
+        assert net_cut_count(h_noisy, sides) > net_cut_count(h_clean, sides)
+
+    def test_bad_fraction(self):
+        with pytest.raises(BenchmarkError):
+            generate_hierarchical(50, 60, natural_fraction=1.5)
+
+    def test_bad_escape(self):
+        with pytest.raises(BenchmarkError):
+            generate_hierarchical(50, 60, escape=1.0)
+
+    def test_too_many_crossing(self):
+        with pytest.raises(BenchmarkError):
+            generate_hierarchical(50, 10, crossing_nets=10)
+
+    def test_too_few_modules(self):
+        with pytest.raises(BenchmarkError):
+            generate_hierarchical(2, 10)
+
+    def test_net_sizes_within_module_count(self):
+        h = generate_hierarchical(
+            20, 40, crossing_nets=2, max_net_size=18, seed=0
+        )
+        assert max(h.net_sizes()) <= 20

@@ -1,0 +1,85 @@
+"""Golden-file tests: checked-in sample circuits through the front ends.
+
+These freeze the exact interpretation of each supported format — any
+parser change that silently alters the structure of a known file fails
+here.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.hypergraph import load_bookshelf, load_hgr, load_verilog
+from repro.partitioning import exact_min_ratio_cut, ig_match
+
+DATA = Path(__file__).parent / "data"
+
+
+class TestHalfAdder:
+    def test_structure(self):
+        h = load_verilog(DATA / "half_adder.v")
+        assert h.num_modules == 6  # 4 pads + 2 gates
+        assert h.num_nets == 4
+        assert h.num_pins == 10
+
+
+class TestC17:
+    @pytest.fixture
+    def c17(self):
+        return load_verilog(DATA / "c17.v")
+
+    def test_structure(self, c17):
+        # 7 pads + 6 gates; 11 nets (5 PIs, 4 internal, 2 POs).
+        assert c17.num_modules == 13
+        assert c17.num_nets == 11
+        gates = [
+            v
+            for v in range(c17.num_modules)
+            if not c17.module_name(v).startswith("pad:")
+        ]
+        assert len(gates) == 6
+
+    def test_fanouts(self, c17):
+        # Net n11 feeds g16 and g19 plus its driver g11: 3 pins.
+        names = {
+            c17.net_name(j): c17.net_size(j)
+            for j in range(c17.num_nets)
+        }
+        assert names["n11"] == 3
+        assert names["n3"] == 3  # pad + g10 + g11
+        assert names["n22"] == 2  # g22 + pad
+
+    def test_partitioning_matches_exact(self, c17):
+        heuristic = ig_match(c17)
+        optimal = exact_min_ratio_cut(c17)
+        assert heuristic.ratio_cut <= 1.5 * optimal.ratio_cut + 1e-12
+
+
+class TestSampleHgr:
+    def test_structure(self):
+        h = load_hgr(DATA / "sample.hgr")
+        assert h.num_modules == 7
+        assert h.num_nets == 5
+        assert h.pins(2) == (3, 4, 5)  # 1-indexed "4 5 6"
+
+    def test_clusters_found(self):
+        h = load_hgr(DATA / "sample.hgr")
+        result = ig_match(h)
+        assert result.nets_cut == 1
+        # Two optimal 1-cut splits exist (cut the bridge net {2,3} or
+        # the net {3,4,5}); both give ratio 1/12.
+        assert result.ratio_cut == pytest.approx(1 / 12)
+        assert sorted(result.partition.u_modules) in (
+            [0, 1, 2], [0, 1, 2, 3], [3, 4, 5, 6], [4, 5, 6]
+        )
+
+
+class TestSampleBookshelf:
+    def test_structure(self):
+        h = load_bookshelf(DATA / "sample.nodes", DATA / "sample.nets")
+        assert h.num_modules == 6
+        assert h.num_nets == 3
+        assert h.module_area(0) == 4.0  # u1: 2x2
+        assert h.module_area(4) == 0.0  # terminal
+        assert h.net_name(0) == "n_in"
+        assert h.net_size(0) == 3

@@ -1,0 +1,144 @@
+"""Tests for the core Hypergraph data structure."""
+
+import pytest
+
+from repro.errors import HypergraphError
+from repro.hypergraph import Hypergraph
+
+
+class TestConstruction:
+    def test_basic_counts(self, tiny_hypergraph):
+        assert tiny_hypergraph.num_modules == 4
+        assert tiny_hypergraph.num_nets == 3
+        assert tiny_hypergraph.num_pins == 7
+
+    def test_empty_hypergraph(self):
+        h = Hypergraph([])
+        assert h.num_modules == 0
+        assert h.num_nets == 0
+        assert h.num_pins == 0
+
+    def test_explicit_module_count_allows_isolated(self):
+        h = Hypergraph([[0, 1]], num_modules=5)
+        assert h.num_modules == 5
+        assert h.isolated_modules() == [2, 3, 4]
+
+    def test_module_count_too_small_rejected(self):
+        with pytest.raises(HypergraphError):
+            Hypergraph([[0, 5]], num_modules=3)
+
+    def test_negative_pin_rejected(self):
+        with pytest.raises(HypergraphError):
+            Hypergraph([[0, -1]])
+
+    def test_duplicate_pins_collapsed(self):
+        h = Hypergraph([[2, 2, 0, 2]])
+        assert h.pins(0) == (0, 2)
+        assert h.num_pins == 2
+
+    def test_pins_sorted(self):
+        h = Hypergraph([[3, 1, 2]])
+        assert h.pins(0) == (1, 2, 3)
+
+    def test_name(self):
+        assert Hypergraph([[0, 1]], name="x").name == "x"
+
+
+class TestAccessors:
+    def test_pins_out_of_range(self, tiny_hypergraph):
+        with pytest.raises(HypergraphError):
+            tiny_hypergraph.pins(3)
+
+    def test_nets_of(self, tiny_hypergraph):
+        assert tiny_hypergraph.nets_of(0) == (0, 2)
+        assert tiny_hypergraph.nets_of(1) == (0, 1)
+        assert tiny_hypergraph.nets_of(2) == (1,)
+
+    def test_nets_of_out_of_range(self, tiny_hypergraph):
+        with pytest.raises(HypergraphError):
+            tiny_hypergraph.nets_of(99)
+
+    def test_net_size_and_degree(self, tiny_hypergraph):
+        assert tiny_hypergraph.net_size(1) == 3
+        assert tiny_hypergraph.module_degree(3) == 2
+
+    def test_net_sizes_list(self, tiny_hypergraph):
+        assert tiny_hypergraph.net_sizes() == [2, 3, 2]
+
+    def test_module_degrees_list(self, tiny_hypergraph):
+        assert tiny_hypergraph.module_degrees() == [2, 2, 1, 2]
+
+    def test_default_names(self, tiny_hypergraph):
+        assert tiny_hypergraph.module_name(2) == "m2"
+        assert tiny_hypergraph.net_name(1) == "n1"
+        assert not tiny_hypergraph.has_module_names
+
+    def test_explicit_names(self):
+        h = Hypergraph(
+            [[0, 1]], module_names=["a", "b"], net_names=["clk"]
+        )
+        assert h.module_name(1) == "b"
+        assert h.net_name(0) == "clk"
+        assert h.has_net_names
+
+    def test_name_length_mismatch(self):
+        with pytest.raises(HypergraphError):
+            Hypergraph([[0, 1]], module_names=["only-one"])
+
+
+class TestAreas:
+    def test_default_unit_areas(self, tiny_hypergraph):
+        assert tiny_hypergraph.module_area(0) == 1.0
+        assert tiny_hypergraph.total_area == 4.0
+
+    def test_explicit_areas(self):
+        h = Hypergraph([[0, 1]], module_areas=[2.5, 0.5])
+        assert h.module_area(0) == 2.5
+        assert h.total_area == 3.0
+
+    def test_negative_area_rejected(self):
+        with pytest.raises(HypergraphError):
+            Hypergraph([[0, 1]], module_areas=[1.0, -1.0])
+
+    def test_area_count_mismatch(self):
+        with pytest.raises(HypergraphError):
+            Hypergraph([[0, 1]], module_areas=[1.0])
+
+
+class TestDerived:
+    def test_neighbors_of_module(self, tiny_hypergraph):
+        assert tiny_hypergraph.neighbors_of_module(0) == [1, 3]
+        assert tiny_hypergraph.neighbors_of_module(2) == [1, 3]
+
+    def test_nets_sharing_module(self, tiny_hypergraph):
+        # n0={0,1} shares module 1 with n1 and module 0 with n2.
+        assert tiny_hypergraph.nets_sharing_module(0) == [1, 2]
+
+    def test_clique_model_nonzeros(self, tiny_hypergraph):
+        # k(k-1) per net: 2 + 6 + 2 = 10
+        assert tiny_hypergraph.clique_model_nonzeros() == 10
+
+    def test_iter_nets(self, tiny_hypergraph):
+        items = list(tiny_hypergraph.iter_nets())
+        assert items[0] == (0, (0, 1))
+        assert len(items) == 3
+
+
+class TestEquality:
+    def test_equal(self):
+        a = Hypergraph([[0, 1], [1, 2]])
+        b = Hypergraph([[1, 0], [2, 1]])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_not_equal_structure(self):
+        assert Hypergraph([[0, 1]]) != Hypergraph([[0, 1], [0, 1]])
+
+    def test_not_equal_areas(self):
+        a = Hypergraph([[0, 1]])
+        b = Hypergraph([[0, 1]], module_areas=[2.0, 1.0])
+        assert a != b
+
+    def test_repr(self, tiny_hypergraph):
+        text = repr(tiny_hypergraph)
+        assert "4 modules" in text and "3 nets" in text

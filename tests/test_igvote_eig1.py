@@ -1,0 +1,104 @@
+"""Tests for the IG-Vote and EIG1 baselines."""
+
+import pytest
+
+from repro.errors import PartitionError
+from repro.hypergraph import Hypergraph
+from repro.intersection import intersection_graph
+from repro.partitioning import (
+    EIG1Config,
+    IGVoteConfig,
+    eig1,
+    ig_match,
+    ig_vote,
+)
+from repro.spectral import spectral_ordering
+
+
+class TestIGVote:
+    def test_two_clusters(self, two_cluster_hypergraph):
+        result = ig_vote(two_cluster_hypergraph)
+        assert result.nets_cut == 1
+
+    def test_direction_recorded(self, small_circuit):
+        result = ig_vote(small_circuit)
+        assert result.details["direction"] in ("forward", "backward")
+
+    def test_deterministic(self, small_circuit):
+        a = ig_vote(small_circuit, IGVoteConfig(seed=0))
+        b = ig_vote(small_circuit, IGVoteConfig(seed=0))
+        assert a.partition.sides == b.partition.sides
+
+    def test_explicit_order(self, small_circuit):
+        order = spectral_ordering(
+            intersection_graph(small_circuit, "paper"), seed=0
+        )
+        result = ig_vote(small_circuit, order=order)
+        assert result.nets_cut >= 1
+
+    def test_bad_order(self, small_circuit):
+        with pytest.raises(PartitionError):
+            ig_vote(small_circuit, order=[1, 1])
+
+    def test_threshold_variants(self, small_circuit):
+        half = ig_vote(small_circuit, IGVoteConfig(threshold=0.5))
+        strict = ig_vote(small_circuit, IGVoteConfig(threshold=0.8))
+        assert half.nets_cut >= 1
+        assert strict.nets_cut >= 1
+
+    def test_too_small(self):
+        with pytest.raises(PartitionError):
+            ig_vote(Hypergraph([[0]], num_modules=1))
+
+    def test_vote_mechanics_hand_example(self):
+        """Half-weight threshold: a module moves once half its incident
+        net weight has swept past."""
+        # Module 1 is on nets n0 (size 2) and n1 (size 2): each
+        # contributes weight 1/2, total 1.  After sweeping n0 alone its
+        # moved weight is 1/2 >= 1/2 -> module 1 moves with n0's sweep.
+        h = Hypergraph([[0, 1], [1, 2], [2, 3]])
+        result = ig_vote(h, order=[0, 1, 2])
+        # Some valid bipartition came out with both sides non-empty.
+        assert result.partition.u_size >= 1
+        assert result.partition.w_size >= 1
+
+    def test_igmatch_dominates_igvote_on_shared_ordering(
+        self, medium_circuit
+    ):
+        order = spectral_ordering(
+            intersection_graph(medium_circuit, "paper"), seed=0
+        )
+        vote = ig_vote(medium_circuit, order=order)
+        match = ig_match(medium_circuit, order=order)
+        # Table 3's shape: IG-Match is never (meaningfully) worse.
+        assert match.ratio_cut <= vote.ratio_cut * 1.001
+
+
+class TestEIG1:
+    def test_two_clusters(self, two_cluster_hypergraph):
+        result = eig1(two_cluster_hypergraph)
+        assert result.nets_cut == 1
+
+    def test_deterministic(self, small_circuit):
+        a = eig1(small_circuit, EIG1Config(seed=0))
+        b = eig1(small_circuit, EIG1Config(seed=0))
+        assert a.partition.sides == b.partition.sides
+
+    def test_net_model_recorded(self, small_circuit):
+        result = eig1(small_circuit, EIG1Config(net_model="star"))
+        assert result.details["net_model"] == "star"
+
+    def test_all_net_models(self, small_circuit):
+        from repro.netmodels import available_models
+
+        for model in available_models():
+            result = eig1(small_circuit, EIG1Config(net_model=model))
+            assert result.partition.u_size >= 1
+
+    def test_too_small(self):
+        with pytest.raises(PartitionError):
+            eig1(Hypergraph([[0]], num_modules=1))
+
+    def test_finds_planted(self, small_circuit):
+        result = eig1(small_circuit)
+        assert result.ratio_cut < 0.01

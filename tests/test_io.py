@@ -1,0 +1,105 @@
+"""Tests for netlist file I/O."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.hypergraph import (
+    Hypergraph,
+    dumps_net,
+    from_json,
+    load_json,
+    load_net,
+    loads_net,
+    save_json,
+    save_net,
+    to_json,
+)
+
+
+class TestJson:
+    def test_roundtrip(self, tiny_hypergraph):
+        assert from_json(to_json(tiny_hypergraph)) == tiny_hypergraph
+
+    def test_roundtrip_with_metadata(self):
+        h = Hypergraph(
+            [[0, 1]],
+            module_names=["a", "b"],
+            net_names=["clk"],
+            module_areas=[2.0, 1.0],
+            name="x",
+        )
+        back = from_json(to_json(h))
+        assert back == h
+        assert back.module_name(0) == "a"
+        assert back.net_name(0) == "clk"
+        assert back.name == "x"
+
+    def test_file_roundtrip(self, tmp_path, small_circuit):
+        path = tmp_path / "c.json"
+        save_json(small_circuit, path)
+        assert load_json(path) == small_circuit
+
+    def test_bad_format_tag(self):
+        with pytest.raises(ParseError):
+            from_json({"format": "something-else"})
+
+
+class TestNetFormat:
+    def test_roundtrip(self, tiny_hypergraph):
+        back = loads_net(dumps_net(tiny_hypergraph))
+        assert back == tiny_hypergraph
+
+    def test_file_roundtrip(self, tmp_path, small_circuit):
+        path = tmp_path / "c.net"
+        save_net(small_circuit, path)
+        back = load_net(path)
+        assert back == small_circuit
+        assert back.name == "c"  # stem becomes the name
+
+    def test_parse_simple(self):
+        text = """
+        # a comment
+        module a
+        module b 2.5
+        net w1 a b
+        """
+        h = loads_net(text)
+        assert h.num_modules == 2
+        assert h.module_area(1) == 2.5
+        assert h.net_name(0) == "w1"
+
+    def test_nets_create_modules(self):
+        h = loads_net("net n1 x y z")
+        assert h.num_modules == 3
+        assert h.net_size(0) == 3
+
+    def test_unknown_keyword(self):
+        with pytest.raises(ParseError) as err:
+            loads_net("wibble a b")
+        assert err.value.line == 1
+
+    def test_bad_area(self):
+        with pytest.raises(ParseError):
+            loads_net("module a xyz")
+
+    def test_duplicate_module(self):
+        with pytest.raises(ParseError):
+            loads_net("module a\nmodule a")
+
+    def test_duplicate_net_name(self):
+        with pytest.raises(ParseError):
+            loads_net("net n a b\nnet n c d")
+
+    def test_net_missing_name(self):
+        with pytest.raises(ParseError):
+            loads_net("net")
+
+    def test_inline_comment(self):
+        h = loads_net("net n1 a b # trailing words")
+        assert h.net_size(0) == 2
+
+    def test_areas_preserved_in_dump(self):
+        h = Hypergraph([[0, 1]], module_areas=[3.0, 1.0])
+        text = dumps_net(h)
+        assert "3" in text
+        assert loads_net(text).module_area(0) == 3.0

@@ -1,0 +1,151 @@
+"""Tests for direct spectral k-way partitioning and scaled cost."""
+
+import pytest
+
+from repro.errors import PartitionError
+from repro.hypergraph import Hypergraph
+from repro.partitioning import (
+    SpectralKWayConfig,
+    net_gain_refine,
+    recursive_partition,
+    scaled_cost,
+    spectral_kway,
+)
+from tests.conftest import random_hypergraph
+
+
+def three_cluster_circuit():
+    """Three 4-module cliques chained by two bridge nets."""
+    nets = []
+    for base in (0, 4, 8):
+        for i in range(4):
+            for j in range(i + 1, 4):
+                nets.append([base + i, base + j])
+    nets.append([3, 4])
+    nets.append([7, 8])
+    return Hypergraph(nets, name="three-cluster")
+
+
+class TestScaledCost:
+    def test_hand_computed(self):
+        h = three_cluster_circuit()
+        block_of = [0] * 4 + [1] * 4 + [2] * 4
+        # Each bridge net is external to 2 blocks:
+        # external = [1, 2, 1]; sizes = [4,4,4]; n=12, k=3.
+        expected = (1 / 4 + 2 / 4 + 1 / 4) / (12 * 2)
+        assert scaled_cost(h, block_of, 3) == pytest.approx(expected)
+
+    def test_empty_block_infeasible(self):
+        h = three_cluster_circuit()
+        assert scaled_cost(h, [0] * 12, 2) == float("inf")
+
+    def test_bad_labels(self):
+        h = three_cluster_circuit()
+        with pytest.raises(PartitionError):
+            scaled_cost(h, [0] * 11, 3)
+        with pytest.raises(PartitionError):
+            scaled_cost(h, [5] * 12, 3)
+
+    def test_better_partition_scores_lower(self):
+        h = three_cluster_circuit()
+        natural = [0] * 4 + [1] * 4 + [2] * 4
+        scrambled = [v % 3 for v in range(12)]
+        assert scaled_cost(h, natural, 3) < scaled_cost(h, scrambled, 3)
+
+
+class TestSpectralKWay:
+    def test_finds_three_clusters(self):
+        h = three_cluster_circuit()
+        result = spectral_kway(h, 3, SpectralKWayConfig(seed=0))
+        assert result.num_blocks == 3
+        assert sorted(result.block_sizes) == [4, 4, 4]
+        assert result.nets_cut == 2  # only the two bridges
+
+    def test_blocks_never_empty(self):
+        for seed in range(4):
+            h = random_hypergraph(seed, num_modules=24, num_nets=30)
+            result = spectral_kway(h, 4, SpectralKWayConfig(seed=seed))
+            assert all(s >= 1 for s in result.block_sizes)
+
+    def test_details_present(self, medium_circuit):
+        result = spectral_kway(medium_circuit, 4)
+        assert result.details["algorithm"] == "spectral-kway"
+        assert result.details["scaled_cost"] < float("inf")
+        assert result.details["dimensions"] == 3
+
+    def test_deterministic(self, small_circuit):
+        a = spectral_kway(small_circuit, 3, SpectralKWayConfig(seed=1))
+        b = spectral_kway(small_circuit, 3, SpectralKWayConfig(seed=1))
+        assert a.block_of == b.block_of
+
+    def test_competitive_with_recursive(self, medium_circuit):
+        direct = spectral_kway(medium_circuit, 4)
+        recursive = recursive_partition(medium_circuit, 4)
+        direct_cost = scaled_cost(medium_circuit, direct.block_of, 4)
+        recursive_cost = scaled_cost(
+            medium_circuit, recursive.block_of, 4
+        )
+        # Same league (either may win on a given circuit).
+        assert direct_cost <= 5 * recursive_cost
+
+    def test_k_validation(self, small_circuit):
+        with pytest.raises(PartitionError):
+            spectral_kway(small_circuit, 1)
+        with pytest.raises(PartitionError):
+            spectral_kway(small_circuit, 10**6)
+
+    def test_fm_refine_mode_never_worse(self, small_circuit):
+        plain = spectral_kway(
+            small_circuit, 3, SpectralKWayConfig(seed=0)
+        )
+        strong = spectral_kway(
+            small_circuit, 3, SpectralKWayConfig(seed=0, fm_refine=True)
+        )
+        assert strong.nets_cut <= plain.nets_cut
+
+
+class TestNetGainRefine:
+    def test_improves_scrambled_partition(self):
+        h = three_cluster_circuit()
+        block_of = [v % 3 for v in range(12)]
+        before = scaled_cost(h, block_of, 3)
+        moves = net_gain_refine(h, block_of, 3, max_passes=8)
+        after = scaled_cost(h, block_of, 3)
+        assert moves > 0
+        assert after <= before
+
+    def test_respects_min_block(self):
+        h = three_cluster_circuit()
+        block_of = [0] * 4 + [1] * 4 + [2] * 4
+        net_gain_refine(h, block_of, 3, min_block=4)
+        sizes = [block_of.count(b) for b in range(3)]
+        assert all(s >= 4 for s in sizes)
+
+    def test_fixed_point_on_natural_partition(self):
+        h = three_cluster_circuit()
+        block_of = [0] * 4 + [1] * 4 + [2] * 4
+        moves = net_gain_refine(h, block_of, 3)
+        assert moves == 0
+        assert block_of == [0] * 4 + [1] * 4 + [2] * 4
+
+    def test_gain_accounting_matches_metric(self):
+        import random
+
+        for seed in range(4):
+            h = random_hypergraph(seed + 9, num_modules=15, num_nets=18)
+            rng = random.Random(seed)
+            block_of = [rng.randrange(3) for _ in range(15)]
+            for b in range(3):  # ensure non-empty
+                block_of[b] = b
+
+            def spanning(labels):
+                return sum(
+                    1
+                    for _, pins in h.iter_nets()
+                    if len({labels[p] for p in pins}) > 1
+                )
+
+            before = spanning(block_of)
+            net_gain_refine(h, block_of, 3, max_passes=6)
+            after = spanning(block_of)
+            assert after <= before

@@ -1,0 +1,106 @@
+"""Tests for the Lanczos eigensolver, cross-validated against dense eigh."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import SpectralError
+from repro.spectral import lanczos_extreme
+from tests.conftest import connected_random_graph
+from repro.graph import laplacian_matrix
+
+
+def random_symmetric(seed, n):
+    rng = np.random.default_rng(seed)
+    m = rng.standard_normal((n, n))
+    return (m + m.T) / 2
+
+
+class TestAgainstDense:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_largest_eigenvalues(self, seed):
+        a = random_symmetric(seed, 30)
+        dense = np.linalg.eigvalsh(a)
+        result = lanczos_extreme(sp.csr_matrix(a), k=3, which="LA", seed=seed)
+        assert np.allclose(result.eigenvalues, dense[-3:], atol=1e-7)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_smallest_eigenvalues(self, seed):
+        a = random_symmetric(seed + 100, 25)
+        dense = np.linalg.eigvalsh(a)
+        result = lanczos_extreme(sp.csr_matrix(a), k=2, which="SA", seed=seed)
+        assert np.allclose(result.eigenvalues, dense[:2], atol=1e-7)
+
+    def test_eigenvectors_satisfy_equation(self):
+        a = random_symmetric(7, 40)
+        result = lanczos_extreme(sp.csr_matrix(a), k=2, which="LA")
+        for i in range(2):
+            vec = result.eigenvectors[:, i]
+            val = result.eigenvalues[i]
+            assert np.linalg.norm(a @ vec - val * vec) < 1e-6
+
+    def test_eigenvectors_orthonormal(self):
+        a = random_symmetric(3, 40)
+        result = lanczos_extreme(sp.csr_matrix(a), k=3, which="LA")
+        gram = result.eigenvectors.T @ result.eigenvectors
+        assert np.allclose(gram, np.eye(3), atol=1e-7)
+
+
+class TestLaplacians:
+    def test_laplacian_smallest_is_zero(self):
+        g = connected_random_graph(2, num_vertices=20)
+        q = laplacian_matrix(g)
+        result = lanczos_extreme(q, k=2, which="SA", seed=1)
+        assert abs(result.eigenvalues[0]) < 1e-8
+        assert result.eigenvalues[1] > 1e-8  # connected => lambda_2 > 0
+
+    def test_disconnected_laplacian_multiplicity(self):
+        # Two disjoint triangles: eigenvalue 0 has multiplicity 2.
+        from repro.graph import Graph
+
+        g = Graph(6)
+        for base in (0, 3):
+            g.add_edge(base, base + 1)
+            g.add_edge(base + 1, base + 2)
+            g.add_edge(base, base + 2)
+        result = lanczos_extreme(laplacian_matrix(g), k=2, which="SA")
+        assert np.allclose(result.eigenvalues, [0.0, 0.0], atol=1e-8)
+
+    def test_matvec_callable_interface(self):
+        a = random_symmetric(11, 20)
+        result = lanczos_extreme(lambda x: a @ x, k=1, which="LA", n=20)
+        dense_max = np.linalg.eigvalsh(a)[-1]
+        assert result.eigenvalues[0] == pytest.approx(dense_max, abs=1e-7)
+
+
+class TestValidation:
+    def test_callable_needs_n(self):
+        with pytest.raises(SpectralError):
+            lanczos_extreme(lambda x: x, k=1)
+
+    def test_bad_which(self):
+        with pytest.raises(SpectralError):
+            lanczos_extreme(np.eye(3), k=1, which="XX")
+
+    def test_k_too_large(self):
+        with pytest.raises(SpectralError):
+            lanczos_extreme(np.eye(3), k=5)
+
+    def test_k_nonpositive(self):
+        with pytest.raises(SpectralError):
+            lanczos_extreme(np.eye(3), k=0)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(SpectralError):
+            lanczos_extreme(np.ones((2, 3)), k=1)
+
+    def test_deterministic_given_seed(self):
+        a = random_symmetric(5, 25)
+        r1 = lanczos_extreme(sp.csr_matrix(a), k=2, seed=9)
+        r2 = lanczos_extreme(sp.csr_matrix(a), k=2, seed=9)
+        assert np.array_equal(r1.eigenvalues, r2.eigenvalues)
+        assert np.array_equal(r1.eigenvectors, r2.eigenvectors)
+
+    def test_identity_matrix(self):
+        result = lanczos_extreme(sp.identity(10, format="csr"), k=2)
+        assert np.allclose(result.eigenvalues, [1.0, 1.0])

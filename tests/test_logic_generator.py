@@ -1,0 +1,99 @@
+"""Tests for the gate-level synthetic logic generator."""
+
+import pytest
+
+from repro.bench import generate_logic_circuit, generate_logic_verilog
+from repro.errors import BenchmarkError
+from repro.hypergraph import loads_verilog, net_size_histogram, validate
+
+
+class TestVerilogGeneration:
+    def test_parses_through_front_end(self):
+        text = generate_logic_verilog(seed=1)
+        h = loads_verilog(text, name="t")
+        assert h.num_modules > 0
+        assert h.num_nets > 0
+        assert validate(h).ok
+
+    def test_deterministic(self):
+        assert generate_logic_verilog(seed=7) == generate_logic_verilog(
+            seed=7
+        )
+        assert generate_logic_verilog(seed=7) != generate_logic_verilog(
+            seed=8
+        )
+
+    def test_gate_count_scales(self):
+        small = generate_logic_circuit(
+            seed=0, gates_per_level=10, levels=3
+        )
+        large = generate_logic_circuit(
+            seed=0, gates_per_level=30, levels=6
+        )
+        assert large.num_modules > small.num_modules
+
+    def test_clock_is_a_wide_net(self):
+        h = generate_logic_circuit(
+            seed=2, dff_fraction=0.3, gates_per_level=30, levels=5
+        )
+        sizes = h.net_sizes()
+        # The clk net connects the pad plus every flip-flop.
+        widest = max(sizes)
+        dffs = sum(
+            1
+            for v in range(h.num_modules)
+            if h.module_name(v).startswith("ff")
+        )
+        assert dffs > 3
+        assert widest >= dffs  # clk spans all of them
+
+    def test_combinational_only(self):
+        text = generate_logic_verilog(seed=3, dff_fraction=0.0)
+        assert "dff" not in text
+        assert "clk" not in text
+        h = loads_verilog(text)
+        assert validate(h).ok
+
+    def test_ports_become_pads(self):
+        h = generate_logic_circuit(seed=4, num_inputs=6, num_outputs=4)
+        pads = [
+            v
+            for v in range(h.num_modules)
+            if h.module_name(v).startswith("pad:")
+        ]
+        # 6 PIs + 4 POs + clk pad
+        assert len(pads) == 11
+        assert all(h.module_area(v) == 0.0 for v in pads)
+
+    def test_validation_errors(self):
+        with pytest.raises(BenchmarkError):
+            generate_logic_verilog(num_inputs=1)
+        with pytest.raises(BenchmarkError):
+            generate_logic_verilog(levels=0)
+        with pytest.raises(BenchmarkError):
+            generate_logic_verilog(max_fanin=1)
+        with pytest.raises(BenchmarkError):
+            generate_logic_verilog(dff_fraction=1.0)
+
+
+class TestPartitioningLogic:
+    def test_igmatch_partitions_logic(self):
+        from repro.partitioning import ig_match
+
+        h = generate_logic_circuit(
+            seed=5, gates_per_level=25, levels=6, dff_fraction=0.1
+        )
+        result = ig_match(h)
+        assert result.partition.u_size >= 1
+        assert result.nets_cut >= 1  # levelised logic is connected
+
+    def test_clique_explodes_on_clock(self):
+        """The paper's Section 2.1 point, on generated logic: the wide
+        clock net makes the clique model far denser than the IG."""
+        from repro.analysis import compare_sparsity
+
+        h = generate_logic_circuit(
+            seed=6, gates_per_level=40, levels=6, dff_fraction=0.4
+        )
+        cmp = compare_sparsity(h)
+        assert cmp.sparsity_ratio > 1.5

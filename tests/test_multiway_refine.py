@@ -1,0 +1,94 @@
+"""Tests for recursive multiway partitioning and post-refinement."""
+
+import pytest
+
+from repro.errors import PartitionError
+from repro.hypergraph import Hypergraph
+from repro.partitioning import (
+    FMConfig,
+    fm_bipartition,
+    ig_match,
+    recursive_partition,
+    refine,
+)
+
+
+class TestMultiway:
+    def test_four_blocks(self, medium_circuit):
+        result = recursive_partition(medium_circuit, 4)
+        assert result.num_blocks == 4
+        assert sorted(set(result.block_of)) == [0, 1, 2, 3]
+        assert len(result.block_of) == medium_circuit.num_modules
+
+    def test_non_power_of_two(self, medium_circuit):
+        result = recursive_partition(medium_circuit, 3)
+        assert result.num_blocks == 3
+
+    def test_blocks_property(self, small_circuit):
+        result = recursive_partition(small_circuit, 2)
+        blocks = result.blocks
+        assert sum(len(b) for b in blocks) == small_circuit.num_modules
+        assert not (set(blocks[0]) & set(blocks[1]))
+
+    def test_nets_cut_counts_spanning(self):
+        # Hand-checkable: chain of 3 clusters.
+        nets = []
+        for base in (0, 3, 6):
+            nets += [[base, base + 1], [base + 1, base + 2],
+                     [base, base + 2]]
+        nets += [[2, 3], [5, 6]]
+        h = Hypergraph(nets)
+        result = recursive_partition(h, 3)
+        assert result.num_blocks == 3
+        assert result.nets_cut == 2
+
+    def test_custom_bipartitioner(self, small_circuit):
+        result = recursive_partition(
+            small_circuit,
+            2,
+            bipartitioner=lambda h: fm_bipartition(h, FMConfig(seed=0)),
+        )
+        assert result.num_blocks == 2
+
+    def test_block_sizes(self, small_circuit):
+        result = recursive_partition(small_circuit, 4)
+        assert sum(result.block_sizes) == small_circuit.num_modules
+        assert all(size >= 1 for size in result.block_sizes)
+
+    def test_external_nets_of_block(self):
+        h = Hypergraph([[0, 1], [1, 2], [2, 3], [0, 3]])
+        result = recursive_partition(h, 2)
+        for b in range(2):
+            external = result.external_nets_of_block(b)
+            assert 0 <= external <= h.num_nets
+
+    def test_bad_block_count(self, small_circuit):
+        with pytest.raises(PartitionError):
+            recursive_partition(small_circuit, 1)
+        with pytest.raises(PartitionError):
+            recursive_partition(small_circuit, 10**6)
+
+    def test_largest_block_split_first(self, medium_circuit):
+        result = recursive_partition(medium_circuit, 3)
+        # No block should dominate: the largest was always split.
+        sizes = sorted(result.block_sizes)
+        assert sizes[-1] < medium_circuit.num_modules
+
+
+class TestRefine:
+    def test_never_degrades(self, small_circuit):
+        base = ig_match(small_circuit)
+        polished = refine(base)
+        assert polished.ratio_cut <= base.ratio_cut + 1e-15
+        assert polished.algorithm == "IG-Match+refine"
+        assert "pre_refine_ratio_cut" in polished.details
+
+    def test_improves_weak_input(self, small_circuit):
+        weak = fm_bipartition(small_circuit, FMConfig(seed=1))
+        polished = refine(weak)
+        assert polished.ratio_cut <= weak.ratio_cut
+
+    def test_details_preserved(self, small_circuit):
+        base = ig_match(small_circuit)
+        polished = refine(base)
+        assert polished.details["weighting"] == base.details["weighting"]

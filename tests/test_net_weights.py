@@ -1,0 +1,108 @@
+"""Tests for net weights across the hypergraph substrate and metrics."""
+
+import pytest
+
+from repro.errors import HypergraphError
+from repro.hypergraph import (
+    Hypergraph,
+    drop_degenerate_nets,
+    from_json,
+    induced_subhypergraph,
+    merge_modules,
+    relabel_modules,
+    threshold_nets,
+    to_json,
+)
+from repro.partitioning import Partition, weighted_net_cut
+
+
+@pytest.fixture
+def weighted():
+    """Three nets, weights 2 / 1 / 5."""
+    return Hypergraph(
+        [[0, 1], [1, 2, 3], [0, 3]], net_weights=[2.0, 1.0, 5.0]
+    )
+
+
+class TestCore:
+    def test_defaults_unit(self, tiny_hypergraph):
+        assert not tiny_hypergraph.has_net_weights
+        assert tiny_hypergraph.net_weight(0) == 1.0
+        assert tiny_hypergraph.net_weights == (1.0, 1.0, 1.0)
+
+    def test_explicit(self, weighted):
+        assert weighted.has_net_weights
+        assert weighted.net_weight(2) == 5.0
+
+    def test_length_checked(self):
+        with pytest.raises(HypergraphError):
+            Hypergraph([[0, 1]], net_weights=[1.0, 2.0])
+
+    def test_negative_rejected(self):
+        with pytest.raises(HypergraphError):
+            Hypergraph([[0, 1]], net_weights=[-1.0])
+
+    def test_out_of_range(self, weighted):
+        with pytest.raises(HypergraphError):
+            weighted.net_weight(10)
+
+    def test_equality_considers_weights(self, weighted):
+        unweighted = Hypergraph([[0, 1], [1, 2, 3], [0, 3]])
+        assert weighted != unweighted
+        same = Hypergraph(
+            [[0, 1], [1, 2, 3], [0, 3]], net_weights=[2.0, 1.0, 5.0]
+        )
+        assert weighted == same
+
+
+class TestMetrics:
+    def test_weighted_cut(self, weighted):
+        # sides 0,0,1,1: nets 1 and 2 cut -> weight 1 + 5.
+        assert weighted_net_cut(weighted, [0, 0, 1, 1]) == 6.0
+
+    def test_matches_count_when_unit(self, tiny_hypergraph):
+        from repro.partitioning import net_cut_count
+
+        sides = [0, 1, 0, 1]
+        assert weighted_net_cut(tiny_hypergraph, sides) == (
+            net_cut_count(tiny_hypergraph, sides)
+        )
+
+    def test_partition_property(self, weighted):
+        p = Partition(weighted, [0, 0, 1, 1])
+        assert p.weighted_nets_cut == 6.0
+        assert p.num_nets_cut == 2
+
+
+class TestPropagation:
+    def test_json_roundtrip(self, weighted):
+        assert from_json(to_json(weighted)) == weighted
+
+    def test_drop_degenerate(self):
+        h = Hypergraph([[0, 1], [2], [1, 2]],
+                       net_weights=[2.0, 9.0, 3.0])
+        out, net_map = drop_degenerate_nets(h)
+        assert out.net_weights == (2.0, 3.0)
+
+    def test_threshold(self, weighted):
+        out, _ = threshold_nets(weighted, max_size=2)
+        assert out.net_weights == (2.0, 5.0)
+
+    def test_induced(self, weighted):
+        sub, _, net_map = induced_subhypergraph(weighted, [1, 2, 3])
+        assert sub.net_weights == tuple(
+            weighted.net_weight(j) for j in net_map
+        )
+
+    def test_merge(self, weighted):
+        coarse, _ = merge_modules(weighted, [[0, 1], [2, 3]])
+        # net 0 {0,1} collapses; nets 1 and 2 survive.
+        assert coarse.net_weights == (1.0, 5.0)
+
+    def test_relabel(self, weighted):
+        out, _ = relabel_modules(weighted, [3, 2, 1, 0])
+        assert out.net_weights == weighted.net_weights
+
+    def test_unweighted_stays_unweighted(self, tiny_hypergraph):
+        out, _ = threshold_nets(tiny_hypergraph, max_size=3)
+        assert not out.has_net_weights

@@ -1,0 +1,113 @@
+"""Tests for the net models (hypergraph -> graph conversions)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.hypergraph import Hypergraph
+from repro.netmodels import (
+    NetModel,
+    available_models,
+    get_model,
+    register_model,
+)
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = available_models()
+        for expected in ("clique", "unit-clique", "star", "path", "cycle"):
+            assert expected in names
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(ReproError):
+            get_model("no-such-model")
+
+    def test_duplicate_registration_rejected(self):
+        class Dup(NetModel):
+            name = "clique"
+
+            def expand_net(self, pins):
+                return []
+
+        with pytest.raises(ReproError):
+            register_model(Dup)
+
+    def test_unnamed_model_rejected(self):
+        class NoName(NetModel):
+            def expand_net(self, pins):
+                return []
+
+        with pytest.raises(ReproError):
+            register_model(NoName)
+
+
+class TestCliqueModel:
+    def test_two_pin_net(self):
+        g = get_model("clique").to_graph(Hypergraph([[0, 1]]))
+        assert g.weight(0, 1) == 1.0  # 1/(2-1)
+
+    def test_three_pin_net_weights(self):
+        g = get_model("clique").to_graph(Hypergraph([[0, 1, 2]]))
+        for u, v in ((0, 1), (0, 2), (1, 2)):
+            assert g.weight(u, v) == pytest.approx(0.5)  # 1/(3-1)
+
+    def test_pin_total_weight_is_one(self):
+        # Each pin of a k-pin net receives total weight 1 from that net.
+        k = 6
+        g = get_model("clique").to_graph(Hypergraph([list(range(k))]))
+        for v in range(k):
+            assert g.degree(v) == pytest.approx(1.0)
+
+    def test_overlapping_nets_accumulate(self):
+        g = get_model("clique").to_graph(Hypergraph([[0, 1], [0, 1, 2]]))
+        assert g.weight(0, 1) == pytest.approx(1.5)
+
+    def test_edge_count(self):
+        g = get_model("clique").to_graph(Hypergraph([list(range(5))]))
+        assert g.num_edges == 10  # C(5,2)
+
+    def test_unit_clique(self):
+        g = get_model("unit-clique").to_graph(Hypergraph([[0, 1, 2]]))
+        assert g.weight(0, 1) == 1.0
+
+
+class TestSparseModels:
+    def test_star_edge_count(self):
+        g = get_model("star").to_graph(Hypergraph([list(range(6))]))
+        assert g.num_edges == 5
+        # centre is the lowest-indexed pin
+        assert g.unweighted_degree(0) == 5
+
+    def test_path_edge_count(self):
+        g = get_model("path").to_graph(Hypergraph([list(range(6))]))
+        assert g.num_edges == 5
+        assert g.has_edge(0, 1) and g.has_edge(4, 5)
+        assert not g.has_edge(0, 5)
+
+    def test_cycle_closes(self):
+        g = get_model("cycle").to_graph(Hypergraph([[0, 1, 2, 3]]))
+        assert g.num_edges == 4
+        assert g.has_edge(0, 3)
+
+    def test_cycle_two_pin_net_no_double_edge(self):
+        g = get_model("cycle").to_graph(Hypergraph([[0, 1]]))
+        assert g.weight(0, 1) == 1.0
+
+
+class TestCommonBehaviour:
+    @pytest.mark.parametrize("name", ["clique", "star", "path", "cycle"])
+    def test_degenerate_nets_ignored(self, name):
+        h = Hypergraph([[0], [], [1, 2]], num_modules=3)
+        g = get_model(name).to_graph(h)
+        assert g.num_edges == 1
+
+    @pytest.mark.parametrize("name", ["clique", "star", "path", "cycle"])
+    def test_vertex_count_matches_modules(self, name, small_circuit):
+        g = get_model(name).to_graph(small_circuit)
+        assert g.num_vertices == small_circuit.num_modules
+
+    def test_sparse_models_sparser_than_clique(self, small_circuit):
+        clique_edges = get_model("clique").to_graph(small_circuit).num_edges
+        for name in ("star", "path"):
+            sparse_edges = get_model(name).to_graph(small_circuit).num_edges
+            assert sparse_edges <= clique_edges

@@ -1,0 +1,79 @@
+"""Fuzz tests: parsers must fail with ParseError, never crash.
+
+Any text thrown at a netlist parser should produce either a valid
+hypergraph or a :class:`ParseError` with a sensible message — no
+IndexError/KeyError/ValueError escapes.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParseError, ReproError
+from repro.hypergraph import (
+    loads_bookshelf,
+    loads_hgr,
+    loads_net,
+    loads_verilog,
+)
+
+# Text skewed toward format-relevant tokens so the fuzzer reaches deep
+# parser states, plus raw unicode for the shallow ones.
+_tokens = st.sampled_from(
+    [
+        "module", "endmodule", "input", "output", "wire", "net",
+        "NumNets", "NumPins", "NetDegree", "UCLA", "nets", "nodes",
+        "1.0", ":", ";", "(", ")", ",", "%", "#", "//", "0", "1",
+        "7", "-3", "a", "b", "g1", "\n", " ", "terminal",
+    ]
+)
+_structured_text = st.lists(_tokens, max_size=60).map(" ".join)
+_raw_text = st.text(max_size=200)
+_any_text = st.one_of(_structured_text, _raw_text)
+
+
+@settings(max_examples=150, deadline=None)
+@given(_any_text)
+def test_net_parser_total(text):
+    try:
+        loads_net(text)
+    except ParseError:
+        pass
+
+
+@settings(max_examples=150, deadline=None)
+@given(_any_text)
+def test_hgr_parser_total(text):
+    try:
+        loads_hgr(text)
+    except ParseError:
+        pass
+
+
+@settings(max_examples=150, deadline=None)
+@given(_any_text)
+def test_verilog_parser_total(text):
+    try:
+        loads_verilog(text)
+    except ParseError:
+        pass
+
+
+@settings(max_examples=100, deadline=None)
+@given(_any_text, _any_text)
+def test_bookshelf_parser_total(nodes_text, nets_text):
+    try:
+        loads_bookshelf(nodes_text, nets_text)
+    except ParseError:
+        pass
+
+
+@settings(max_examples=100, deadline=None)
+@given(_any_text)
+def test_errors_are_catchable_as_repro_error(text):
+    """The documented catch-all contract."""
+    for parser in (loads_net, loads_hgr, loads_verilog):
+        try:
+            parser(text)
+        except ReproError:
+            pass

@@ -1,0 +1,103 @@
+"""Tests for the Partition and PartitionResult records."""
+
+import pytest
+
+from repro.errors import PartitionError
+from repro.hypergraph import Hypergraph
+from repro.partitioning import Partition, PartitionResult
+
+
+class TestConstruction:
+    def test_basic(self, tiny_hypergraph):
+        p = Partition(tiny_hypergraph, [0, 0, 1, 1])
+        assert p.u_modules == [0, 1]
+        assert p.w_modules == [2, 3]
+        assert p.u_size == 2 and p.w_size == 2
+
+    def test_from_u_side(self, tiny_hypergraph):
+        p = Partition.from_u_side(tiny_hypergraph, {1, 2})
+        assert p.sides == (1, 0, 0, 1)
+
+    def test_from_u_side_bad_module(self, tiny_hypergraph):
+        with pytest.raises(PartitionError):
+            Partition.from_u_side(tiny_hypergraph, {99})
+
+    def test_length_mismatch(self, tiny_hypergraph):
+        with pytest.raises(PartitionError):
+            Partition(tiny_hypergraph, [0, 1])
+
+    def test_bad_side_value(self, tiny_hypergraph):
+        with pytest.raises(PartitionError):
+            Partition(tiny_hypergraph, [0, 1, 2, 0])
+
+    def test_empty_side_rejected(self, tiny_hypergraph):
+        with pytest.raises(PartitionError):
+            Partition(tiny_hypergraph, [0, 0, 0, 0])
+
+
+class TestMetricsOnPartition:
+    def test_cut_nets(self, tiny_hypergraph):
+        # sides 0,0,1,1: n0={0,1} uncut; n1={1,2,3} cut; n2={0,3} cut.
+        p = Partition(tiny_hypergraph, [0, 0, 1, 1])
+        assert p.cut_nets == (1, 2)
+        assert p.num_nets_cut == 2
+
+    def test_ratio_cut(self, tiny_hypergraph):
+        p = Partition(tiny_hypergraph, [0, 0, 1, 1])
+        assert p.ratio_cut == pytest.approx(2 / 4)
+
+    def test_ratio_cut_unbalanced(self, tiny_hypergraph):
+        p = Partition(tiny_hypergraph, [0, 1, 1, 1])
+        # n0 cut, n2 cut => 2 / (1*3)
+        assert p.ratio_cut == pytest.approx(2 / 3)
+
+    def test_areas(self):
+        h = Hypergraph([[0, 1], [1, 2]], module_areas=[1.0, 2.0, 4.0])
+        p = Partition(h, [0, 0, 1])
+        assert p.u_area == 3.0
+        assert p.w_area == 4.0
+        assert p.area_string == "3:4"
+
+    def test_area_string_float(self):
+        h = Hypergraph([[0, 1]], module_areas=[1.5, 1.0])
+        p = Partition(h, [0, 1])
+        assert p.area_string == "1.5:1"
+
+
+class TestOperations:
+    def test_flipped(self, tiny_hypergraph):
+        p = Partition(tiny_hypergraph, [0, 0, 1, 1])
+        f = p.flipped()
+        assert f.sides == (1, 1, 0, 0)
+        assert f.ratio_cut == p.ratio_cut
+
+    def test_equality_up_to_flip(self, tiny_hypergraph):
+        a = Partition(tiny_hypergraph, [0, 0, 1, 1])
+        b = Partition(tiny_hypergraph, [1, 1, 0, 0])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality(self, tiny_hypergraph):
+        a = Partition(tiny_hypergraph, [0, 0, 1, 1])
+        c = Partition(tiny_hypergraph, [0, 1, 0, 1])
+        assert a != c
+
+    def test_canonical(self, tiny_hypergraph):
+        p = Partition(tiny_hypergraph, [1, 1, 0, 0])
+        assert p.canonical().side(0) == 0
+
+    def test_side_out_of_range(self, tiny_hypergraph):
+        p = Partition(tiny_hypergraph, [0, 0, 1, 1])
+        with pytest.raises(PartitionError):
+            p.side(10)
+
+
+class TestPartitionResult:
+    def test_row_and_str(self, tiny_hypergraph):
+        p = Partition(tiny_hypergraph, [0, 0, 1, 1])
+        r = PartitionResult("Test", p, elapsed_seconds=1.5)
+        row = r.row()
+        assert row["algorithm"] == "Test"
+        assert row["nets_cut"] == 2
+        assert "Test" in str(r)
+        assert r.areas == "2:2"

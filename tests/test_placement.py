@@ -1,0 +1,111 @@
+"""Tests for min-cut placement and the HPWL metric."""
+
+import random
+
+import pytest
+
+from repro.errors import PartitionError
+from repro.hypergraph import Hypergraph
+from repro.placement import hpwl, mincut_placement
+from tests.conftest import random_hypergraph
+
+
+class TestHpwl:
+    def test_hand_computed(self):
+        h = Hypergraph([[0, 1], [0, 1, 2]])
+        positions = [(0.0, 0.0), (1.0, 0.0), (1.0, 1.0)]
+        # net0 bbox: 1x0 -> 1 ; net1 bbox: 1x1 -> 2
+        assert hpwl(h, positions) == pytest.approx(3.0)
+
+    def test_colocated_is_free(self):
+        h = Hypergraph([[0, 1, 2]])
+        assert hpwl(h, [(0.3, 0.7)] * 3) == 0.0
+
+    def test_degenerate_nets_ignored(self):
+        h = Hypergraph([[0], [0, 1]], num_modules=2)
+        assert hpwl(h, [(0, 0), (1, 1)]) == pytest.approx(2.0)
+
+    def test_length_mismatch(self):
+        h = Hypergraph([[0, 1]])
+        with pytest.raises(PartitionError):
+            hpwl(h, [(0, 0)])
+
+
+class TestMincutPlacement:
+    def test_positions_in_unit_square(self, small_circuit):
+        placement = mincut_placement(small_circuit, levels=2)
+        assert placement.grid == 4
+        for x, y in placement.positions:
+            assert 0.0 <= x <= 1.0 and 0.0 <= y <= 1.0
+        for col, row in placement.cell_of:
+            assert 0 <= col < 4 and 0 <= row < 4
+
+    def test_occupancy_roughly_balanced(self, small_circuit):
+        placement = mincut_placement(small_circuit, levels=2)
+        occupancy = placement.occupancy()
+        expected = small_circuit.num_modules / 16
+        assert max(occupancy.values()) <= 2 * expected + 2
+
+    def test_beats_random_placement(self, medium_circuit):
+        placement = mincut_placement(medium_circuit, levels=2)
+        rng = random.Random(0)
+        grid = placement.grid
+        random_positions = [
+            (
+                (rng.randrange(grid) + 0.5) / grid,
+                (rng.randrange(grid) + 0.5) / grid,
+            )
+            for _ in range(medium_circuit.num_modules)
+        ]
+        assert placement.wirelength < hpwl(
+            medium_circuit, random_positions
+        )
+
+    def test_two_clusters_separate(self, two_cluster_hypergraph):
+        placement = mincut_placement(two_cluster_hypergraph, levels=1)
+        cells_a = {placement.cell_of[v] for v in range(4)}
+        cells_b = {placement.cell_of[v] for v in range(4, 8)}
+        assert not (cells_a & cells_b)
+
+    def test_deterministic(self, small_circuit):
+        a = mincut_placement(small_circuit, levels=2, seed=3)
+        b = mincut_placement(small_circuit, levels=2, seed=3)
+        assert a.positions == b.positions
+
+    def test_details(self, small_circuit):
+        placement = mincut_placement(small_circuit, levels=1)
+        assert placement.details["levels"] == 1
+        assert placement.details["hpwl"] == pytest.approx(
+            placement.wirelength
+        )
+
+    def test_validation(self, small_circuit):
+        with pytest.raises(PartitionError):
+            mincut_placement(Hypergraph([[0]], num_modules=1))
+        with pytest.raises(PartitionError):
+            mincut_placement(small_circuit, levels=0)
+
+    def test_beats_random_at_same_resolution(self, medium_circuit):
+        # HPWL is only comparable at equal grid resolution (coarser
+        # grids collocate modules for free), so compare level-3 min-cut
+        # against random assignment on the same 8x8 grid.
+        deep = mincut_placement(medium_circuit, levels=3)
+        rng = random.Random(1)
+        grid = deep.grid
+        random_positions = [
+            (
+                (rng.randrange(grid) + 0.5) / grid,
+                (rng.randrange(grid) + 0.5) / grid,
+            )
+            for _ in range(medium_circuit.num_modules)
+        ]
+        assert deep.wirelength < 0.7 * hpwl(
+            medium_circuit, random_positions
+        )
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_instances(self, seed):
+        h = random_hypergraph(seed, num_modules=24, num_nets=30)
+        placement = mincut_placement(h, levels=2)
+        assert len(placement.positions) == 24
+        assert placement.wirelength >= 0

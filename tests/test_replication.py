@@ -1,0 +1,100 @@
+"""Tests for module replication."""
+
+import pytest
+
+from repro.errors import PartitionError
+from repro.hypergraph import Hypergraph
+from repro.partitioning import (
+    Partition,
+    PartitionResult,
+    ig_match,
+    replicate_for_cut,
+    replication_cut,
+)
+
+
+def as_result(h, sides):
+    return PartitionResult("test", Partition(h, sides))
+
+
+class TestReplicationCut:
+    def test_no_replication_matches_plain_cut(self, tiny_hypergraph):
+        sides = [0, 0, 1, 1]
+        from repro.partitioning import net_cut_count
+
+        assert replication_cut(tiny_hypergraph, sides, set()) == (
+            net_cut_count(tiny_hypergraph, sides)
+        )
+
+    def test_replicating_sole_holdout_uncuts(self):
+        # net {0,1}: 0 on U, 1 on W -> cut; replicating 0 uncuts it.
+        h = Hypergraph([[0, 1], [2, 3]])
+        sides = [0, 1, 0, 1]
+        assert replication_cut(h, sides, set()) == 2
+        assert replication_cut(h, sides, {0}) == 1
+        assert replication_cut(h, sides, {0, 2}) == 0
+
+    def test_replication_does_not_help_spread_nets(self):
+        # net {0,1,2} with 0,1 on U and 2 on W: replicating 0 alone
+        # leaves exclusive pin 1 on U and 2 on W -> still cut.
+        h = Hypergraph([[0, 1, 2]])
+        sides = [0, 0, 1]
+        assert replication_cut(h, sides, {0}) == 1
+        assert replication_cut(h, sides, {2}) == 0
+
+    def test_length_mismatch(self, tiny_hypergraph):
+        with pytest.raises(PartitionError):
+            replication_cut(tiny_hypergraph, [0, 1], set())
+
+
+class TestReplicateForCut:
+    def test_greedy_finds_obvious_replicas(self):
+        # sides [0,1,0,1]: nets {0,1} and {2,3} are cut, {0,2} is not.
+        h = Hypergraph([[0, 1], [2, 3], [0, 2]])
+        result = replicate_for_cut(
+            as_result(h, [0, 1, 0, 1]), max_fraction=1.0
+        )
+        assert result.nets_cut_before == 2
+        assert result.nets_cut_after == 0
+        assert result.cut_reduction == 2
+
+    def test_budget_respected(self):
+        h = Hypergraph([[i, i + 4] for i in range(4)])
+        result = replicate_for_cut(
+            as_result(h, [0, 0, 0, 0, 1, 1, 1, 1]),
+            max_fraction=0.25,  # budget = 2 of 8 modules
+        )
+        assert result.modules_replicated <= 2
+        assert result.nets_cut_after == result.nets_cut_before - (
+            result.modules_replicated
+        )
+
+    def test_stops_when_no_gain(self, two_cluster_hypergraph):
+        result = replicate_for_cut(
+            ig_match(two_cluster_hypergraph), max_fraction=1.0
+        )
+        # The single bridge net has 1 pin per side: one replica fixes it.
+        assert result.nets_cut_after == 0
+        assert result.modules_replicated == 1
+
+    def test_never_increases_cut(self, small_circuit):
+        base = ig_match(small_circuit)
+        result = replicate_for_cut(base, max_fraction=0.1)
+        assert result.nets_cut_after <= result.nets_cut_before
+        assert result.nets_cut_before == base.nets_cut
+
+    def test_zero_budget_noop(self, small_circuit):
+        base = ig_match(small_circuit)
+        result = replicate_for_cut(base, max_fraction=0.0)
+        assert result.modules_replicated == 0
+        assert result.nets_cut_after == base.nets_cut
+
+    def test_bad_fraction(self, small_circuit):
+        with pytest.raises(PartitionError):
+            replicate_for_cut(ig_match(small_circuit), max_fraction=2.0)
+
+    def test_str(self, small_circuit):
+        result = replicate_for_cut(
+            ig_match(small_circuit), max_fraction=0.05
+        )
+        assert "replication" in str(result)

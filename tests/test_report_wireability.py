@@ -1,0 +1,83 @@
+"""Tests for the partition report and Rent's rule analysis."""
+
+import pytest
+
+from repro.analysis import RentFit, rent_analysis, rent_samples
+from repro.errors import ReproError
+from repro.hypergraph import Hypergraph
+from repro.partitioning import ig_match, partition_report
+
+
+class TestPartitionReport:
+    def test_contains_headline_metrics(self, small_circuit):
+        result = ig_match(small_circuit)
+        text = partition_report(result)
+        assert "IG-Match" in text
+        assert f"nets cut:       {result.nets_cut}" in text
+        assert "ratio cut:" in text
+        assert "boundary modules" in text
+        assert "cut histogram" in text
+
+    def test_cut_net_listing_truncated(self, medium_circuit):
+        result = ig_match(medium_circuit)
+        text = partition_report(result, max_cut_nets=2)
+        if result.nets_cut > 2:
+            assert "more" in text
+
+    def test_histogram_rows_cover_all_sizes(self, small_circuit):
+        result = ig_match(small_circuit)
+        text = partition_report(result)
+        for size in sorted(set(small_circuit.net_sizes())):
+            assert f"\n    {size:>4}  " in text
+
+    def test_details_included(self, small_circuit):
+        result = ig_match(small_circuit)
+        text = partition_report(result)
+        assert "best_rank:" in text
+
+    def test_zero_cut_partition(self):
+        # Two disjoint 2-module nets; no cut nets section.
+        h = Hypergraph([[0, 1], [2, 3]])
+        result = ig_match(h)
+        text = partition_report(result)
+        assert "nets cut:       0" in text
+        assert "cut nets:" not in text
+
+
+class TestRent:
+    def test_samples_shape(self, medium_circuit):
+        samples = rent_samples(medium_circuit, min_block=20)
+        assert len(samples) >= 4
+        for size, terminals in samples:
+            assert 2 <= size < medium_circuit.num_modules
+            assert terminals >= 0
+
+    def test_fit_reasonable_exponent(self, medium_circuit):
+        fit = rent_analysis(medium_circuit, min_block=20)
+        # Physical circuits land in (0, 1); demand a sane band.
+        assert 0.0 < fit.exponent < 1.2
+        assert fit.prefactor > 0
+        assert -1.0 <= fit.r_squared <= 1.0
+
+    def test_prediction_monotone(self, medium_circuit):
+        fit = rent_analysis(medium_circuit, min_block=20)
+        assert fit.predicted_terminals(100) > fit.predicted_terminals(10)
+
+    def test_str(self, medium_circuit):
+        fit = rent_analysis(medium_circuit, min_block=20)
+        assert "Rent fit" in str(fit)
+
+    def test_too_small_circuit_raises(self):
+        h = Hypergraph([[0, 1], [1, 2]])
+        with pytest.raises(ReproError):
+            rent_analysis(h)
+
+    def test_custom_bipartitioner(self, medium_circuit):
+        from repro.partitioning import FMConfig, fm_bipartition
+
+        fit = rent_analysis(
+            medium_circuit,
+            min_block=30,
+            bipartitioner=lambda h: fm_bipartition(h, FMConfig(seed=0)),
+        )
+        assert isinstance(fit, RentFit)

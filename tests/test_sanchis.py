@@ -1,0 +1,146 @@
+"""Tests for Sanchis-style multiway FM refinement."""
+
+import random
+
+import pytest
+
+from repro.errors import PartitionError
+from repro.hypergraph import Hypergraph
+from repro.partitioning import (
+    KWayFMConfig,
+    kway_fm_refine,
+    net_gain_refine,
+)
+from repro.partitioning.sanchis import _KWayState, kway_fm_pass
+from tests.conftest import random_hypergraph
+
+
+def spanning_nets(h, block_of):
+    return sum(
+        1
+        for _, pins in h.iter_nets()
+        if len(pins) >= 2 and len({block_of[p] for p in pins}) > 1
+    )
+
+
+def three_cluster_circuit():
+    nets = []
+    for base in (0, 4, 8):
+        for i in range(4):
+            for j in range(i + 1, 4):
+                nets.append([base + i, base + j])
+    nets.append([3, 4])
+    nets.append([7, 8])
+    return Hypergraph(nets)
+
+
+class TestState:
+    def test_initial_spanning_count(self):
+        h = three_cluster_circuit()
+        natural = [0] * 4 + [1] * 4 + [2] * 4
+        state = _KWayState(h, natural, 3)
+        assert state.spanning == 2
+
+    def test_gain_matches_direct_recount(self):
+        for seed in range(6):
+            h = random_hypergraph(seed, num_modules=14, num_nets=18)
+            rng = random.Random(seed)
+            labels = [rng.randrange(3) for _ in range(14)]
+            state = _KWayState(h, labels, 3)
+            for cell in range(14):
+                for target in range(3):
+                    if target == state.block_of[cell]:
+                        continue
+                    before = spanning_nets(h, state.block_of)
+                    trial = list(state.block_of)
+                    trial[cell] = target
+                    after = spanning_nets(h, trial)
+                    assert state.gain(cell, target) == before - after
+
+    def test_move_bookkeeping(self):
+        h = three_cluster_circuit()
+        state = _KWayState(h, [0] * 4 + [1] * 4 + [2] * 4, 3)
+        state.move(3, 1)
+        assert state.block_of[3] == 1
+        assert state.sizes == [3, 5, 4]
+        assert state.spanning == spanning_nets(h, state.block_of)
+
+    def test_neighbour_blocks(self):
+        h = three_cluster_circuit()
+        state = _KWayState(h, [0] * 4 + [1] * 4 + [2] * 4, 3)
+        assert state.neighbour_blocks(3) == {1}  # via bridge net {3,4}
+        assert state.neighbour_blocks(0) == set()
+
+
+class TestRefine:
+    def test_natural_partition_is_fixed_point(self):
+        h = three_cluster_circuit()
+        labels = [0] * 4 + [1] * 4 + [2] * 4
+        moves = kway_fm_refine(h, labels, 3)
+        assert moves == 0
+        assert labels == [0] * 4 + [1] * 4 + [2] * 4
+
+    def test_repairs_corrupted_partition(self):
+        h = three_cluster_circuit()
+        labels = [0] * 4 + [1] * 4 + [2] * 4
+        # Corrupt: swap two modules across clusters.
+        labels[0], labels[8] = labels[8], labels[0]
+        before = spanning_nets(h, labels)
+        kway_fm_refine(h, labels, 3)
+        after = spanning_nets(h, labels)
+        assert after < before
+        assert after == 2  # back to the natural cut
+
+    def test_never_worsens(self):
+        for seed in range(6):
+            h = random_hypergraph(seed + 5, num_modules=16, num_nets=20)
+            rng = random.Random(seed)
+            labels = [rng.randrange(4) for _ in range(16)]
+            for b in range(4):
+                labels[b] = b
+            before = spanning_nets(h, labels)
+            kway_fm_refine(h, labels, 4)
+            assert spanning_nets(h, labels) <= before
+
+    def test_respects_min_block(self):
+        h = three_cluster_circuit()
+        labels = [0] * 4 + [1] * 4 + [2] * 4
+        labels[0], labels[8] = labels[8], labels[0]
+        kway_fm_refine(h, labels, 3, KWayFMConfig(min_block=4))
+        sizes = [labels.count(b) for b in range(3)]
+        assert all(s >= 4 for s in sizes)
+
+    def test_beats_or_matches_greedy_on_hard_instances(self):
+        """FM with prefix revert escapes minima the greedy pass cannot."""
+        wins = 0
+        for seed in range(8):
+            h = random_hypergraph(seed + 30, num_modules=18, num_nets=24)
+            rng = random.Random(seed)
+            start = [rng.randrange(3) for _ in range(18)]
+            for b in range(3):
+                start[b] = b
+            greedy = list(start)
+            net_gain_refine(h, greedy, 3, max_passes=8)
+            fm = list(start)
+            kway_fm_refine(h, fm, 3, KWayFMConfig(max_passes=8))
+            g, f = spanning_nets(h, greedy), spanning_nets(h, fm)
+            assert f <= g + 1  # never meaningfully worse
+            if f < g:
+                wins += 1
+        assert wins >= 1  # strictly better somewhere
+
+    def test_validation(self):
+        h = three_cluster_circuit()
+        with pytest.raises(PartitionError):
+            kway_fm_refine(h, [0] * 5, 3)
+        with pytest.raises(PartitionError):
+            kway_fm_refine(h, [7] * 12, 3)
+
+    def test_pass_returns_counts(self):
+        h = three_cluster_circuit()
+        labels = [0] * 4 + [1] * 4 + [2] * 4
+        labels[0], labels[8] = labels[8], labels[0]
+        state = _KWayState(h, labels, 3)
+        kept, spanning = kway_fm_pass(state, min_block=1)
+        assert kept >= 1
+        assert spanning == spanning_nets(h, state.block_of)

@@ -1,0 +1,125 @@
+"""Tests for the benchmark specs and cached suite builder."""
+
+import pytest
+
+from repro.bench import (
+    BENCHMARKS,
+    PRIMARY2_CUT_HISTOGRAM,
+    PRIMARY2_NET_SIZE_HISTOGRAM,
+    PRIMARY2_NUM_NETS,
+    build_circuit,
+    build_suite,
+    get_spec,
+    planted_sides,
+    spec_names,
+)
+from repro.hypergraph import net_size_histogram
+from repro.partitioning.metrics import net_cut_count, ratio_cut_of_sides
+
+
+class TestSpecs:
+    def test_nine_benchmarks(self):
+        assert len(BENCHMARKS) == 9
+        assert spec_names() == [
+            "bm1", "19ks", "Prim1", "Prim2", "Test02",
+            "Test03", "Test04", "Test05", "Test06",
+        ]
+
+    def test_lookup_case_insensitive(self):
+        assert get_spec("prim2").name == "Prim2"
+        with pytest.raises(KeyError):
+            get_spec("nope")
+
+    def test_module_counts_match_paper(self):
+        # Tables 2/3 "Number of elements" column.
+        expected = {
+            "bm1": 882, "19ks": 2844, "Prim1": 833, "Prim2": 3014,
+            "Test02": 1663, "Test03": 1607, "Test04": 1515,
+            "Test05": 2595, "Test06": 1752,
+        }
+        for name, modules in expected.items():
+            assert get_spec(name).num_modules == modules
+
+    def test_paper_rows_consistent(self):
+        # The ratio-cut column must equal cut/(u*w) from the areas
+        # column (within the paper's 3-digit rounding), for every row.
+        for spec in BENCHMARKS:
+            for row in (spec.paper_rcut, spec.paper_igvote,
+                        spec.paper_igmatch):
+                u, w = (int(x) for x in row.areas.split(":"))
+                assert u + w == spec.num_modules
+                expected = row.nets_cut / (u * w)
+                # Test03's IG-Vote row has an obvious exponent typo in
+                # the paper (8.98e-3 for 58/(803*804)); compare order-
+                # agnostically via mantissa.
+                ratio = row.ratio_cut / expected
+                while ratio > 5:
+                    ratio /= 10
+                while ratio < 0.2:
+                    ratio *= 10
+                assert 0.98 < ratio < 1.02
+
+    def test_planted_fraction_matches_igmatch_areas(self):
+        for spec in BENCHMARKS:
+            u = int(spec.paper_igmatch.areas.split(":")[0])
+            assert spec.natural_u_modules == pytest.approx(u, abs=1)
+
+
+class TestPrimary2Histogram:
+    def test_totals(self):
+        # Matches MCNC Primary2's published net count.
+        assert PRIMARY2_NUM_NETS == 3029
+        assert sum(PRIMARY2_CUT_HISTOGRAM.values()) == 145
+
+    def test_cut_never_exceeds_total(self):
+        for size, cut in PRIMARY2_CUT_HISTOGRAM.items():
+            assert cut <= PRIMARY2_NET_SIZE_HISTOGRAM[size]
+
+    def test_paper_non_monotonicity_present(self):
+        # E.g. 8-pin nets: 14 nets, 0 cut while 7-pin: 52 nets, 12 cut.
+        fractions = {
+            size: PRIMARY2_CUT_HISTOGRAM[size] / count
+            for size, count in PRIMARY2_NET_SIZE_HISTOGRAM.items()
+        }
+        assert fractions[7] > fractions[8]
+        assert fractions[17] > fractions[16]
+
+
+class TestSuiteBuilder:
+    def test_build_circuit_cached(self):
+        a = build_circuit("bm1", scale=0.1)
+        b = build_circuit("bm1", scale=0.1)
+        assert a is b
+
+    def test_scale_shrinks(self):
+        spec = get_spec("Prim1")
+        h = build_circuit("Prim1", scale=0.2)
+        assert h.num_modules == round(spec.num_modules * 0.2)
+
+    def test_build_suite_subset(self):
+        suite = build_suite(names=["bm1", "Prim1"], scale=0.1)
+        assert set(suite) == {"bm1", "Prim1"}
+
+    def test_prim2_histogram_exact_at_full_scale(self):
+        h = build_circuit("Prim2", scale=1.0)
+        assert net_size_histogram(h) == PRIMARY2_NET_SIZE_HISTOGRAM
+        assert h.num_modules == 3014
+
+    def test_planted_sides_quality(self):
+        # The planted partition should be a good ratio cut (that is the
+        # point of the construction).
+        spec = get_spec("Test02")
+        h = build_circuit("Test02", scale=0.25)
+        sides = planted_sides(h, spec)
+        ratio = ratio_cut_of_sides(h, sides)
+        assert ratio < 50 / h.num_modules ** 1.5  # loose sanity bound
+
+    def test_planted_cut_near_spec(self):
+        spec = get_spec("Test05")
+        h = build_circuit("Test05", scale=0.25)
+        sides = planted_sides(h, spec)
+        crossing = max(1, round(spec.crossing_nets * 0.25))
+        cut = net_cut_count(h, sides)
+        # crossing nets + noise nets + repair rewires
+        noise_budget = round(spec.noise * h.num_nets) + 10
+        assert crossing <= cut <= crossing + noise_budget

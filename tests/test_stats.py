@@ -1,0 +1,57 @@
+"""Tests for hypergraph statistics."""
+
+from repro.hypergraph import (
+    Hypergraph,
+    describe,
+    module_degree_histogram,
+    net_size_histogram,
+)
+
+
+class TestHistograms:
+    def test_net_size_histogram(self, tiny_hypergraph):
+        assert net_size_histogram(tiny_hypergraph) == {2: 2, 3: 1}
+
+    def test_module_degree_histogram(self, tiny_hypergraph):
+        assert module_degree_histogram(tiny_hypergraph) == {1: 1, 2: 3}
+
+    def test_histogram_sums(self, small_circuit):
+        hist = net_size_histogram(small_circuit)
+        assert sum(hist.values()) == small_circuit.num_nets
+        assert sum(k * v for k, v in hist.items()) == small_circuit.num_pins
+
+    def test_histogram_keys_sorted(self, small_circuit):
+        keys = list(net_size_histogram(small_circuit))
+        assert keys == sorted(keys)
+
+
+class TestDescribe:
+    def test_describe_counts(self, tiny_hypergraph):
+        stats = describe(tiny_hypergraph)
+        assert stats.num_modules == 4
+        assert stats.num_nets == 3
+        assert stats.num_pins == 7
+        assert stats.max_net_size == 3
+        assert stats.num_two_pin_nets == 2
+        assert stats.num_large_nets == 0
+
+    def test_describe_means(self, tiny_hypergraph):
+        stats = describe(tiny_hypergraph)
+        assert abs(stats.mean_net_size - 7 / 3) < 1e-12
+        assert abs(stats.mean_module_degree - 7 / 4) < 1e-12
+
+    def test_describe_empty(self):
+        stats = describe(Hypergraph([]))
+        assert stats.max_net_size == 0
+        assert stats.mean_net_size == 0.0
+
+    def test_describe_renders(self, small_circuit):
+        text = str(describe(small_circuit))
+        assert "modules" in text
+        assert str(small_circuit.num_modules) in text
+
+    def test_clique_bound_matches(self, small_circuit):
+        stats = describe(small_circuit)
+        assert stats.clique_nonzeros_bound == (
+            small_circuit.clique_model_nonzeros()
+        )

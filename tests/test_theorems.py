@@ -1,0 +1,122 @@
+"""Property-based verification of the paper's theorems.
+
+* Theorem 1 (Hagen–Kahng): lambda_2 / n lower-bounds the optimal graph
+  ratio cut — verified against exhaustive enumeration on small graphs
+  and random partitions on larger ones.
+* Theorems 2–3 (König) are covered in tests/test_koenig.py.
+* Theorem 4: IG-Match's losers form a vertex cover of the crossing
+  bipartite graph.
+* Theorem 5: the completed partition cuts at most |maximum matching|
+  nets.
+* Theorem 6's amortised complexity is exercised (not timed) by running
+  full sweeps.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+
+from repro.graph import Graph, connected_components
+from repro.matching import IncrementalMatching
+from repro.matching.incremental import VertexClass
+from repro.partitioning import IGMatchConfig, ig_match_sweep
+from repro.partitioning.metrics import graph_edge_cut
+from repro.spectral import fiedler_vector
+from tests.conftest import (
+    connected_random_graph,
+    hypergraph_strategy,
+    random_hypergraph,
+)
+
+
+class TestTheorem1:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_bound_vs_exhaustive_optimum(self, seed):
+        g = connected_random_graph(seed, num_vertices=8, extra_edges=5)
+        bound = fiedler_vector(g).eigenvalue / g.num_vertices
+        best = float("inf")
+        for mask in range(1, 2**8 - 1):
+            sides = [(mask >> v) & 1 for v in range(8)]
+            u = sides.count(0)
+            w = 8 - u
+            cost = graph_edge_cut(g, sides) / (u * w)
+            best = min(best, cost)
+        assert best >= bound - 1e-9
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_bound_vs_random_partitions(self, seed):
+        import random
+
+        g = connected_random_graph(seed + 30, num_vertices=25)
+        bound = fiedler_vector(g).eigenvalue / 25
+        rng = random.Random(seed)
+        for _ in range(40):
+            sides = [rng.randint(0, 1) for _ in range(25)]
+            u = sides.count(0)
+            if u in (0, 25):
+                continue
+            cost = graph_edge_cut(g, sides) / (u * (25 - u))
+            assert cost >= bound - 1e-9
+
+    def test_bound_tight_on_complete_graph(self):
+        # K_n: lambda_2 = n; every partition has ratio cut exactly
+        # u*w/(u*w) = 1 = lambda_2/n.
+        n = 6
+        g = Graph(n)
+        for i, j in itertools.combinations(range(n), 2):
+            g.add_edge(i, j)
+        bound = fiedler_vector(g).eigenvalue / n
+        sides = [0, 0, 0, 1, 1, 1]
+        cost = graph_edge_cut(g, sides) / 9
+        assert cost == pytest.approx(bound, abs=1e-8)
+
+
+class TestTheorems4And5:
+    @settings(max_examples=40, deadline=None)
+    @given(hypergraph_strategy(min_modules=4, max_modules=10,
+                               min_nets=3, max_nets=10))
+    def test_loser_bound_all_splits(self, h):
+        # check_invariants raises on any Theorem 5 violation.
+        evaluations, _ = ig_match_sweep(
+            h, IGMatchConfig(check_invariants=True)
+        )
+        for e in evaluations:
+            assert e.nets_cut <= e.matching_size
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_losers_form_vertex_cover(self, seed):
+        """Theorem 4, checked directly on the crossing graph."""
+        from repro.intersection import intersection_graph
+        from repro.spectral import spectral_ordering
+
+        h = random_hypergraph(seed, num_modules=12, num_nets=14)
+        graph = intersection_graph(h, "paper")
+        order = spectral_ordering(graph, seed=0)
+        matcher = IncrementalMatching(graph)
+        for net in order[:-1]:
+            matcher.move_to_right(net)
+            codes = matcher.classify()
+            # Phase II makes either core_L or core_R losers; check both.
+            for core_loser in (VertexClass.CORE_L, VertexClass.CORE_R):
+                losers = {
+                    v
+                    for v, c in enumerate(codes)
+                    if c in (VertexClass.ODD_L, VertexClass.ODD_R,
+                             core_loser)
+                }
+                for u, v, _ in graph.edges():
+                    if matcher.side_of(u) != matcher.side_of(v):
+                        assert u in losers or v in losers
+
+
+class TestDeterminism:
+    """Stability (Section 5): one deterministic execution, no restarts."""
+
+    def test_igmatch_seed_independent_of_instance_order(self):
+        h = random_hypergraph(3, num_modules=14, num_nets=16)
+        runs = [
+            ig_match_sweep(h, IGMatchConfig(seed=0))[1].sides
+            for _ in range(3)
+        ]
+        assert runs[0] == runs[1] == runs[2]

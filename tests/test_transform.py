@@ -1,0 +1,114 @@
+"""Tests for hypergraph transformations."""
+
+import pytest
+
+from repro.errors import HypergraphError
+from repro.hypergraph import (
+    Hypergraph,
+    drop_degenerate_nets,
+    induced_subhypergraph,
+    merge_modules,
+    relabel_modules,
+    threshold_nets,
+)
+
+
+class TestDropDegenerate:
+    def test_removes_small_nets(self):
+        h = Hypergraph([[0, 1], [2], [], [1, 2, 3]])
+        out, net_map = drop_degenerate_nets(h)
+        assert out.num_nets == 2
+        assert net_map == [0, 3]
+        assert out.num_modules == h.num_modules
+
+    def test_noop_on_clean(self, tiny_hypergraph):
+        out, net_map = drop_degenerate_nets(tiny_hypergraph)
+        assert out.num_nets == 3
+        assert net_map == [0, 1, 2]
+
+
+class TestThreshold:
+    def test_drops_large_nets(self):
+        h = Hypergraph([[0, 1], [0, 1, 2, 3, 4]])
+        out, net_map = threshold_nets(h, max_size=3)
+        assert out.num_nets == 1
+        assert net_map == [0]
+
+    def test_bad_threshold(self, tiny_hypergraph):
+        with pytest.raises(HypergraphError):
+            threshold_nets(tiny_hypergraph, max_size=1)
+
+    def test_preserves_names(self):
+        h = Hypergraph(
+            [[0, 1], [0, 1, 2]],
+            net_names=["small", "big"],
+            module_names=["a", "b", "c"],
+        )
+        out, _ = threshold_nets(h, max_size=2)
+        assert out.net_name(0) == "small"
+        assert out.module_name(2) == "c"
+
+
+class TestInducedSub:
+    def test_partial_nets_kept(self, tiny_hypergraph):
+        # modules {1,2,3}: n0={0,1}->{1} dropped, n1={1,2,3} kept,
+        # n2={0,3}->{3} dropped
+        sub, module_map, net_map = induced_subhypergraph(
+            tiny_hypergraph, [1, 2, 3]
+        )
+        assert module_map == [1, 2, 3]
+        assert net_map == [1]
+        assert sub.pins(0) == (0, 1, 2)
+
+    def test_full_nets_only(self, tiny_hypergraph):
+        sub, _, net_map = induced_subhypergraph(
+            tiny_hypergraph, [0, 1], keep_partial_nets=False
+        )
+        assert net_map == [0]
+
+    def test_bad_module(self, tiny_hypergraph):
+        with pytest.raises(HypergraphError):
+            induced_subhypergraph(tiny_hypergraph, [0, 99])
+
+    def test_areas_carried(self):
+        h = Hypergraph([[0, 1], [1, 2]], module_areas=[1.0, 2.0, 3.0])
+        sub, _, _ = induced_subhypergraph(h, [1, 2])
+        assert sub.module_areas == (2.0, 3.0)
+
+
+class TestMerge:
+    def test_merge_pairs(self):
+        h = Hypergraph([[0, 1], [1, 2], [2, 3], [0, 3]])
+        coarse, assignment = merge_modules(h, [[0, 1], [2, 3]])
+        assert coarse.num_modules == 2
+        assert assignment == [0, 0, 1, 1]
+        # nets [0,1] and [2,3] collapse inside clusters; [1,2],[0,3] become {0,1}
+        assert coarse.num_nets == 2
+        assert all(coarse.pins(j) == (0, 1) for j in range(2))
+
+    def test_areas_summed(self):
+        h = Hypergraph([[0, 1], [1, 2]], module_areas=[1.0, 2.0, 4.0])
+        coarse, _ = merge_modules(h, [[0, 1], [2]])
+        assert coarse.module_areas == (3.0, 4.0)
+
+    def test_incomplete_clusters_rejected(self, tiny_hypergraph):
+        with pytest.raises(HypergraphError):
+            merge_modules(tiny_hypergraph, [[0, 1]])
+
+    def test_overlapping_clusters_rejected(self, tiny_hypergraph):
+        with pytest.raises(HypergraphError):
+            merge_modules(tiny_hypergraph, [[0, 1], [1, 2, 3]])
+
+
+class TestRelabel:
+    def test_relabel_roundtrip(self, tiny_hypergraph):
+        order = [3, 2, 1, 0]
+        out, inverse = relabel_modules(tiny_hypergraph, order)
+        assert inverse == [3, 2, 1, 0]
+        # n0 was {0,1} -> now {3,2} sorted (2,3)
+        assert out.pins(0) == (2, 3)
+        assert out.num_pins == tiny_hypergraph.num_pins
+
+    def test_non_permutation_rejected(self, tiny_hypergraph):
+        with pytest.raises(HypergraphError):
+            relabel_modules(tiny_hypergraph, [0, 0, 1, 2])

@@ -1,0 +1,92 @@
+"""Tests for graph traversal utilities."""
+
+import pytest
+
+from repro.graph import (
+    Graph,
+    approximate_diameter,
+    bfs_distances,
+    bfs_order,
+    connected_components,
+    eccentricity,
+    is_connected,
+)
+from tests.conftest import connected_random_graph
+
+
+@pytest.fixture
+def two_triangles():
+    """Vertices 0-2 and 3-5 form two disjoint triangles."""
+    g = Graph(6)
+    for base in (0, 3):
+        g.add_edge(base, base + 1)
+        g.add_edge(base + 1, base + 2)
+        g.add_edge(base, base + 2)
+    return g
+
+
+class TestBfs:
+    def test_order_starts_at_source(self, two_triangles):
+        order = bfs_order(two_triangles, 0)
+        assert order[0] == 0
+        assert sorted(order) == [0, 1, 2]
+
+    def test_distances(self):
+        g = Graph(4)
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        g.add_edge(2, 3)
+        assert bfs_distances(g, 0) == [0, 1, 2, 3]
+
+    def test_unreachable_is_none(self, two_triangles):
+        dist = bfs_distances(two_triangles, 0)
+        assert dist[4] is None
+
+
+class TestComponents:
+    def test_two_components(self, two_triangles):
+        comps = connected_components(two_triangles)
+        assert comps == [[0, 1, 2], [3, 4, 5]]
+
+    def test_isolated_vertices_are_singletons(self):
+        g = Graph(3)
+        g.add_edge(0, 1)
+        assert connected_components(g) == [[0, 1], [2]]
+
+    def test_is_connected(self, two_triangles):
+        assert not is_connected(two_triangles)
+        assert is_connected(Graph(0))
+        g = Graph(2)
+        g.add_edge(0, 1)
+        assert is_connected(g)
+
+    def test_random_connected_graphs(self):
+        for seed in range(5):
+            g = connected_random_graph(seed, num_vertices=15)
+            assert is_connected(g)
+
+
+class TestDiameter:
+    def test_path_eccentricity(self):
+        g = Graph(4)
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        g.add_edge(2, 3)
+        assert eccentricity(g, 0) == 3
+        assert eccentricity(g, 1) == 2
+
+    def test_path_diameter_exact(self):
+        g = Graph(5)
+        for i in range(4):
+            g.add_edge(i, i + 1)
+        assert approximate_diameter(g) == 4
+
+    def test_cycle_diameter(self):
+        g = Graph(6)
+        for i in range(6):
+            g.add_edge(i, (i + 1) % 6)
+        # true diameter 3; double sweep gives >= 2 and <= 3
+        assert 2 <= approximate_diameter(g) <= 3
+
+    def test_empty_graph(self):
+        assert approximate_diameter(Graph(0)) == 0

@@ -1,0 +1,69 @@
+"""Tests for hypergraph validation."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.hypergraph import Hypergraph, check, validate
+
+
+def codes(report):
+    return sorted(i.code for i in report.issues)
+
+
+class TestValidate:
+    def test_clean_netlist(self, tiny_hypergraph):
+        report = validate(tiny_hypergraph)
+        assert report.ok
+        assert report.issues == []
+
+    def test_empty_netlist_is_error(self):
+        report = validate(Hypergraph([]))
+        assert not report.ok
+        assert "empty-netlist" in codes(report)
+
+    def test_single_module_is_error(self):
+        report = validate(Hypergraph([], num_modules=1))
+        assert not report.ok
+        assert "too-few-modules" in codes(report)
+
+    def test_no_nets_is_error(self):
+        report = validate(Hypergraph([], num_modules=3))
+        assert not report.ok
+        assert "no-nets" in codes(report)
+
+    def test_empty_net_is_warning(self):
+        report = validate(Hypergraph([[0, 1], []], num_modules=2))
+        assert report.ok
+        assert "empty-net" in codes(report)
+
+    def test_single_pin_net_is_warning(self):
+        report = validate(Hypergraph([[0, 1], [1]]))
+        assert report.ok
+        assert "single-pin-net" in codes(report)
+
+    def test_isolated_module_is_warning(self):
+        report = validate(Hypergraph([[0, 1]], num_modules=3))
+        assert report.ok
+        assert "isolated-module" in codes(report)
+
+    def test_duplicate_net_is_warning(self):
+        report = validate(Hypergraph([[0, 1], [1, 0]]))
+        assert report.ok
+        assert "duplicate-net" in codes(report)
+
+    def test_warnings_and_errors_separated(self):
+        report = validate(Hypergraph([[0]], num_modules=1))
+        assert len(report.errors) >= 1
+        assert len(report.warnings) >= 1
+
+
+class TestCheck:
+    def test_check_passes_clean(self, tiny_hypergraph):
+        check(tiny_hypergraph)  # no exception
+
+    def test_check_raises_on_error(self):
+        with pytest.raises(ValidationError):
+            check(Hypergraph([]))
+
+    def test_check_allows_warnings(self):
+        check(Hypergraph([[0, 1], [1]]))  # single-pin net tolerated

@@ -1,0 +1,88 @@
+"""Tests for criticality-aware (net-weighted) IG-Match."""
+
+import pytest
+
+from repro.errors import PartitionError
+from repro.hypergraph import Hypergraph
+from repro.partitioning import IGMatchConfig, ig_match
+
+
+def chain_with_critical_bridge():
+    """Three 4-module clusters A-B-C in a chain.  The A-B bridge is
+    heavy (critical, weight 50); the B-C bridge is cheap (weight 1).
+    Both single-bridge cuts have identical *count* cost and balance, so
+    only the weighted objective reliably avoids the critical net."""
+    nets = []
+    weights = []
+    for base in (0, 4, 8):
+        group = [base + i for i in range(4)]
+        for i in range(4):
+            for j in range(i + 1, 4):
+                nets.append([group[i], group[j]])
+                weights.append(1.0)
+    nets.append([3, 4])
+    weights.append(50.0)  # critical bridge A-B
+    nets.append([7, 8])
+    weights.append(1.0)  # cheap bridge B-C
+    return Hypergraph(nets, net_weights=weights)
+
+
+class TestWeightedObjective:
+    def test_prefers_to_keep_critical_net(self):
+        h = chain_with_critical_bridge()
+        result = ig_match(h, IGMatchConfig(use_net_weights=True))
+        # The weighted optimum cuts only the cheap B-C bridge.
+        assert result.partition.weighted_nets_cut == pytest.approx(1.0)
+        assert sorted(result.partition.u_modules) in (
+            [0, 1, 2, 3, 4, 5, 6, 7], [8, 9, 10, 11]
+        )
+
+    def test_details_reported(self):
+        h = chain_with_critical_bridge()
+        result = ig_match(h, IGMatchConfig(use_net_weights=True))
+        assert result.details["weighted_objective"] is True
+        assert result.details["weighted_cut"] == pytest.approx(
+            result.partition.weighted_nets_cut
+        )
+
+    def test_noop_on_unweighted(self, small_circuit):
+        plain = ig_match(small_circuit, IGMatchConfig(seed=0))
+        flagged = ig_match(
+            small_circuit, IGMatchConfig(seed=0, use_net_weights=True)
+        )
+        assert plain.partition.sides == flagged.partition.sides
+        assert "weighted_objective" not in flagged.details
+
+    def test_invariant_check_incompatible(self):
+        h = chain_with_critical_bridge()
+        with pytest.raises(PartitionError):
+            ig_match(
+                h,
+                IGMatchConfig(
+                    use_net_weights=True, check_invariants=True
+                ),
+            )
+
+    def test_weighted_vs_unweighted_tradeoff(self):
+        """On a netlist where the count-optimal cut crosses heavy nets,
+        the weighted objective pays extra (count) cuts to save weight."""
+        # Cluster A {0..3}, cluster B {4..7}; a heavy 3-net bundle ties
+        # 3 to B while two cheap nets tie 0,1 to B.
+        nets = []
+        weights = []
+        for base in (0, 4):
+            group = [base + i for i in range(4)]
+            for i in range(4):
+                for j in range(i + 1, 4):
+                    nets.append([group[i], group[j]])
+                    weights.append(1.0)
+        for _ in range(3):  # heavy bundle across {3,4}
+            nets.append([3, 4])
+            weights.append(10.0)
+        h = Hypergraph(nets, net_weights=weights)
+        unweighted = ig_match(h, IGMatchConfig())
+        weighted = ig_match(h, IGMatchConfig(use_net_weights=True))
+        assert (
+            weighted.partition.weighted_nets_cut
+            <= unweighted.partition.weighted_nets_cut
+        )
