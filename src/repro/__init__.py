@@ -27,6 +27,7 @@ from .bench import (
     get_spec,
     spec_names,
 )
+from . import obs
 from .clustering import MultilevelConfig, multilevel_partition
 from .errors import (
     BenchmarkError,
@@ -128,6 +129,7 @@ __all__ = [
     "load_net",
     "mincut_placement",
     "multilevel_partition",
+    "obs",
     "rcut",
     "recursive_partition",
     "refine",

@@ -16,7 +16,12 @@ from .primary2_histogram import (
     PRIMARY2_NUM_NETS,
 )
 from .specs import BENCHMARKS, BenchmarkSpec, PaperRow, get_spec, spec_names
-from .suite import build_circuit, build_suite, planted_sides
+from .suite import (
+    build_circuit,
+    build_suite,
+    planted_sides,
+    run_observed_suite,
+)
 
 __all__ = [
     "BENCHMARKS",
@@ -33,6 +38,7 @@ __all__ = [
     "generate_logic_verilog",
     "get_spec",
     "planted_sides",
+    "run_observed_suite",
     "sample_net_sizes",
     "spec_names",
 ]

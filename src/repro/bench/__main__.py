@@ -1,0 +1,79 @@
+"""``python -m repro.bench`` — run the observed benchmark suite.
+
+Partitions every (or each named) suite circuit with the observability
+layer on and writes ``BENCH_obs.json``: per-circuit wall time, phase
+timing totals, and counters.  This file is the machine-readable perf
+trajectory that optimisation PRs compare against.
+
+Examples
+--------
+::
+
+    python -m repro.bench --scale 0.1                 # quick pass
+    python -m repro.bench Test05 Prim1 --out BENCH_obs.json
+    python -m repro.bench --algorithm rcut --scale 0.2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from ..errors import ReproError
+from .specs import spec_names
+from .suite import run_observed_suite
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Run the benchmark suite with observability enabled "
+        "and write a machine-readable BENCH_obs.json.",
+    )
+    parser.add_argument(
+        "names", nargs="*", metavar="NAME",
+        help="circuits to run (default: the whole suite; "
+        f"known: {', '.join(spec_names())})",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="size scale factor for generated circuits",
+    )
+    parser.add_argument(
+        "--algorithm", default="ig-match",
+        help="partitioner to profile (default ig-match)",
+    )
+    parser.add_argument(
+        "--out", metavar="PATH", default="BENCH_obs.json",
+        help="output JSON path (default BENCH_obs.json)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        payload = run_observed_suite(
+            names=args.names or None,
+            seed=args.seed,
+            scale=args.scale,
+            algorithm=args.algorithm,
+            out_path=args.out,
+        )
+    except (ReproError, KeyError, OSError) as exc:
+        # get_spec raises KeyError for unknown circuit names.
+        if isinstance(exc, KeyError) and exc.args:
+            exc = exc.args[0]
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    for circuit in payload["circuits"]:
+        print(
+            f"{circuit['name']:>10}: {circuit['modules']} modules, "
+            f"{circuit['nets']} nets, {circuit['nets_cut']} cut, "
+            f"{circuit['seconds']:.3f}s"
+        )
+    print(f"wrote {args.out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -3,18 +3,32 @@
 :func:`build_suite` realises all nine circuits of Tables 2/3 (optionally
 scaled down), caching generated hypergraphs in-process so experiments and
 pytest benchmarks share instances.
+
+:func:`run_observed_suite` runs a partitioner over the suite with the
+:mod:`repro.obs` layer enabled and returns (optionally writes, as
+``BENCH_obs.json``) a machine-readable record of per-circuit wall time,
+per-phase time totals, and counters — the perf trajectory that future
+optimisation PRs diff against.  ``python -m repro.bench`` is the CLI
+front end.
 """
 
 from __future__ import annotations
 
+import json
 from functools import lru_cache
-from typing import Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 from ..hypergraph import Hypergraph
 from .generator import generate_from_spec
 from .specs import BENCHMARKS, BenchmarkSpec, get_spec
 
-__all__ = ["build_circuit", "build_suite", "planted_sides"]
+__all__ = [
+    "build_circuit",
+    "build_suite",
+    "planted_sides",
+    "run_observed_suite",
+]
 
 
 @lru_cache(maxsize=64)
@@ -38,6 +52,82 @@ def build_suite(
     if names is None:
         names = [spec.name for spec in BENCHMARKS]
     return {name: build_circuit(name, seed=seed, scale=scale) for name in names}
+
+
+def run_observed_suite(
+    names: Optional[Sequence[str]] = None,
+    seed: int = 0,
+    scale: float = 1.0,
+    algorithm: str = "ig-match",
+    out_path: Optional[Union[str, Path]] = None,
+) -> Dict[str, Any]:
+    """Run ``algorithm`` over the suite with observability enabled.
+
+    Each circuit is partitioned with a fresh observability session
+    (counters reset between circuits), and the collected phase totals
+    and counters are folded into one JSON-serialisable payload::
+
+        {"schema": 1, "algorithm": ..., "seed": ..., "scale": ...,
+         "circuits": [{"name", "modules", "nets", "seconds",
+                       "nets_cut", "ratio_cut", "phases", "counters"},
+                      ...]}
+
+    ``phases`` maps span name -> ``{"seconds", "count"}`` summed over
+    the whole run of that circuit.  When ``out_path`` is given the
+    payload is also written there as indented JSON (the conventional
+    name is ``BENCH_obs.json``).
+
+    Note: enables and disables the global :mod:`repro.obs` state.
+    """
+    # Imported lazily: repro.bench loads before repro.partitioning in
+    # the package __init__, so a module-level import would be circular.
+    from .. import obs
+    from ..cli import _run_algorithm
+
+    if names is None:
+        names = [spec.name for spec in BENCHMARKS]
+    circuits: List[Dict[str, Any]] = []
+    for name in names:
+        h = build_circuit(name, seed=seed, scale=scale)
+        obs.enable()
+        try:
+            result = _run_algorithm(
+                h, algorithm, seed=seed, restarts=10, stride=1
+            )
+            phases = {
+                span_name: {"seconds": round(seconds, 6), "count": count}
+                for span_name, (seconds, count) in sorted(
+                    obs.flatten_totals().items()
+                )
+            }
+            counters = obs.counters()
+        finally:
+            obs.disable()
+        circuits.append(
+            {
+                "name": name,
+                "modules": h.num_modules,
+                "nets": h.num_nets,
+                "seconds": round(result.elapsed_seconds, 6),
+                "nets_cut": result.nets_cut,
+                "ratio_cut": result.ratio_cut,
+                "phases": phases,
+                "counters": counters,
+            }
+        )
+    payload: Dict[str, Any] = {
+        "schema": 1,
+        "algorithm": algorithm,
+        "seed": seed,
+        "scale": scale,
+        "circuits": circuits,
+    }
+    if out_path is not None:
+        Path(out_path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    return payload
 
 
 def planted_sides(h: Hypergraph, spec: BenchmarkSpec) -> List[int]:

@@ -21,6 +21,7 @@ import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
+from . import obs
 from .bench import build_circuit, spec_names
 from .errors import ReproError
 from .hypergraph import Hypergraph, describe, load_json, load_net, save_net
@@ -58,19 +59,39 @@ _ALGORITHMS = (
 )
 
 
+_SUPPORTED_SUFFIXES = (".net", ".json", ".hgr", ".v")
+
+
 def _load(path: str) -> Hypergraph:
     file = Path(path)
-    if file.suffix == ".json":
+    suffix = file.suffix.lower()
+    if suffix == ".json":
         return load_json(file)
-    if file.suffix == ".hgr":
+    if suffix == ".hgr":
         from .hypergraph import load_hgr
 
         return load_hgr(file)
-    if file.suffix == ".v":
+    if suffix == ".v":
         from .hypergraph import load_verilog
 
         return load_verilog(file)
-    return load_net(file)
+    if suffix == ".net":
+        return load_net(file)
+    raise ReproError(
+        f"unsupported netlist extension {file.suffix!r} for {path}; "
+        f"supported extensions: {', '.join(_SUPPORTED_SUFFIXES)}"
+    )
+
+
+def _version() -> str:
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:  # pragma: no cover - metadata missing
+        from . import __version__
+
+        return __version__
 
 
 def _run_algorithm(
@@ -149,11 +170,14 @@ def _run_multiway(h: Hypergraph, args) -> int:
     return 0
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
+def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-partition",
         description="Ratio-cut netlist partitioning "
         "(IG-Match and baselines).",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {_version()}"
     )
     parser.add_argument(
         "netlist", nargs="?",
@@ -210,8 +234,54 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--sides-out", metavar="PATH",
         help="write one '<module-name> <side>' line per module",
     )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="collect per-phase timings/counters and print the phase "
+        "tree to stderr after the run",
+    )
+    parser.add_argument(
+        "--trace-json", metavar="PATH",
+        help="write structured JSON-lines trace events (spans, points, "
+        "counters) to PATH",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _build_parser()
     args = parser.parse_args(argv)
 
+    profiling = bool(args.profile or args.trace_json)
+    if profiling:
+        sink = None
+        if args.trace_json:
+            try:
+                sink = obs.JsonLinesSink(args.trace_json)
+            except OSError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
+        obs.enable(sink=sink)
+        obs.emit(
+            "cli.run",
+            algorithm=args.algorithm,
+            blocks=args.blocks,
+            seed=args.seed,
+        )
+    try:
+        return _execute(args, parser)
+    finally:
+        if profiling:
+            if args.profile:
+                print(obs.phase_report(), file=sys.stderr)
+            obs.disable()
+            if args.trace_json:
+                print(
+                    f"wrote trace events to {args.trace_json}",
+                    file=sys.stderr,
+                )
+
+
+def _execute(args, parser: argparse.ArgumentParser) -> int:
     try:
         if args.generate:
             h = build_circuit(args.generate, seed=args.seed, scale=args.scale)

@@ -15,6 +15,7 @@ from typing import Callable, Optional
 
 from ..errors import PartitionError
 from ..hypergraph import Hypergraph
+from ..obs import emit, incr, span
 from .coarsen import coarsen
 from ..partitioning import (
     IGMatchConfig,
@@ -57,34 +58,55 @@ def multilevel_partition(
     if bipartitioner is None:
         bipartitioner = lambda g: ig_match(g, IGMatchConfig())  # noqa: E731
 
-    levels = coarsen(
-        h,
-        config.target_modules,
-        net_model=config.net_model,
-        seed=config.seed,
-    )
-    coarsest = levels[-1].coarse if levels else h
-    result = bipartitioner(coarsest)
-    sides = list(result.partition.sides)
-
-    # Project back up, refining at each level.
-    for level in reversed(levels):
-        fine_sides = [
-            sides[level.assignment[v]]
-            for v in range(level.fine.num_modules)
-        ]
-        if config.refine_rounds > 0:
-            refined = rcut(
-                level.fine,
-                RCutConfig(
-                    restarts=1,
-                    max_rounds=config.refine_rounds,
-                    seed=config.seed,
-                ),
-                initial_sides=fine_sides,
+    with span(
+        "multilevel", modules=h.num_modules, nets=h.num_nets
+    ) as ml_span:
+        with span("multilevel.coarsen", target=config.target_modules) as csp:
+            levels = coarsen(
+                h,
+                config.target_modules,
+                net_model=config.net_model,
+                seed=config.seed,
             )
-            fine_sides = list(refined.partition.sides)
-        sides = fine_sides
+            coarsest = levels[-1].coarse if levels else h
+            csp.set(levels=len(levels), coarsest=coarsest.num_modules)
+            incr("multilevel.levels", len(levels))
+            for depth, level in enumerate(levels):
+                emit(
+                    "multilevel.level",
+                    depth=depth,
+                    fine_modules=level.fine.num_modules,
+                    coarse_modules=level.coarse.num_modules,
+                    fine_nets=level.fine.num_nets,
+                    coarse_nets=level.coarse.num_nets,
+                )
+
+        with span("multilevel.initial", modules=coarsest.num_modules):
+            result = bipartitioner(coarsest)
+        sides = list(result.partition.sides)
+
+        # Project back up, refining at each level.
+        for level in reversed(levels):
+            fine_sides = [
+                sides[level.assignment[v]]
+                for v in range(level.fine.num_modules)
+            ]
+            if config.refine_rounds > 0:
+                with span(
+                    "multilevel.refine", modules=level.fine.num_modules
+                ):
+                    refined = rcut(
+                        level.fine,
+                        RCutConfig(
+                            restarts=1,
+                            max_rounds=config.refine_rounds,
+                            seed=config.seed,
+                        ),
+                        initial_sides=fine_sides,
+                    )
+                    fine_sides = list(refined.partition.sides)
+            sides = fine_sides
+        ml_span.set(levels=len(levels))
 
     elapsed = time.perf_counter() - start
     return PartitionResult(

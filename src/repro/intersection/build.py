@@ -17,6 +17,7 @@ from typing import Dict, List, Tuple, Union
 
 from ..graph import Graph
 from ..hypergraph import Hypergraph
+from ..obs import incr, span
 from .weights import Weighting, get_weighting
 
 __all__ = ["intersection_graph", "shared_module_map", "intersection_nonzeros"]
@@ -61,13 +62,19 @@ def intersection_graph(
     Graph
         A graph on ``h.num_nets`` vertices where vertex ``j`` is net ``j``.
     """
-    if isinstance(weighting, str):
-        weighting = get_weighting(weighting)
-    g = Graph(h.num_nets)
-    for (net_a, net_b), shared in shared_module_map(h).items():
-        weight = weighting(h, net_a, net_b, shared)
-        if weight > 0:
-            g.add_edge(net_a, net_b, weight)
+    with span(
+        "intersection.build", nets=h.num_nets, modules=h.num_modules
+    ) as sp:
+        if isinstance(weighting, str):
+            weighting = get_weighting(weighting)
+        g = Graph(h.num_nets)
+        for (net_a, net_b), shared in shared_module_map(h).items():
+            weight = weighting(h, net_a, net_b, shared)
+            if weight > 0:
+                g.add_edge(net_a, net_b, weight)
+        sp.set(edges=g.num_edges)
+        incr("intersection.builds")
+        incr("intersection.edges", g.num_edges)
     return g
 
 

@@ -82,6 +82,13 @@ class IncrementalMatching:
         # every edge, so the Graph method-call overhead would dominate
         # the whole sweep (Theorem 6's inner loop).
         self._adjacency = [list(graph.neighbors(v)) for v in range(n)]
+        #: Plain-int telemetry, always maintained (a few integer adds
+        #: per sweep move): successful augmenting paths applied,
+        #: searches attempted, and total vertices visited by augmenting
+        #: searches (the work term behind Theorem 6's amortisation).
+        self.augmentations = 0
+        self.augmentation_attempts = 0
+        self.search_visits = 0
 
     # ------------------------------------------------------------------
     # State accessors
@@ -181,6 +188,7 @@ class IncrementalMatching:
         """
         if self._match[start] != -1:
             return False
+        self.augmentation_attempts += 1
         match = self._match
         side = self._side
         adjacency = self._adjacency
@@ -206,11 +214,14 @@ class IncrementalMatching:
                         a, b = path[i], path[i + 1]
                         match[a] = b
                         match[b] = a
+                    self.augmentations += 1
+                    self.search_visits += len(parent)
                     return True
                 partner = match[y]
                 if partner not in parent:
                     parent[partner] = y
                     queue.append(partner)
+        self.search_visits += len(parent)
         return False
 
     # ------------------------------------------------------------------

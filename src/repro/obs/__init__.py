@@ -1,0 +1,62 @@
+"""repro.obs — spans, counters, and structured trace output.
+
+The observability layer for the whole IG-Match pipeline.  Off by
+default with a module-level no-op fast path; when enabled it collects
+
+* nesting wall-clock **spans** at phase granularity (intersection-graph
+  build, eigensolves, split sweeps, FM passes, coarsening levels),
+* process-wide **counters/gauges** (Lanczos iterations, matching
+  augmentations, FM moves, ...),
+* a **JSON-lines event stream** for machine consumption.
+
+Typical use (what ``repro-partition --profile --trace-json t.jsonl``
+does)::
+
+    from repro import obs
+
+    obs.enable(sink=obs.JsonLinesSink("trace.jsonl"))
+    result = ig_match(h)
+    print(obs.phase_report())
+    obs.disable()            # flushes counters, closes the sink
+
+Instrumented library code uses three idioms:
+
+* ``with obs.span("igmatch.sweep", nets=m) as sp: ... sp.set(splits=s)``
+  around phases;
+* local integer/``perf_counter`` accumulators inside hot loops,
+  reported once via ``obs.add_timing`` / ``obs.incr``;
+* ``obs.emit("spectral.lanczos", iterations=...)`` for point
+  observations worth a trace line of their own.
+
+Everything in a trace is deterministic under a fixed seed except
+wall-clock durations (``dur_s`` fields); see
+:mod:`repro.obs.events` for the event schema and
+``docs/observability.md`` for the span-name catalogue.
+"""
+
+from .counters import counters, gauge, incr, reset_counters
+from .events import JsonLinesSink, MemorySink, emit
+from .registry import STATE, disable, enable, is_enabled, reset
+from .report import flatten_totals, phase_report
+from .span import Span, SpanNode, add_timing, span
+
+__all__ = [
+    "JsonLinesSink",
+    "MemorySink",
+    "STATE",
+    "Span",
+    "SpanNode",
+    "add_timing",
+    "counters",
+    "disable",
+    "emit",
+    "enable",
+    "flatten_totals",
+    "gauge",
+    "incr",
+    "is_enabled",
+    "phase_report",
+    "reset",
+    "reset_counters",
+    "span",
+]

@@ -1,0 +1,46 @@
+"""Cheap process-wide counters and gauges.
+
+Counters are dotted-name totals (``"matching.augmentations"``,
+``"lanczos.iterations"``) accumulated over a profiled run; gauges are
+last-write-wins observations sharing the same namespace.  Both live in
+one flat dict on the registry state, are snapshot by
+:func:`counters`, and are flushed as a single ``counters`` event when
+tracing shuts down.
+
+Every helper returns immediately while instrumentation is off.  Inner
+loops should *not* call these per iteration even so — keep a local
+integer and report the total once per phase (see the IG-Match sweep and
+FM pass loop for the idiom).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .registry import STATE
+
+__all__ = ["counters", "gauge", "incr", "reset_counters"]
+
+
+def incr(name: str, value: float = 1) -> None:
+    """Add ``value`` to counter ``name`` (creating it at 0)."""
+    if not STATE.enabled:
+        return
+    STATE.counters[name] = STATE.counters.get(name, 0) + value
+
+
+def gauge(name: str, value: float) -> None:
+    """Record the latest observation of ``name`` (last write wins)."""
+    if not STATE.enabled:
+        return
+    STATE.counters[name] = value
+
+
+def counters() -> Dict[str, float]:
+    """A snapshot of every counter/gauge, sorted by name."""
+    return {k: STATE.counters[k] for k in sorted(STATE.counters)}
+
+
+def reset_counters() -> None:
+    """Zero all counters without touching spans or sinks."""
+    STATE.counters.clear()

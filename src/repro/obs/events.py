@@ -1,0 +1,74 @@
+"""Structured event sinks: JSON-lines on disk, or in-memory for tests.
+
+Every event is one flat JSON object with a ``type`` discriminator:
+
+``{"type": "span", "name": ..., "dur_s": ..., "depth": ..., "seq": ...}``
+    A completed (or aggregated) timing span; extra keys are the span's
+    attributes.  ``count`` > 1 marks an aggregate over many occurrences.
+``{"type": "point", "name": ..., "seq": ...}``
+    An instantaneous structured observation (e.g. one eigensolve's
+    iteration count, one FM pass's move tally).
+``{"type": "counters", "values": {...}}``
+    The final counter totals, emitted once when tracing shuts down.
+
+Keys are serialised sorted, so traces are byte-stable under a fixed
+seed *except* for wall-clock fields — exactly the fields named
+``dur_s`` (span duration in seconds).  Everything else (names, depths,
+sequence numbers, iteration counts, move tallies) is deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from .registry import STATE
+
+__all__ = ["JsonLinesSink", "MemorySink", "emit", "emit_raw"]
+
+
+class JsonLinesSink:
+    """Append events to a file as JSON lines (one object per line)."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self._file = open(self.path, "w", encoding="utf-8")
+
+    def handle(self, event: Dict[str, Any]) -> None:
+        self._file.write(json.dumps(event, sort_keys=True, default=str))
+        self._file.write("\n")
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()
+
+
+class MemorySink:
+    """Collect events in a list — the test double."""
+
+    def __init__(self) -> None:
+        self.events: List[Dict[str, Any]] = []
+        self.closed = False
+
+    def handle(self, event: Dict[str, Any]) -> None:
+        self.events.append(event)
+
+    def close(self) -> None:
+        self.closed = True
+
+
+def emit_raw(event: Dict[str, Any]) -> None:
+    """Hand a prebuilt event dict to every sink (no enabled check)."""
+    for sink in STATE.sinks:
+        sink.handle(event)
+
+
+def emit(name: str, **fields: Any) -> None:
+    """Emit a ``point`` event; no-op while instrumentation is off."""
+    if not STATE.enabled:
+        return
+    event: Dict[str, Any] = {"type": "point", "name": name}
+    event.update(fields)
+    event["seq"] = STATE.next_seq()
+    emit_raw(event)

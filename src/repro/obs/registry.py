@@ -1,0 +1,106 @@
+"""Global on/off switch and shared state for the observability layer.
+
+The whole :mod:`repro.obs` package funnels through one module-level
+:class:`ObsState`.  Instrumentation call sites check ``STATE.enabled``
+(or call a helper that does) before doing any work, so a disabled run
+pays one attribute load and a branch per instrumented *phase* — never
+per move, pin, or matrix element.  Hot inner loops keep their own plain
+integer tallies and report them once per phase for the same reason.
+
+State is process-wide and single-threaded by design: the partitioners
+are synchronous, and a trace interleaved from several threads would be
+unreadable anyway.  ``enable()`` resets all collected data, so
+back-to-back profiled runs never bleed counters or spans into each
+other.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+__all__ = ["ObsState", "STATE", "enable", "disable", "is_enabled", "reset"]
+
+
+class ObsState:
+    """All mutable observability state: sinks, span tree, counters."""
+
+    __slots__ = ("enabled", "sinks", "roots", "stack", "counters", "seq")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        #: Event sinks (see :mod:`repro.obs.events`); every structured
+        #: event is handed to each sink in order.
+        self.sinks: List[Any] = []
+        #: Completed top-level spans (the phase tree for the report).
+        self.roots: List[Any] = []
+        #: Stack of *open* span nodes (nesting context).
+        self.stack: List[Any] = []
+        #: Monotonic counters and last-write gauges, by name.
+        self.counters: Dict[str, float] = {}
+        #: Monotonically increasing event sequence number.
+        self.seq = 0
+
+    def next_seq(self) -> int:
+        self.seq += 1
+        return self.seq
+
+
+STATE = ObsState()
+
+
+def is_enabled() -> bool:
+    """True when instrumentation is collecting (the global switch)."""
+    return STATE.enabled
+
+
+def enable(sink: Optional[Any] = None) -> ObsState:
+    """Turn instrumentation on, wiping any previously collected data.
+
+    ``sink``, if given, receives every structured event (a
+    :class:`repro.obs.events.JsonLinesSink`, ``MemorySink``, or any
+    object with ``handle(dict)`` / ``close()``).
+    """
+    reset()
+    if sink is not None:
+        STATE.sinks.append(sink)
+    STATE.enabled = True
+    return STATE
+
+
+def disable() -> None:
+    """Turn instrumentation off, flushing counters and closing sinks.
+
+    A final ``{"type": "counters", ...}`` event carrying every counter
+    is emitted before the sinks close, so a JSON-lines trace always ends
+    with the run's totals.  Collected spans and counters remain readable
+    (for :func:`repro.obs.report.phase_report`) until the next
+    :func:`enable`.
+    """
+    if STATE.enabled and STATE.counters and STATE.sinks:
+        from .events import emit_raw
+
+        emit_raw(
+            {
+                "type": "counters",
+                "values": {k: STATE.counters[k] for k in sorted(STATE.counters)},
+            }
+        )
+    for sink in STATE.sinks:
+        close = getattr(sink, "close", None)
+        if close is not None:
+            close()
+    STATE.sinks = []
+    STATE.enabled = False
+
+
+def reset() -> None:
+    """Drop all collected spans, counters, and sinks (keeps on/off state)."""
+    for sink in STATE.sinks:
+        close = getattr(sink, "close", None)
+        if close is not None:
+            close()
+    STATE.sinks = []
+    STATE.roots = []
+    STATE.stack = []
+    STATE.counters = {}
+    STATE.seq = 0

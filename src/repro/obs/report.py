@@ -1,0 +1,125 @@
+"""Human-readable summary of a profiled run: phase tree + counters.
+
+:func:`phase_report` renders the collected span tree with durations,
+aggregating repeated siblings of the same name (``×N``) so loops (per
+coarsening level, per ordering) stay one line each.  Numeric attributes
+of merged siblings are summed; non-numeric attributes are kept only
+when every occurrence agrees.
+
+:func:`flatten_totals` gives the same data as a flat ``name ->
+(seconds, count)`` mapping — the machine-readable form the benchmark
+suite stores in ``BENCH_obs.json``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from .registry import STATE
+from .span import SpanNode
+
+__all__ = ["flatten_totals", "phase_report"]
+
+
+def _merge_siblings(nodes: List[SpanNode]) -> List[SpanNode]:
+    """Aggregate same-named siblings, preserving first-seen order."""
+    merged: Dict[str, SpanNode] = {}
+    order: List[str] = []
+    for node in nodes:
+        agg = merged.get(node.name)
+        if agg is None:
+            agg = SpanNode(node.name, node.attrs)
+            agg.seconds = node.seconds
+            agg.count = node.count
+            agg.children = list(node.children)
+            merged[node.name] = agg
+            order.append(node.name)
+            continue
+        agg.seconds += node.seconds
+        agg.count += node.count
+        agg.children.extend(node.children)
+        for key, value in node.attrs.items():
+            if key not in agg.attrs:
+                agg.attrs[key] = value
+            elif isinstance(value, (int, float)) and not isinstance(
+                value, bool
+            ) and isinstance(agg.attrs[key], (int, float)):
+                agg.attrs[key] = agg.attrs[key] + value
+            elif agg.attrs[key] != value:
+                del agg.attrs[key]
+    return [merged[name] for name in order]
+
+
+def _format_attrs(attrs: Dict[str, Any]) -> str:
+    if not attrs:
+        return ""
+    parts = []
+    for key in sorted(attrs):
+        value = attrs[key]
+        if isinstance(value, float):
+            value = f"{value:.4g}"
+        parts.append(f"{key}={value}")
+    return "  [" + " ".join(parts) + "]"
+
+
+def _render(
+    nodes: List[SpanNode], depth: int, lines: List[str], width: int
+) -> None:
+    for node in _merge_siblings(nodes):
+        label = "  " * depth + node.name
+        tally = f" ×{node.count}" if node.count > 1 else ""
+        lines.append(
+            f"{label:<{width}} {node.seconds:9.4f}s{tally}"
+            f"{_format_attrs(node.attrs)}"
+        )
+        _render(node.children, depth + 1, lines, width)
+
+
+def _max_label(nodes: List[SpanNode], depth: int) -> int:
+    widest = 0
+    for node in nodes:
+        widest = max(
+            widest,
+            2 * depth + len(node.name),
+            _max_label(node.children, depth + 1),
+        )
+    return widest
+
+
+def phase_report() -> str:
+    """Render the collected spans and counters as an indented text tree."""
+    lines: List[str] = []
+    roots = STATE.roots
+    if roots:
+        lines.append("phase tree (seconds):")
+        width = max(24, _max_label(roots, 1) + 2)
+        _render(roots, 1, lines, width)
+    if STATE.counters:
+        lines.append("counters:")
+        width = max(24, max(len(k) for k in STATE.counters) + 4)
+        for name in sorted(STATE.counters):
+            value = STATE.counters[name]
+            if isinstance(value, float) and not value.is_integer():
+                rendered = f"{value:.6g}"
+            else:
+                rendered = f"{int(value)}"
+            lines.append(f"  {name:<{width}} {rendered:>12}")
+    if not lines:
+        return "(no observability data collected)"
+    return "\n".join(lines)
+
+
+def flatten_totals(
+    nodes: Optional[List[SpanNode]] = None,
+) -> Dict[str, Tuple[float, int]]:
+    """Total ``(seconds, count)`` per span name over the whole tree."""
+    if nodes is None:
+        nodes = STATE.roots
+    totals: Dict[str, Tuple[float, int]] = {}
+    stack = list(nodes)
+    while stack:
+        node = stack.pop()
+        seconds, count = totals.get(node.name, (0.0, 0))
+        totals[node.name] = (seconds + node.seconds, count + node.count)
+        stack.extend(node.children)
+    return totals

@@ -1,0 +1,133 @@
+"""Nesting timing spans with monotonic clocks.
+
+:func:`span` is the context-manager tracer used at phase granularity
+(build the intersection graph, run one eigensolve, one sweep, one FM
+pass loop).  While instrumentation is off it returns a shared no-op
+object, so the disabled cost of an instrumented phase is one function
+call — nothing is allocated and no clock is read.
+
+Hot loops that cannot afford a context manager per iteration time
+themselves with plain ``perf_counter`` accumulators and report the
+total once via :func:`add_timing`, which files an *aggregated* span
+(``count`` occurrences, summed seconds) under the currently open span.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional
+
+from .events import emit_raw
+from .registry import STATE
+
+__all__ = ["Span", "SpanNode", "add_timing", "span"]
+
+
+class SpanNode:
+    """One node of the collected phase tree."""
+
+    __slots__ = ("name", "attrs", "seconds", "count", "children")
+
+    def __init__(self, name: str, attrs: Optional[Dict[str, Any]] = None):
+        self.name = name
+        self.attrs: Dict[str, Any] = dict(attrs) if attrs else {}
+        self.seconds = 0.0
+        self.count = 1
+        self.children: List["SpanNode"] = []
+
+
+class _NullSpan:
+    """Shared do-nothing span handed out while instrumentation is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+
+_NULL = _NullSpan()
+
+
+def _attach(node: SpanNode) -> None:
+    parent = STATE.stack[-1] if STATE.stack else None
+    (parent.children if parent is not None else STATE.roots).append(node)
+
+
+class Span:
+    """A live span: times a ``with`` block and files it in the tree."""
+
+    __slots__ = ("_node", "_start")
+
+    def __init__(self, name: str, attrs: Dict[str, Any]):
+        self._node = SpanNode(name, attrs)
+        self._start = 0.0
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes discovered mid-span (iteration counts...)."""
+        self._node.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        _attach(self._node)
+        STATE.stack.append(self._node)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        node = self._node
+        node.seconds = time.perf_counter() - self._start
+        if STATE.stack and STATE.stack[-1] is node:
+            STATE.stack.pop()
+        if exc_type is not None:
+            node.attrs.setdefault("error", exc_type.__name__)
+        if STATE.sinks:
+            event: Dict[str, Any] = {"type": "span", "name": node.name}
+            event.update(node.attrs)
+            event["dur_s"] = round(node.seconds, 6)
+            event["depth"] = len(STATE.stack)
+            event["seq"] = STATE.next_seq()
+            emit_raw(event)
+        return False
+
+
+def span(name: str, **attrs: Any):
+    """Open a named timing span around a ``with`` block.
+
+    No-op (shared null object) while instrumentation is off, so it is
+    safe at any phase boundary.  ``attrs`` should be deterministic
+    values (sizes, config knobs) — durations are added automatically.
+    """
+    if not STATE.enabled:
+        return _NULL
+    return Span(name, attrs)
+
+
+def add_timing(
+    name: str, seconds: float, count: int = 1, **attrs: Any
+) -> None:
+    """File an aggregated span (hot-loop totals) under the open span.
+
+    Used by sweep/pass loops that accumulate ``perf_counter`` deltas in
+    local variables and report once: ``count`` occurrences totalling
+    ``seconds``.  No-op while instrumentation is off.
+    """
+    if not STATE.enabled:
+        return
+    node = SpanNode(name, attrs)
+    node.seconds = seconds
+    node.count = count
+    _attach(node)
+    if STATE.sinks:
+        event: Dict[str, Any] = {"type": "span", "name": name}
+        event.update(attrs)
+        event["dur_s"] = round(seconds, 6)
+        event["count"] = count
+        event["depth"] = len(STATE.stack)
+        event["seq"] = STATE.next_seq()
+        emit_raw(event)

@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from ..errors import PartitionError
+from ..obs import incr
 
 __all__ = ["LinkedGainBuckets"]
 
@@ -58,6 +59,9 @@ class LinkedGainBuckets:
         return gain + self._bound
 
     def _grow(self, needed: int) -> None:
+        # A grow means the preset p_max bound was too small — worth
+        # counting, since each one is an O(bound) reallocation.
+        incr("fm.bucket_grows")
         new_bound = max(needed, 2 * self._bound)
         shift = new_bound - self._bound
         self._heads = (

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..errors import PartitionError
 from ..hypergraph import Hypergraph
+from ..obs import emit, incr, span
 from .metrics import ratio_cut_cost
 from .partition import Partition, PartitionResult
 
@@ -172,6 +173,8 @@ class FMEngine:
         for v, s in enumerate(self.sides):
             self.side_area[s] += areas[v]
         self.gains = [self._compute_gain(v) for v in range(h.num_modules)]
+        # Stats of the most recent run_pass (moved/kept/best_value).
+        self.last_pass = {"moved": 0, "kept": 0, "best_value": 0.0}
 
     # ------------------------------------------------------------------
     def _compute_gain(self, cell: int) -> int:
@@ -405,6 +408,12 @@ class FMEngine:
         # Revert moves beyond the best prefix.
         for cell in reversed(move_sequence[best_prefix:]):
             self.move(cell)
+        # Telemetry for callers/obs: what the pass actually did.
+        self.last_pass = {
+            "moved": len(move_sequence),
+            "kept": best_prefix,
+            "best_value": best_value,
+        }
         return best_prefix, best_value
 
     def partition(self) -> Partition:
@@ -476,14 +485,29 @@ def fm_bipartition(
         return low <= new_to <= high and low <= new_from <= high
 
     passes = 0
-    for _ in range(config.max_passes):
-        before = engine.cut
-        moves, _ = engine.run_pass(
-            feasible, objective="cut", lookahead=config.lookahead
-        )
-        passes += 1
-        if engine.cut >= before or moves == 0:
-            break
+    with span(
+        "fm", modules=h.num_modules, nets=h.num_nets, cut_initial=engine.cut
+    ) as fm_span:
+        for _ in range(config.max_passes):
+            before = engine.cut
+            moves, _ = engine.run_pass(
+                feasible, objective="cut", lookahead=config.lookahead
+            )
+            passes += 1
+            incr("fm.passes")
+            incr("fm.moves_attempted", engine.last_pass["moved"])
+            incr("fm.moves_kept", moves)
+            emit(
+                "fm.pass",
+                index=passes,
+                moved=engine.last_pass["moved"],
+                kept=moves,
+                cut_before=before,
+                cut_after=engine.cut,
+            )
+            if engine.cut >= before or moves == 0:
+                break
+        fm_span.set(passes=passes, cut_final=engine.cut)
 
     elapsed = time.perf_counter() - start
     return PartitionResult(

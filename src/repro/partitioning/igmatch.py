@@ -35,6 +35,7 @@ from ..hypergraph import Hypergraph
 from ..intersection import intersection_graph
 from ..matching import IncrementalMatching
 from ..matching.incremental import VertexClass
+from ..obs import add_timing, emit, incr, is_enabled, span
 from ..spectral import spectral_ordering
 from .metrics import ratio_cut_cost
 from .partition import Partition, PartitionResult
@@ -323,56 +324,107 @@ def ig_match_sweep(
             "check_invariants (Theorem 5, a net-count bound) is not "
             "available with use_net_weights"
         )
-    # The vectorised Phase II pays off once circuits are non-trivial;
-    # the pure-Python version stays as the readable reference (and the
-    # tests assert they agree).  The weighted objective is only
-    # implemented in the vectorised path.
-    arrays = (
-        _SweepArrays(h, use_weights)
-        if (num_nets >= 64 or use_weights)
-        else None
-    )
-    for index, net in enumerate(order[:-1]):
-        # Nets swept so far (including this one) form the R side.
-        matcher.move_to_right(net)
-        rank = index + 1
-        if rank % config.split_stride and rank != num_nets - 1:
-            continue
-        codes = matcher.classify()
-        if arrays is not None:
-            evaluation, assign = _evaluate_split_vectorised(
-                arrays, codes, rank, matcher.matching_size
+    # The per-split loop is the pipeline's hot path, so it is profiled
+    # with local perf_counter accumulators (reported once after the
+    # loop) rather than a span per split; ``profiling`` is a local
+    # bool, so the disabled cost is one branch per split.
+    profiling = is_enabled()
+    match_seconds = 0.0
+    complete_seconds = 0.0
+    t_mark = 0.0
+    with span("igmatch.sweep", nets=num_nets) as sweep_span:
+        # The vectorised Phase II pays off once circuits are
+        # non-trivial; the pure-Python version stays as the readable
+        # reference (and the tests assert they agree).  The weighted
+        # objective is only implemented in the vectorised path.
+        arrays = (
+            _SweepArrays(h, use_weights)
+            if (num_nets >= 64 or use_weights)
+            else None
+        )
+        for index, net in enumerate(order[:-1]):
+            if profiling:
+                t_mark = time.perf_counter()
+            # Nets swept so far (including this one) form the R side.
+            matcher.move_to_right(net)
+            rank = index + 1
+            if rank % config.split_stride and rank != num_nets - 1:
+                if profiling:
+                    match_seconds += time.perf_counter() - t_mark
+                continue
+            codes = matcher.classify()
+            if profiling:
+                now = time.perf_counter()
+                match_seconds += now - t_mark
+                t_mark = now
+            if arrays is not None:
+                evaluation, assign = _evaluate_split_vectorised(
+                    arrays, codes, rank, matcher.matching_size
+                )
+            else:
+                evaluation, assign = _evaluate_split(
+                    h, codes, rank, matcher.matching_size
+                )
+            if profiling:
+                complete_seconds += time.perf_counter() - t_mark
+            if evaluation is None:
+                continue
+            if config.check_invariants and (
+                evaluation.nets_cut > evaluation.matching_size
+            ):
+                raise PartitionError(
+                    f"Theorem 5 violated at rank {rank}: "
+                    f"{evaluation.nets_cut} nets cut > matching size "
+                    f"{evaluation.matching_size}"
+                )
+            evaluations.append(evaluation)
+            if best_eval is None or (
+                (evaluation.ratio_cut, evaluation.rank)
+                < (best_eval.ratio_cut, best_eval.rank)
+            ):
+                best_eval = evaluation
+                best_assign = assign
+
+        if profiling:
+            splits = len(evaluations)
+            sweep_span.set(
+                splits=splits,
+                augmentations=matcher.augmentations,
+                matching_size=matcher.matching_size,
             )
-        else:
-            evaluation, assign = _evaluate_split(
-                h, codes, rank, matcher.matching_size
+            add_timing(
+                "igmatch.matching",
+                match_seconds,
+                count=splits,
+                augmentations=matcher.augmentations,
             )
-        if evaluation is None:
-            continue
-        if config.check_invariants and (
-            evaluation.nets_cut > evaluation.matching_size
-        ):
-            raise PartitionError(
-                f"Theorem 5 violated at rank {rank}: "
-                f"{evaluation.nets_cut} nets cut > matching size "
-                f"{evaluation.matching_size}"
+            add_timing("igmatch.completion", complete_seconds, count=splits)
+            incr("igmatch.sweeps")
+            incr("igmatch.splits_evaluated", splits)
+            incr("matching.augmentations", matcher.augmentations)
+            incr(
+                "matching.augmentation_attempts",
+                matcher.augmentation_attempts,
             )
-        evaluations.append(evaluation)
-        if best_eval is None or (
-            (evaluation.ratio_cut, evaluation.rank)
-            < (best_eval.ratio_cut, best_eval.rank)
-        ):
-            best_eval = evaluation
-            best_assign = assign
+            incr("matching.search_visits", matcher.search_visits)
+            emit(
+                "igmatch.sweep",
+                nets=num_nets,
+                splits=splits,
+                augmentations=matcher.augmentations,
+                final_matching_size=matcher.matching_size,
+                best_rank=None if best_eval is None else best_eval.rank,
+            )
 
     if best_eval is None or best_assign is None:
         return evaluations, None
-    sides = _materialise(h, best_assign, best_eval.assign_core_to_l)
-    partition = Partition(h, sides)
-    if config.recursive_depth > 0:
-        partition = _recursive_refine(
-            h, best_assign, partition, config
-        )
+    with span("igmatch.refinement", recursive_depth=config.recursive_depth):
+        sides = _materialise(h, best_assign, best_eval.assign_core_to_l)
+        partition = Partition(h, sides)
+        if config.recursive_depth > 0:
+            partition = _recursive_refine(
+                h, best_assign, partition, config
+            )
     return evaluations, partition
 
 
@@ -475,32 +527,44 @@ def ig_match(
     if h.num_nets < 2:
         raise PartitionError("IG-Match needs at least 2 nets to split")
 
-    graph = intersection_graph(h, config.weighting)
-    if order is not None:
-        orders: List[Sequence[int]] = [order]
-    else:
-        orders = _candidate_orders(h, graph, config)
+    with span(
+        "igmatch", modules=h.num_modules, nets=h.num_nets
+    ) as ig_span:
+        graph = intersection_graph(h, config.weighting)
+        if order is not None:
+            orders: List[Sequence[int]] = [order]
+        else:
+            with span(
+                "igmatch.ordering", candidates=config.candidate_orderings
+            ):
+                orders = _candidate_orders(h, graph, config)
 
-    best_partition: Optional[Partition] = None
-    best_eval: Optional[SplitEvaluation] = None
-    best_index = 0
-    total_evaluations = 0
-    for index, candidate in enumerate(orders):
-        evaluations, partition = ig_match_sweep(
-            h, config, order=candidate, graph=graph
-        )
-        total_evaluations += len(evaluations)
-        if partition is None:
-            continue
-        sweep_best = min(
-            evaluations, key=lambda e: (e.ratio_cut, e.rank)
-        )
-        # Compare orderings by the sweep objective (which is the
-        # weighted ratio cut under use_net_weights).
-        if best_eval is None or sweep_best.ratio_cut < best_eval.ratio_cut:
-            best_partition = partition
-            best_eval = sweep_best
-            best_index = index
+        best_partition: Optional[Partition] = None
+        best_eval: Optional[SplitEvaluation] = None
+        best_index = 0
+        total_evaluations = 0
+        for index, candidate in enumerate(orders):
+            evaluations, partition = ig_match_sweep(
+                h, config, order=candidate, graph=graph
+            )
+            total_evaluations += len(evaluations)
+            if partition is None:
+                continue
+            sweep_best = min(
+                evaluations, key=lambda e: (e.ratio_cut, e.rank)
+            )
+            # Compare orderings by the sweep objective (which is the
+            # weighted ratio cut under use_net_weights).
+            if best_eval is None or sweep_best.ratio_cut < best_eval.ratio_cut:
+                best_partition = partition
+                best_eval = sweep_best
+                best_index = index
+        if best_eval is not None:
+            ig_span.set(
+                best_rank=best_eval.rank,
+                splits_evaluated=total_evaluations,
+                orderings=len(orders),
+            )
     elapsed = time.perf_counter() - start
     if best_partition is None or best_eval is None:
         raise PartitionError(

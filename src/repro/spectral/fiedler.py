@@ -33,6 +33,7 @@ import scipy.sparse.linalg as spla
 
 from ..errors import SpectralError
 from ..graph import Graph, connected_components, laplacian_matrix
+from ..obs import emit, incr, is_enabled, span
 from .lanczos import lanczos_extreme
 
 __all__ = [
@@ -72,6 +73,27 @@ def _shifted_laplacian(g: Graph) -> Tuple[sp.csr_matrix, float]:
     return (sp.identity(n, format="csr") * shift - laplacian).tocsr(), shift
 
 
+def _counting_operator(matrix: sp.csr_matrix):
+    """Wrap a sparse matrix so ARPACK matvecs can be counted.
+
+    scipy's ``eigsh`` is an implicitly restarted Lanczos method; one
+    matvec is one Lanczos step, so the call count is the natural
+    iteration statistic when profiling the ``"scipy"`` backend.  Only
+    used while instrumentation is on — the wrapper costs one Python
+    call per matvec.
+    """
+    calls = [0]
+
+    def matvec(x: np.ndarray) -> np.ndarray:
+        calls[0] += 1
+        return matrix @ x
+
+    operator = spla.LinearOperator(
+        matrix.shape, matvec=matvec, dtype=matrix.dtype
+    )
+    return operator, calls
+
+
 def _canonical_sign(vector: np.ndarray) -> np.ndarray:
     """Fix the eigenvector's sign so results are deterministic.
 
@@ -107,30 +129,55 @@ def fiedler_vector(
             "use component_spectral_values or partition components first"
         )
 
-    shifted, shift = _shifted_laplacian(g)
-    if backend == "lanczos":
-        res = lanczos_extreme(shifted, k=2, which="LA", tol=tol, seed=seed)
-        # Shifted-largest come back ascending; the largest is the trivial
-        # pair (lambda=0 of Q), second-largest is Fiedler.
-        mu_fiedler = res.eigenvalues[0]
-        vector = res.eigenvectors[:, 0]
-    else:
-        if n <= 16:
-            # eigsh needs k < n and behaves poorly on tiny systems; a
-            # dense solve is exact and cheap here.
-            dense = shifted.toarray()
-            mu, vecs = np.linalg.eigh(dense)
-            mu_fiedler = mu[-2]
-            vector = vecs[:, -2]
+    with span("spectral.fiedler", backend=backend, n=n) as sp:
+        shifted, shift = _shifted_laplacian(g)
+        if backend == "lanczos":
+            res = lanczos_extreme(
+                shifted, k=2, which="LA", tol=tol, seed=seed
+            )
+            # Shifted-largest come back ascending; the largest is the
+            # trivial pair (lambda=0 of Q), second-largest is Fiedler.
+            mu_fiedler = res.eigenvalues[0]
+            vector = res.eigenvectors[:, 0]
         else:
-            rng = np.random.default_rng(seed)
-            v0 = rng.standard_normal(n)
-            mu, vecs = spla.eigsh(shifted, k=2, which="LA", tol=0, v0=v0)
-            order = np.argsort(mu)
-            mu_fiedler = mu[order[0]]
-            vector = vecs[:, order[0]]
+            if n <= 16:
+                # eigsh needs k < n and behaves poorly on tiny systems;
+                # a dense solve is exact and cheap here.
+                sp.set(method="dense")
+                dense = shifted.toarray()
+                mu, vecs = np.linalg.eigh(dense)
+                mu_fiedler = mu[-2]
+                vector = vecs[:, -2]
+            else:
+                rng = np.random.default_rng(seed)
+                v0 = rng.standard_normal(n)
+                with span(
+                    "spectral.lanczos", backend="scipy-eigsh", n=n, k=2
+                ) as lsp:
+                    if is_enabled():
+                        operator, calls = _counting_operator(shifted)
+                    else:
+                        operator, calls = shifted, [0]
+                    mu, vecs = spla.eigsh(
+                        operator, k=2, which="LA", tol=0, v0=v0
+                    )
+                    if is_enabled():
+                        lsp.set(iterations=calls[0])
+                        incr("lanczos.solves")
+                        incr("lanczos.iterations", calls[0])
+                        emit(
+                            "spectral.lanczos",
+                            backend="scipy-eigsh",
+                            n=n,
+                            k=2,
+                            iterations=calls[0],
+                        )
+                order = np.argsort(mu)
+                mu_fiedler = mu[order[0]]
+                vector = vecs[:, order[0]]
 
-    eigenvalue = float(shift - mu_fiedler)
+        eigenvalue = float(shift - mu_fiedler)
+        sp.set(eigenvalue=round(eigenvalue, 9))
     if eigenvalue < 0 and eigenvalue > -1e-8:
         eigenvalue = 0.0
     return FiedlerResult(
@@ -164,27 +211,44 @@ def nontrivial_eigenvectors(
         raise SpectralError(
             "nontrivial_eigenvectors requires a connected graph"
         )
-    shifted, shift = _shifted_laplacian(g)
-    k = count + 1
-    if backend == "lanczos":
-        res = lanczos_extreme(shifted, k=k, which="LA", seed=seed)
-        mu = res.eigenvalues
-        vecs = res.eigenvectors
-    elif backend == "scipy":
-        if n <= max(2 * k, 20):
-            mu_all, vecs_all = np.linalg.eigh(shifted.toarray())
-            mu = mu_all[-k:]
-            vecs = vecs_all[:, -k:]
+    with span(
+        "spectral.eigenvectors", backend=backend, n=n, count=count
+    ):
+        shifted, shift = _shifted_laplacian(g)
+        k = count + 1
+        if backend == "lanczos":
+            res = lanczos_extreme(shifted, k=k, which="LA", seed=seed)
+            mu = res.eigenvalues
+            vecs = res.eigenvectors
+        elif backend == "scipy":
+            if n <= max(2 * k, 20):
+                mu_all, vecs_all = np.linalg.eigh(shifted.toarray())
+                mu = mu_all[-k:]
+                vecs = vecs_all[:, -k:]
+            else:
+                rng = np.random.default_rng(seed)
+                if is_enabled():
+                    operator, calls = _counting_operator(shifted)
+                else:
+                    operator, calls = shifted, [0]
+                mu, vecs = spla.eigsh(
+                    operator, k=k, which="LA",
+                    v0=rng.standard_normal(n),
+                )
+                if is_enabled():
+                    incr("lanczos.solves")
+                    incr("lanczos.iterations", calls[0])
+                    emit(
+                        "spectral.lanczos",
+                        backend="scipy-eigsh",
+                        n=n,
+                        k=k,
+                        iterations=calls[0],
+                    )
         else:
-            rng = np.random.default_rng(seed)
-            mu, vecs = spla.eigsh(
-                shifted, k=k, which="LA",
-                v0=rng.standard_normal(n),
+            raise SpectralError(
+                f"unknown backend {backend!r}; available: {_BACKENDS}"
             )
-    else:
-        raise SpectralError(
-            f"unknown backend {backend!r}; available: {_BACKENDS}"
-        )
     # Sort by descending mu = ascending Laplacian eigenvalue; drop the
     # trivial (constant) eigenvector.
     order = np.argsort(mu)[::-1]

@@ -25,6 +25,7 @@ connected components first (:mod:`repro.spectral.fiedler`).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable, Optional, Tuple, Union
 
@@ -33,6 +34,7 @@ import scipy.linalg as sla
 import scipy.sparse as sp
 
 from ..errors import SpectralError
+from ..obs import add_timing, emit, incr, is_enabled
 
 __all__ = ["LanczosResult", "lanczos_extreme"]
 
@@ -122,6 +124,8 @@ def lanczos_extreme(
         max_steps = size
     max_steps = min(max_steps, size)
 
+    profiling = is_enabled()
+    t_start = time.perf_counter() if profiling else 0.0
     rng = np.random.default_rng(seed)
     basis = np.zeros((size, max_steps))
     alphas = np.zeros(max_steps)
@@ -198,6 +202,27 @@ def lanczos_extreme(
     if which == "SA":
         eigenvalues = -eigenvalues
     order = np.argsort(eigenvalues)
+    if profiling:
+        incr("lanczos.solves")
+        incr("lanczos.iterations", steps)
+        incr("lanczos.restarts", blocks - 1)
+        add_timing(
+            "spectral.lanczos",
+            time.perf_counter() - t_start,
+            n=size,
+            k=k,
+            iterations=steps,
+            restarts=blocks - 1,
+        )
+        emit(
+            "spectral.lanczos",
+            backend="own",
+            n=size,
+            k=k,
+            iterations=steps,
+            restarts=blocks - 1,
+            max_residual=float(residuals.max(initial=0.0)),
+        )
     return LanczosResult(
         eigenvalues=eigenvalues[order],
         eigenvectors=eigenvectors[:, order],

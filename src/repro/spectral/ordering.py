@@ -14,6 +14,7 @@ import numpy as np
 
 from ..errors import SpectralError
 from ..graph import Graph
+from ..obs import span
 from .fiedler import component_spectral_values, fiedler_vector
 
 __all__ = ["ordering_from_values", "spectral_ordering"]
@@ -43,10 +44,13 @@ def spectral_ordering(
     """
     if g.num_vertices <= 2:
         return list(range(g.num_vertices))
-    try:
-        values = fiedler_vector(
-            g, backend=backend, seed=seed, tol=tol
-        ).vector
-    except SpectralError:
-        values = component_spectral_values(g, backend=backend, seed=seed)
-    return ordering_from_values(values)
+    with span("spectral.ordering", n=g.num_vertices, backend=backend):
+        try:
+            values = fiedler_vector(
+                g, backend=backend, seed=seed, tol=tol
+            ).vector
+        except SpectralError:
+            values = component_spectral_values(
+                g, backend=backend, seed=seed
+            )
+        return ordering_from_values(values)

@@ -18,6 +18,7 @@ from typing import List, Sequence
 
 from ..errors import PartitionError
 from ..hypergraph import Hypergraph
+from ..obs import incr, span
 
 __all__ = ["SplitPoint", "SplitSweep", "sweep_module_splits"]
 
@@ -68,26 +69,30 @@ def sweep_module_splits(
     if n < 2:
         raise PartitionError("need at least 2 modules to split")
 
-    pins_in_u = [0] * h.num_nets
-    sizes = h.net_sizes()
-    nets_cut = 0
-    points: List[SplitPoint] = []
+    with span("splits.sweep", modules=n, nets=h.num_nets) as sp:
+        pins_in_u = [0] * h.num_nets
+        sizes = h.net_sizes()
+        nets_cut = 0
+        points: List[SplitPoint] = []
 
-    for rank, module in enumerate(order[:-1], start=1):
-        for net in h.nets_of(module):
-            count = pins_in_u[net]
-            size = sizes[net]
-            was_cut = 0 < count < size
-            count += 1
-            pins_in_u[net] = count
-            is_cut = 0 < count < size
-            nets_cut += int(is_cut) - int(was_cut)
-        denominator = rank * (n - rank)
-        points.append(
-            SplitPoint(
-                rank=rank,
-                nets_cut=nets_cut,
-                ratio_cut=nets_cut / denominator,
+        for rank, module in enumerate(order[:-1], start=1):
+            for net in h.nets_of(module):
+                count = pins_in_u[net]
+                size = sizes[net]
+                was_cut = 0 < count < size
+                count += 1
+                pins_in_u[net] = count
+                is_cut = 0 < count < size
+                nets_cut += int(is_cut) - int(was_cut)
+            denominator = rank * (n - rank)
+            points.append(
+                SplitPoint(
+                    rank=rank,
+                    nets_cut=nets_cut,
+                    ratio_cut=nets_cut / denominator,
+                )
             )
-        )
-    return SplitSweep(order=list(order), points=points)
+        sweep = SplitSweep(order=list(order), points=points)
+        sp.set(splits=len(points), best_rank=sweep.best.rank)
+        incr("splits.evaluated", len(points))
+    return sweep

@@ -70,10 +70,30 @@ class TestGenerate:
         assert h.num_modules > 0
 
 
+class TestVersion:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "repro-partition" in out
+        # Some version number must be reported.
+        assert any(ch.isdigit() for ch in out)
+
+
 class TestErrors:
     def test_missing_file(self, capsys):
         assert main(["/no/such/file.net"]) == 1
         assert "error" in capsys.readouterr().err
+
+    def test_unknown_suffix_is_rejected(self, tmp_path, capsys):
+        bogus = tmp_path / "circuit.xyz"
+        bogus.write_text("not a netlist\n")
+        assert main([str(bogus)]) == 1
+        err = capsys.readouterr().err
+        assert "unsupported netlist extension" in err
+        for ext in (".net", ".json", ".hgr", ".v"):
+            assert ext in err
 
     def test_no_input(self, capsys):
         with pytest.raises(SystemExit):
