@@ -1,9 +1,14 @@
-"""``python -m repro.bench`` — run the observed benchmark suite.
+"""``python -m repro.bench`` — run and diff the observed benchmark suite.
 
 Partitions every (or each named) suite circuit with the observability
 layer on and writes ``BENCH_obs.json``: per-circuit wall time, phase
-timing totals, and counters.  This file is the machine-readable perf
-trajectory that optimisation PRs compare against.
+timing totals, counters, and convergence curves.  This file is the
+machine-readable perf trajectory that optimisation PRs compare against:
+``--compare BASELINE`` diffs the fresh run against a stored payload
+(exact on deterministic work counters and cut quality, noise-aware on
+wall clocks), ``--fail-on-regress`` turns deterministic regressions
+into a nonzero exit for CI, and ``--report`` renders a self-contained
+HTML report (phase trees, convergence curves, verdict tables).
 
 Examples
 --------
@@ -12,29 +17,84 @@ Examples
     python -m repro.bench --scale 0.1                 # quick pass
     python -m repro.bench Test05 Prim1 --out BENCH_obs.json
     python -m repro.bench --algorithm rcut --scale 0.2
+    python -m repro.bench --list                      # known circuits
+    python -m repro.bench --scale 0.2 \\
+        --compare benchmarks/results/BENCH_baseline.json \\
+        --fail-on-regress --report bench-report.html
 """
 
 from __future__ import annotations
 
 import argparse
+import difflib
+import json
 import sys
+from pathlib import Path
 from typing import Optional, Sequence
 
 from ..errors import ReproError
-from .specs import spec_names
+from .specs import BENCHMARKS, spec_names
 from .suite import run_observed_suite
+
+#: Exit codes: 0 success, 1 regression gate tripped, 2 bad invocation.
+EXIT_OK = 0
+EXIT_REGRESSED = 1
+EXIT_USAGE = 2
+
+
+def _print_spec_list() -> None:
+    print(f"{'name':>8}  {'modules':>8}  {'nets':>8}  paper best (IG-Match)")
+    for spec in BENCHMARKS:
+        row = spec.paper_igmatch
+        best = (
+            f"{row.nets_cut} cut @ {row.areas} (ratio {row.ratio_cut:.3g})"
+            if row is not None
+            else "—"
+        )
+        print(
+            f"{spec.name:>8}  {spec.num_modules:>8}  "
+            f"{spec.num_nets:>8}  {best}"
+        )
+
+
+def _validate_names(names: Sequence[str]) -> Optional[str]:
+    """Return an error message for the first unknown circuit name."""
+    known = spec_names()
+    lower = {name.lower(): name for name in known}
+    for name in names:
+        if name.lower() in lower:
+            continue
+        suggestions = difflib.get_close_matches(
+            name.lower(), list(lower), n=3, cutoff=0.4
+        )
+        hint = (
+            " — did you mean "
+            + " or ".join(lower[s] for s in suggestions)
+            + "?"
+            if suggestions
+            else ""
+        )
+        return (
+            f"unknown circuit {name!r}{hint} "
+            f"(known: {', '.join(known)}; see --list)"
+        )
+    return None
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
-        description="Run the benchmark suite with observability enabled "
-        "and write a machine-readable BENCH_obs.json.",
+        description="Run the benchmark suite with observability enabled, "
+        "write a machine-readable BENCH_obs.json, and optionally diff it "
+        "against a stored baseline.",
     )
     parser.add_argument(
         "names", nargs="*", metavar="NAME",
-        help="circuits to run (default: the whole suite; "
-        f"known: {', '.join(spec_names())})",
+        help="circuits to run (default: the whole suite; see --list)",
+    )
+    parser.add_argument(
+        "--list", action="store_true",
+        help="print the known circuit specs and exit",
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
@@ -49,7 +109,55 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--out", metavar="PATH", default="BENCH_obs.json",
         help="output JSON path (default BENCH_obs.json)",
     )
+    parser.add_argument(
+        "--compare", metavar="BASELINE",
+        help="diff the fresh run against a stored BENCH_obs.json "
+        "payload and print the verdicts",
+    )
+    parser.add_argument(
+        "--fail-on-regress", action="store_true",
+        help="with --compare: exit nonzero when a deterministic field "
+        "(counter, phase count, nets_cut, ratio_cut) regressed; "
+        "wall-clock changes never trip the gate",
+    )
+    parser.add_argument(
+        "--time-tolerance", type=float, default=0.25, metavar="REL",
+        help="relative wall-clock change below which a phase is "
+        "'unchanged' (default 0.25)",
+    )
+    parser.add_argument(
+        "--time-floor", type=float, default=0.02, metavar="SECONDS",
+        help="absolute wall-clock change always treated as noise "
+        "(default 0.02s)",
+    )
+    parser.add_argument(
+        "--report", metavar="PATH",
+        help="write a self-contained HTML report (phase trees, "
+        "convergence curves, and the diff when --compare is given)",
+    )
     args = parser.parse_args(argv)
+
+    if args.list:
+        _print_spec_list()
+        return EXIT_OK
+
+    error = _validate_names(args.names)
+    if error is not None:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_USAGE
+
+    baseline = None
+    if args.compare:
+        try:
+            baseline = json.loads(
+                Path(args.compare).read_text(encoding="utf-8")
+            )
+        except (OSError, ValueError) as exc:
+            print(
+                f"error: cannot read baseline {args.compare}: {exc}",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
 
     try:
         payload = run_observed_suite(
@@ -59,10 +167,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             algorithm=args.algorithm,
             out_path=args.out,
         )
-    except (ReproError, KeyError, OSError) as exc:
-        # get_spec raises KeyError for unknown circuit names.
-        if isinstance(exc, KeyError) and exc.args:
-            exc = exc.args[0]
+    except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     for circuit in payload["circuits"]:
@@ -72,7 +177,41 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"{circuit['seconds']:.3f}s"
         )
     print(f"wrote {args.out}", file=sys.stderr)
-    return 0
+
+    diff = None
+    if baseline is not None:
+        from ..obs import DiffThresholds, diff_payloads, render_markdown
+
+        diff = diff_payloads(
+            baseline,
+            payload,
+            thresholds=DiffThresholds(
+                rel_tol=args.time_tolerance,
+                abs_floor_s=args.time_floor,
+            ),
+        )
+        print(f"--- compared against {args.compare} ---")
+        print(render_markdown(diff))
+
+    if args.report:
+        from ..obs import render_html
+
+        try:
+            Path(args.report).write_text(
+                render_html(payload, diff=diff), encoding="utf-8"
+            )
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print(f"wrote report to {args.report}", file=sys.stderr)
+
+    if diff is not None and args.fail_on_regress and diff.has_regressions:
+        print(
+            f"FAIL: {len(diff.regressions)} deterministic regression(s)",
+            file=sys.stderr,
+        )
+        return EXIT_REGRESSED
+    return EXIT_OK
 
 
 if __name__ == "__main__":

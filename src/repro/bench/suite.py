@@ -54,6 +54,49 @@ def build_suite(
     return {name: build_circuit(name, seed=seed, scale=scale) for name in names}
 
 
+#: Stored convergence curves are downsampled to at most this many
+#: samples per series — plenty for rendering, and it keeps a checked-in
+#: baseline compact.  Traces (``--trace-json``) always carry the full
+#: curve.
+_CURVE_SAMPLE_LIMIT = 240
+
+
+def _is_curve_event(event: Dict[str, Any]) -> bool:
+    """Point events carrying at least one numeric series."""
+    return any(
+        isinstance(v, list)
+        and v
+        and all(isinstance(e, (int, float)) for e in v)
+        for v in event.values()
+    )
+
+
+def _downsample_curve(
+    event: Dict[str, Any], limit: int = _CURVE_SAMPLE_LIMIT
+) -> Dict[str, Any]:
+    """Deterministically thin every series of a curve event to
+    ``limit`` samples, always keeping the final sample and (when a
+    ``ratio_cuts`` series is present) the best split."""
+    lengths = {
+        len(v) for v in event.values() if isinstance(v, list)
+    }
+    if not lengths or max(lengths) <= limit:
+        return event
+    n = max(lengths)
+    step = -(-n // limit)  # ceil division
+    keep = set(range(0, n, step))
+    keep.add(n - 1)
+    ratio = event.get("ratio_cuts")
+    if isinstance(ratio, list) and ratio:
+        keep.add(min(range(len(ratio)), key=ratio.__getitem__))
+    indices = sorted(i for i in keep if i < n)
+    sampled = dict(event)
+    for key, value in event.items():
+        if isinstance(value, list) and len(value) == n:
+            sampled[key] = [value[i] for i in indices]
+    return sampled
+
+
 def run_observed_suite(
     names: Optional[Sequence[str]] = None,
     seed: int = 0,
@@ -67,15 +110,22 @@ def run_observed_suite(
     (counters reset between circuits), and the collected phase totals
     and counters are folded into one JSON-serialisable payload::
 
-        {"schema": 1, "algorithm": ..., "seed": ..., "scale": ...,
+        {"schema": 2, "algorithm": ..., "seed": ..., "scale": ...,
          "circuits": [{"name", "modules", "nets", "seconds",
-                       "nets_cut", "ratio_cut", "phases", "counters"},
+                       "nets_cut", "ratio_cut", "phases", "counters",
+                       "spans", "curves"},
                       ...]}
 
     ``phases`` maps span name -> ``{"seconds", "count"}`` summed over
-    the whole run of that circuit.  When ``out_path`` is given the
-    payload is also written there as indented JSON (the conventional
-    name is ``BENCH_obs.json``).
+    the whole run of that circuit.  ``spans`` keeps the raw span events
+    (name/dur_s/depth/seq) so reports can rebuild the phase tree;
+    ``curves`` keeps the convergence point events (ratio-cut sweeps,
+    residual decay, FM gains), downsampled to a rendering-friendly
+    size.  When ``out_path`` is given the payload is also written there
+    as indented JSON (the conventional name is ``BENCH_obs.json``).
+
+    Schema history: 1 had no ``spans``/``curves``;
+    :func:`repro.obs.diff.diff_payloads` accepts both.
 
     Note: enables and disables the global :mod:`repro.obs` state.
     """
@@ -89,8 +139,8 @@ def run_observed_suite(
     circuits: List[Dict[str, Any]] = []
     for name in names:
         h = build_circuit(name, seed=seed, scale=scale)
-        obs.enable()
-        try:
+        sink = obs.MemorySink()
+        with obs.enabled(sink=sink):
             result = _run_algorithm(
                 h, algorithm, seed=seed, restarts=10, stride=1
             )
@@ -101,8 +151,12 @@ def run_observed_suite(
                 )
             }
             counters = obs.counters()
-        finally:
-            obs.disable()
+        spans = [e for e in sink.events if e.get("type") == "span"]
+        curves = [
+            _downsample_curve(e)
+            for e in sink.events
+            if e.get("type") == "point" and _is_curve_event(e)
+        ]
         circuits.append(
             {
                 "name": name,
@@ -113,10 +167,12 @@ def run_observed_suite(
                 "ratio_cut": result.ratio_cut,
                 "phases": phases,
                 "counters": counters,
+                "spans": spans,
+                "curves": curves,
             }
         )
     payload: Dict[str, Any] = {
-        "schema": 1,
+        "schema": 2,
         "algorithm": algorithm,
         "seed": seed,
         "scale": scale,

@@ -244,6 +244,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write structured JSON-lines trace events (spans, points, "
         "counters) to PATH",
     )
+    parser.add_argument(
+        "--trace-html", metavar="PATH",
+        help="render the run's trace as a self-contained HTML report "
+        "(phase-tree flame view, convergence curves, counters)",
+    )
     return parser
 
 
@@ -251,7 +256,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
 
-    profiling = bool(args.profile or args.trace_json)
+    profiling = bool(args.profile or args.trace_json or args.trace_html)
+    html_sink = None
     if profiling:
         sink = None
         if args.trace_json:
@@ -261,6 +267,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 print(f"error: {exc}", file=sys.stderr)
                 return 1
         obs.enable(sink=sink)
+        if args.trace_html:
+            html_sink = obs.MemorySink()
+            obs.STATE.sinks.append(html_sink)
         obs.emit(
             "cli.run",
             algorithm=args.algorithm,
@@ -279,6 +288,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     f"wrote trace events to {args.trace_json}",
                     file=sys.stderr,
                 )
+            if html_sink is not None:
+                try:
+                    Path(args.trace_html).write_text(
+                        obs.render_trace_html(
+                            html_sink.events,
+                            title=f"repro trace — {args.algorithm}",
+                        ),
+                        encoding="utf-8",
+                    )
+                except OSError as exc:
+                    print(f"error: {exc}", file=sys.stderr)
+                else:
+                    print(
+                        f"wrote trace report to {args.trace_html}",
+                        file=sys.stderr,
+                    )
 
 
 def _execute(args, parser: argparse.ArgumentParser) -> int:

@@ -14,10 +14,12 @@ does)::
 
     from repro import obs
 
-    obs.enable(sink=obs.JsonLinesSink("trace.jsonl"))
-    result = ig_match(h)
-    print(obs.phase_report())
-    obs.disable()            # flushes counters, closes the sink
+    with obs.enabled(sink=obs.JsonLinesSink("trace.jsonl")):
+        result = ig_match(h)
+        print(obs.phase_report())
+    # disable() ran on exit (even on exceptions): counters flushed,
+    # sink closed.  The manual obs.enable()/obs.disable() pair remains
+    # available when the scope cannot be a single block.
 
 Instrumented library code uses three idioms:
 
@@ -35,12 +37,30 @@ wall-clock durations (``dur_s`` fields); see
 """
 
 from .counters import counters, gauge, incr, reset_counters
+from .diff import (
+    BenchDiff,
+    CircuitDiff,
+    DiffThresholds,
+    FieldDiff,
+    diff_payloads,
+)
 from .events import JsonLinesSink, MemorySink, emit
-from .registry import STATE, disable, enable, is_enabled, reset
+from .registry import STATE, disable, enable, enabled, is_enabled, reset
+from .render import (
+    load_jsonl,
+    render_html,
+    render_markdown,
+    render_trace_html,
+    span_tree_from_events,
+)
 from .report import flatten_totals, phase_report
 from .span import Span, SpanNode, add_timing, span
 
 __all__ = [
+    "BenchDiff",
+    "CircuitDiff",
+    "DiffThresholds",
+    "FieldDiff",
     "JsonLinesSink",
     "MemorySink",
     "STATE",
@@ -48,15 +68,22 @@ __all__ = [
     "SpanNode",
     "add_timing",
     "counters",
+    "diff_payloads",
     "disable",
     "emit",
     "enable",
+    "enabled",
     "flatten_totals",
     "gauge",
     "incr",
     "is_enabled",
+    "load_jsonl",
     "phase_report",
+    "render_html",
+    "render_markdown",
+    "render_trace_html",
     "reset",
     "reset_counters",
     "span",
+    "span_tree_from_events",
 ]

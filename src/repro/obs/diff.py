@@ -1,0 +1,332 @@
+"""Regression diffing of two ``BENCH_obs.json`` perf trajectories.
+
+:func:`diff_payloads` compares a *baseline* benchmark payload (written
+by :func:`repro.bench.run_observed_suite`) against a *current* one and
+produces a structured verdict per circuit, per field:
+
+* **Deterministic fields** — counters, phase ``count``s, ``nets_cut``,
+  ``ratio_cut`` — are compared exactly (up to float round-trip noise).
+  Any increase is a :data:`REGRESSED` verdict: more Lanczos iterations,
+  more augmenting-search visits, or a worse cut under the same seed
+  means the algorithm did more work or produced a worse answer.
+* **Wall-clock fields** — circuit ``seconds`` and phase ``seconds`` —
+  are compared with *noise-aware* thresholds: a relative tolerance plus
+  an absolute floor, so micro-phases (a 2 ms eigensolve) cannot trip
+  the gate on scheduler jitter.  Time verdicts are :data:`SLOWER` /
+  :data:`FASTER` and are advisory by default — only deterministic
+  regressions fail CI (wall clocks differ across machines; work
+  counters do not).
+
+The exit-code gate (`python -m repro.bench --compare BASELINE
+--fail-on-regress`) and the renderers in :mod:`repro.obs.render`
+consume the same :class:`BenchDiff` object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "DiffThresholds",
+    "FieldDiff",
+    "CircuitDiff",
+    "BenchDiff",
+    "diff_payloads",
+    "UNCHANGED",
+    "REGRESSED",
+    "IMPROVED",
+    "SLOWER",
+    "FASTER",
+    "NEW",
+    "MISSING",
+]
+
+#: Verdict vocabulary.  Deterministic fields use UNCHANGED / REGRESSED /
+#: IMPROVED / NEW / MISSING; wall-clock fields use UNCHANGED / SLOWER /
+#: FASTER / NEW / MISSING.
+UNCHANGED = "unchanged"
+REGRESSED = "regressed"
+IMPROVED = "improved"
+SLOWER = "slower"
+FASTER = "faster"
+NEW = "new"
+MISSING = "missing"
+
+#: Relative equality slack for deterministic floats (``ratio_cut``):
+#: wide enough to absorb JSON round-trip noise, far below any real
+#: change in cut quality.
+_FLOAT_EQ_RTOL = 1e-9
+
+
+@dataclass(frozen=True)
+class DiffThresholds:
+    """Noise model for wall-clock comparisons.
+
+    A time is *changed* only when it moves by more than
+    ``rel_tol`` (fraction of the baseline) **and** by more than
+    ``abs_floor_s`` seconds.  The floor dominates for micro-phases
+    (including zero-second baselines), the relative band for long ones.
+    """
+
+    rel_tol: float = 0.25
+    abs_floor_s: float = 0.02
+
+    def verdict(self, baseline_s: float, current_s: float) -> str:
+        delta = current_s - baseline_s
+        if abs(delta) <= self.abs_floor_s:
+            return UNCHANGED
+        if abs(delta) <= self.rel_tol * abs(baseline_s):
+            return UNCHANGED
+        return SLOWER if delta > 0 else FASTER
+
+
+@dataclass(frozen=True)
+class FieldDiff:
+    """One compared field of one circuit.
+
+    ``kind`` names the field family (``"metric"``, ``"counter"``,
+    ``"phase.seconds"``, ``"phase.count"``, ``"time"``);
+    ``deterministic`` marks fields whose verdicts gate the exit code.
+    """
+
+    kind: str
+    name: str
+    baseline: Optional[float]
+    current: Optional[float]
+    status: str
+    deterministic: bool
+
+    @property
+    def delta(self) -> Optional[float]:
+        if self.baseline is None or self.current is None:
+            return None
+        return self.current - self.baseline
+
+    @property
+    def is_regression(self) -> bool:
+        """A gate-worthy verdict: deterministic field got worse."""
+        return self.deterministic and self.status == REGRESSED
+
+
+@dataclass
+class CircuitDiff:
+    """All field verdicts for one circuit.
+
+    ``status`` is ``"common"`` for circuits in both payloads, ``"new"``
+    / ``"missing"`` when only one side has the circuit (those carry no
+    field diffs).
+    """
+
+    name: str
+    status: str
+    fields: List[FieldDiff] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[FieldDiff]:
+        return [f for f in self.fields if f.is_regression]
+
+    @property
+    def time_regressions(self) -> List[FieldDiff]:
+        return [f for f in self.fields if f.status == SLOWER]
+
+    def by_status(self, status: str) -> List[FieldDiff]:
+        return [f for f in self.fields if f.status == status]
+
+
+@dataclass
+class BenchDiff:
+    """The full verdict of one baseline-vs-current comparison."""
+
+    baseline_meta: Dict[str, Any]
+    current_meta: Dict[str, Any]
+    circuits: List[CircuitDiff] = field(default_factory=list)
+    mismatched_config: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[FieldDiff]:
+        return [f for c in self.circuits for f in c.regressions]
+
+    @property
+    def time_regressions(self) -> List[FieldDiff]:
+        return [f for c in self.circuits for f in c.time_regressions]
+
+    @property
+    def improvements(self) -> List[FieldDiff]:
+        return [
+            f
+            for c in self.circuits
+            for f in c.fields
+            if f.deterministic and f.status == IMPROVED
+        ]
+
+    @property
+    def has_regressions(self) -> bool:
+        """True when any deterministic field regressed (the CI gate)."""
+        return bool(self.regressions)
+
+    def counts(self) -> Dict[str, int]:
+        """Verdict tally over every compared field."""
+        tally: Dict[str, int] = {}
+        for circuit in self.circuits:
+            for f in circuit.fields:
+                tally[f.status] = tally.get(f.status, 0) + 1
+        return tally
+
+
+def _float_eq(a: float, b: float) -> bool:
+    if a == b:
+        return True
+    scale = max(abs(a), abs(b))
+    return abs(a - b) <= _FLOAT_EQ_RTOL * scale
+
+
+def _deterministic_verdict(baseline: float, current: float) -> str:
+    """Exact compare where *larger is worse* (work done / cut size)."""
+    if _float_eq(baseline, current):
+        return UNCHANGED
+    return REGRESSED if current > baseline else IMPROVED
+
+
+def _diff_mapping(
+    kind: str,
+    baseline: Dict[str, float],
+    current: Dict[str, float],
+    deterministic: bool,
+    thresholds: DiffThresholds,
+) -> List[FieldDiff]:
+    """Per-key verdicts over two flat name->number mappings."""
+    diffs: List[FieldDiff] = []
+    for name in sorted(set(baseline) | set(current)):
+        b = baseline.get(name)
+        c = current.get(name)
+        if b is None:
+            status = NEW
+        elif c is None:
+            status = MISSING
+        elif deterministic:
+            status = _deterministic_verdict(b, c)
+        else:
+            status = thresholds.verdict(b, c)
+        diffs.append(
+            FieldDiff(
+                kind=kind,
+                name=name,
+                baseline=b,
+                current=c,
+                status=status,
+                deterministic=deterministic,
+            )
+        )
+    return diffs
+
+
+def _diff_circuit(
+    baseline: Dict[str, Any],
+    current: Dict[str, Any],
+    thresholds: DiffThresholds,
+) -> CircuitDiff:
+    circuit = CircuitDiff(name=current["name"], status="common")
+    fields = circuit.fields
+
+    # Cut-quality metrics: deterministic under a fixed seed.
+    for metric in ("nets_cut", "ratio_cut"):
+        b, c = baseline.get(metric), current.get(metric)
+        if b is None and c is None:
+            continue
+        if b is None:
+            status = NEW
+        elif c is None:
+            status = MISSING
+        else:
+            status = _deterministic_verdict(float(b), float(c))
+        fields.append(
+            FieldDiff("metric", metric, b, c, status, deterministic=True)
+        )
+
+    # Whole-circuit wall time: noise-aware.
+    b_s, c_s = baseline.get("seconds"), current.get("seconds")
+    if b_s is not None or c_s is not None:
+        if b_s is None:
+            status = NEW
+        elif c_s is None:
+            status = MISSING
+        else:
+            status = thresholds.verdict(float(b_s), float(c_s))
+        fields.append(
+            FieldDiff("time", "seconds", b_s, c_s, status, False)
+        )
+
+    # Counters: all deterministic work totals.
+    fields.extend(
+        _diff_mapping(
+            "counter",
+            baseline.get("counters", {}),
+            current.get("counters", {}),
+            deterministic=True,
+            thresholds=thresholds,
+        )
+    )
+
+    # Phases: the count is deterministic, the seconds are wall clock.
+    b_phases = baseline.get("phases", {})
+    c_phases = current.get("phases", {})
+    fields.extend(
+        _diff_mapping(
+            "phase.count",
+            {k: v["count"] for k, v in b_phases.items()},
+            {k: v["count"] for k, v in c_phases.items()},
+            deterministic=True,
+            thresholds=thresholds,
+        )
+    )
+    fields.extend(
+        _diff_mapping(
+            "phase.seconds",
+            {k: v["seconds"] for k, v in b_phases.items()},
+            {k: v["seconds"] for k, v in c_phases.items()},
+            deterministic=False,
+            thresholds=thresholds,
+        )
+    )
+    return circuit
+
+
+def diff_payloads(
+    baseline: Dict[str, Any],
+    current: Dict[str, Any],
+    thresholds: DiffThresholds = DiffThresholds(),
+) -> BenchDiff:
+    """Compare two benchmark payloads; see the module docstring.
+
+    Circuits present on only one side are classified ``new`` /
+    ``missing`` (a partial rerun against a full baseline is normal, so
+    neither gates the exit code by itself).  Config keys that differ
+    between the payloads (``algorithm``, ``seed``, ``scale``) are
+    recorded in ``mismatched_config`` — verdicts are still produced,
+    but a diff across configs is usually operator error and the
+    renderers surface it prominently.
+    """
+    meta_keys = ("schema", "algorithm", "seed", "scale")
+    diff = BenchDiff(
+        baseline_meta={k: baseline.get(k) for k in meta_keys},
+        current_meta={k: current.get(k) for k in meta_keys},
+        mismatched_config=[
+            k
+            for k in ("algorithm", "seed", "scale")
+            if baseline.get(k) != current.get(k)
+        ],
+    )
+    b_circuits = {c["name"]: c for c in baseline.get("circuits", [])}
+    c_circuits = {c["name"]: c for c in current.get("circuits", [])}
+    for name in b_circuits:
+        if name not in c_circuits:
+            diff.circuits.append(CircuitDiff(name=name, status="missing"))
+    for name, circuit in c_circuits.items():
+        if name not in b_circuits:
+            diff.circuits.append(CircuitDiff(name=name, status="new"))
+            continue
+        diff.circuits.append(
+            _diff_circuit(b_circuits[name], circuit, thresholds)
+        )
+    return diff

@@ -16,9 +16,18 @@ other.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Any, Dict, List, Optional
 
-__all__ = ["ObsState", "STATE", "enable", "disable", "is_enabled", "reset"]
+__all__ = [
+    "ObsState",
+    "STATE",
+    "enable",
+    "enabled",
+    "disable",
+    "is_enabled",
+    "reset",
+]
 
 
 class ObsState:
@@ -91,6 +100,24 @@ def disable() -> None:
             close()
     STATE.sinks = []
     STATE.enabled = False
+
+
+@contextmanager
+def enabled(sink: Optional[Any] = None):
+    """Scope instrumentation to a ``with`` block, exception-safe.
+
+    ``with obs.enabled(sink=...) as state:`` is the preferred form of
+    the ``enable()`` / ``disable()`` pair: :func:`disable` always runs
+    on the way out (including on exceptions), so a failing partitioner
+    can never leak enabled state into subsequent code.  Collected spans
+    and counters remain readable after the block, exactly as after a
+    manual :func:`disable`.
+    """
+    state = enable(sink=sink)
+    try:
+        yield state
+    finally:
+        disable()
 
 
 def reset() -> None:

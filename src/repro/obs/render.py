@@ -1,0 +1,502 @@
+"""Render traces, bench payloads, and diffs for humans.
+
+Two output forms, both free of external assets:
+
+* :func:`render_html` / :func:`render_trace_html` — a self-contained
+  HTML report: per-circuit stat tables, a phase-tree flame view
+  reconstructed from span ``depth``/``seq``, counters, and inline SVG
+  convergence curves (Lanczos residual decay, ratio-cut-vs-split-index
+  sweeps, FM pass gains).  Everything is inline CSS/SVG so the file can
+  be archived as a CI artifact and opened anywhere.
+* :func:`render_markdown` — a compact verdict summary of a
+  :class:`repro.obs.diff.BenchDiff` for CI logs and PR comments.
+
+The span-tree reconstruction relies on the event contract of
+:mod:`repro.obs.events`: spans are emitted *at close* in ``seq`` order
+with ``depth`` equal to the node's depth, so a parent always follows
+its children and claims every pending node one level deeper.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+import math
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .diff import BenchDiff, FieldDiff, REGRESSED, SLOWER
+
+__all__ = [
+    "load_jsonl",
+    "render_html",
+    "render_trace_html",
+    "render_markdown",
+    "span_tree_from_events",
+]
+
+
+# ----------------------------------------------------------------------
+# Span-tree reconstruction (depth/seq -> nested dicts)
+
+
+def span_tree_from_events(
+    events: Sequence[Dict[str, Any]],
+) -> List[Dict[str, Any]]:
+    """Rebuild the phase tree from ``span`` events.
+
+    Returns a list of root nodes ``{"name", "dur_s", "count", "attrs",
+    "children"}``.  Events must be in ``seq`` order (as written);
+    non-span events are ignored.
+    """
+    pending: Dict[int, List[Dict[str, Any]]] = {}
+    reserved = {"type", "name", "dur_s", "depth", "seq", "count"}
+    for event in events:
+        if event.get("type") != "span":
+            continue
+        depth = int(event.get("depth", 0))
+        node = {
+            "name": event.get("name", "?"),
+            "dur_s": float(event.get("dur_s", 0.0)),
+            "count": int(event.get("count", 1)),
+            "attrs": {
+                k: v for k, v in event.items() if k not in reserved
+            },
+            "children": pending.pop(depth + 1, []),
+        }
+        pending.setdefault(depth, []).append(node)
+    roots = pending.get(0, [])
+    # Orphans (trace cut mid-run) surface as extra roots rather than
+    # vanishing.
+    for depth in sorted(k for k in pending if k > 0):
+        roots.extend(pending[depth])
+    return roots
+
+
+# ----------------------------------------------------------------------
+# Inline SVG curves
+
+#: Known convergence curves: name -> (x field, y field, log-scale y).
+_CURVE_FIELDS: Dict[str, Tuple[str, str, bool]] = {
+    "spectral.lanczos.convergence": ("steps", "residuals", True),
+    "splits.curve": ("ranks", "ratio_cuts", False),
+    "igmatch.curve": ("ranks", "ratio_cuts", False),
+    "fm.curve": ("passes", "cuts", False),
+}
+
+
+def _curve_series(
+    event: Dict[str, Any],
+) -> Optional[Tuple[List[float], List[float], bool]]:
+    """Extract (xs, ys, log_y) from a curve point event, if it is one."""
+    name = event.get("name", "")
+    if name in _CURVE_FIELDS:
+        x_field, y_field, log_y = _CURVE_FIELDS[name]
+    else:
+        lists = [
+            k
+            for k, v in event.items()
+            if isinstance(v, list) and v
+            and all(isinstance(e, (int, float)) for e in v)
+        ]
+        if len(lists) < 2:
+            return None
+        x_field, y_field, log_y = lists[0], lists[1], False
+    xs = event.get(x_field)
+    ys = event.get(y_field)
+    if not isinstance(xs, list) or not isinstance(ys, list):
+        return None
+    n = min(len(xs), len(ys))
+    if n < 2:
+        return None
+    return (
+        [float(x) for x in xs[:n]],
+        [float(y) for y in ys[:n]],
+        log_y,
+    )
+
+
+def _fmt(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000 or abs(value) < 0.01:
+        return f"{value:.3g}"
+    return f"{value:.4g}"
+
+
+def _svg_curve(
+    title: str, xs: List[float], ys: List[float], log_y: bool = False
+) -> str:
+    """One inline SVG line chart (340x180, no external assets)."""
+    width, height = 340, 180
+    left, right, top, bottom = 46, 8, 22, 22
+    plot_w = width - left - right
+    plot_h = height - top - bottom
+
+    if log_y:
+        floor = min((y for y in ys if y > 0), default=1e-16)
+        ys_t = [math.log10(max(y, floor * 1e-2)) for y in ys]
+    else:
+        ys_t = list(ys)
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys_t), max(ys_t)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+    if y_max == y_min:
+        y_max = y_min + 1.0
+
+    def px(x: float) -> float:
+        return left + (x - x_min) / (x_max - x_min) * plot_w
+
+    def py(y: float) -> float:
+        return top + (y_max - y) / (y_max - y_min) * plot_h
+
+    points = " ".join(
+        f"{px(x):.1f},{py(y):.1f}" for x, y in zip(xs, ys_t)
+    )
+    y_lo_label = _fmt(min(ys))
+    y_hi_label = _fmt(max(ys))
+    if log_y:
+        y_lo_label = f"1e{y_min:.1f}"
+        y_hi_label = f"1e{y_max:.1f}"
+    best_i = min(range(len(ys)), key=lambda i: ys[i])
+    return (
+        f'<svg class="curve" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" role="img">'
+        f'<text x="{left}" y="13" class="ct">{html.escape(title)}'
+        f"{' (log y)' if log_y else ''}</text>"
+        f'<rect x="{left}" y="{top}" width="{plot_w}" '
+        f'height="{plot_h}" class="pf"/>'
+        f'<polyline points="{points}" class="pl"/>'
+        f'<circle cx="{px(xs[best_i]):.1f}" cy="{py(ys_t[best_i]):.1f}" '
+        f'r="3" class="pb"/>'
+        f'<text x="{left - 4}" y="{top + 8}" class="al" '
+        f'text-anchor="end">{y_hi_label}</text>'
+        f'<text x="{left - 4}" y="{top + plot_h}" class="al" '
+        f'text-anchor="end">{y_lo_label}</text>'
+        f'<text x="{left}" y="{height - 6}" class="al">{_fmt(x_min)}</text>'
+        f'<text x="{width - right}" y="{height - 6}" class="al" '
+        f'text-anchor="end">{_fmt(x_max)}</text>'
+        f"</svg>"
+    )
+
+
+def _curves_html(point_events: Sequence[Dict[str, Any]]) -> str:
+    charts = []
+    for event in point_events:
+        series = _curve_series(event)
+        if series is None:
+            continue
+        xs, ys, log_y = series
+        charts.append(_svg_curve(event.get("name", "?"), xs, ys, log_y))
+    if not charts:
+        return ""
+    return '<div class="curves">' + "".join(charts) + "</div>"
+
+
+# ----------------------------------------------------------------------
+# Phase-tree flame view
+
+
+def _flame_rows(
+    nodes: Sequence[Dict[str, Any]],
+    depth: int,
+    total: float,
+    rows: List[str],
+) -> None:
+    for node in nodes:
+        pct = 100.0 * node["dur_s"] / total if total > 0 else 0.0
+        tally = f" ×{node['count']}" if node["count"] > 1 else ""
+        attrs = " ".join(
+            f"{k}={v}" for k, v in sorted(node["attrs"].items())
+        )
+        rows.append(
+            '<div class="frow">'
+            f'<span class="fname" style="padding-left:{depth * 18}px" '
+            f'title="{html.escape(attrs)}">'
+            f"{html.escape(node['name'])}{tally}</span>"
+            f'<span class="fsecs">{node["dur_s"]:.4f}s</span>'
+            f'<span class="fbar"><span class="ffill" '
+            f'style="width:{pct:.2f}%"></span></span>'
+            "</div>"
+        )
+        _flame_rows(node["children"], depth + 1, total, rows)
+
+
+def _flame_html(span_events: Sequence[Dict[str, Any]]) -> str:
+    roots = span_tree_from_events(span_events)
+    if not roots:
+        return ""
+    total = sum(node["dur_s"] for node in roots) or 1.0
+    rows: List[str] = []
+    _flame_rows(roots, 0, total, rows)
+    return '<div class="flame">' + "".join(rows) + "</div>"
+
+
+# ----------------------------------------------------------------------
+# Tables
+
+
+def _counters_html(counters: Dict[str, float]) -> str:
+    if not counters:
+        return ""
+    rows = "".join(
+        f"<tr><td>{html.escape(name)}</td>"
+        f'<td class="num">{_fmt(float(value))}</td></tr>'
+        for name, value in sorted(counters.items())
+    )
+    return (
+        "<details><summary>counters</summary>"
+        f"<table>{rows}</table></details>"
+    )
+
+
+_STATUS_CLASS = {
+    REGRESSED: "bad",
+    SLOWER: "warn",
+    "improved": "good",
+    "faster": "good",
+    "new": "info",
+    "missing": "info",
+}
+
+
+def _diff_rows(circuit_name: str, fields: Sequence[FieldDiff]) -> str:
+    rows = []
+    for f in fields:
+        cls = _STATUS_CLASS.get(f.status, "")
+        b = "—" if f.baseline is None else _fmt(float(f.baseline))
+        c = "—" if f.current is None else _fmt(float(f.current))
+        rows.append(
+            f'<tr class="{cls}"><td>{html.escape(circuit_name)}</td>'
+            f"<td>{html.escape(f.kind)}</td>"
+            f"<td>{html.escape(f.name)}</td>"
+            f'<td class="num">{b}</td><td class="num">{c}</td>'
+            f"<td>{f.status}</td></tr>"
+        )
+    return "".join(rows)
+
+
+def _diff_html(diff: BenchDiff) -> str:
+    counts = diff.counts()
+    badges = " ".join(
+        f'<span class="badge {_STATUS_CLASS.get(status, "")}">'
+        f"{counts[status]} {status}</span>"
+        for status in sorted(counts)
+    )
+    warning = ""
+    if diff.mismatched_config:
+        pairs = ", ".join(
+            f"{k}: {diff.baseline_meta.get(k)!r} → "
+            f"{diff.current_meta.get(k)!r}"
+            for k in diff.mismatched_config
+        )
+        warning = (
+            f'<p class="bad">⚠ config mismatch between payloads '
+            f"({html.escape(pairs)}) — verdicts below compare different "
+            "runs.</p>"
+        )
+    interesting = []
+    for circuit in diff.circuits:
+        if circuit.status != "common":
+            interesting.append(
+                f'<tr class="info"><td>{html.escape(circuit.name)}</td>'
+                f'<td>circuit</td><td>—</td><td class="num">—</td>'
+                f'<td class="num">—</td><td>{circuit.status}</td></tr>'
+            )
+            continue
+        shown = [f for f in circuit.fields if f.status != "unchanged"]
+        interesting.append(_diff_rows(circuit.name, shown))
+    body = "".join(interesting)
+    if not body:
+        body = (
+            '<tr><td colspan="6">no changes — payloads agree on every '
+            "deterministic field and every wall clock is within "
+            "tolerance</td></tr>"
+        )
+    verdict = (
+        '<p class="bad"><strong>✗ deterministic regression</strong> — '
+        f"{len(diff.regressions)} field(s) regressed</p>"
+        if diff.has_regressions
+        else '<p class="good"><strong>✓ no deterministic '
+        "regressions</strong></p>"
+    )
+    return (
+        "<section><h2>Baseline comparison</h2>"
+        f"{warning}{verdict}<p>{badges}</p>"
+        "<table><tr><th>circuit</th><th>kind</th><th>field</th>"
+        "<th>baseline</th><th>current</th><th>verdict</th></tr>"
+        f"{body}</table></section>"
+    )
+
+
+_CSS = """
+body{font:14px/1.45 -apple-system,'Segoe UI',Roboto,sans-serif;
+  margin:24px auto;max-width:1060px;color:#1a1a2e;padding:0 16px}
+h1{font-size:22px}h2{font-size:17px;margin:28px 0 8px;
+  border-bottom:1px solid #d8d8e0;padding-bottom:4px}
+h3{font-size:15px;margin:18px 0 6px}
+table{border-collapse:collapse;margin:8px 0}
+td,th{padding:3px 10px;border:1px solid #e2e2ea;text-align:left}
+th{background:#f4f4f8}.num{text-align:right;
+  font-variant-numeric:tabular-nums}
+.meta{color:#555;font-size:13px}
+.flame{margin:8px 0;border:1px solid #e2e2ea;border-radius:4px;
+  padding:6px 8px}
+.frow{display:flex;align-items:center;gap:8px;font-size:13px;
+  padding:1px 0}
+.fname{flex:0 0 340px;overflow:hidden;text-overflow:ellipsis;
+  white-space:nowrap;font-family:ui-monospace,monospace}
+.fsecs{flex:0 0 84px;text-align:right;
+  font-variant-numeric:tabular-nums}
+.fbar{flex:1;background:#f0f0f5;border-radius:2px;height:12px;
+  overflow:hidden}
+.ffill{display:block;height:100%;background:#5b7fd4;min-width:1px}
+.curves{display:flex;flex-wrap:wrap;gap:10px;margin:8px 0}
+.curve{border:1px solid #e2e2ea;border-radius:4px;background:#fff}
+.ct{font-size:11px;font-weight:600;fill:#1a1a2e}
+.al{font-size:10px;fill:#777}
+.pf{fill:#fafafc;stroke:#e2e2ea}
+.pl{fill:none;stroke:#5b7fd4;stroke-width:1.5}
+.pb{fill:#d4605b}
+.bad{color:#b02a2a}.bad td{background:#fdeaea}
+.warn{color:#9a6b00}.warn td{background:#fdf6e3}
+.good{color:#1d7a3d}.good td:last-child{background:#e8f7ee}
+.info td{background:#eef3fb}
+.badge{display:inline-block;padding:1px 8px;border-radius:10px;
+  background:#f0f0f5;margin-right:4px;font-size:12px}
+details summary{cursor:pointer;color:#555;font-size:13px}
+"""
+
+
+def _page(title: str, body: str) -> str:
+    return (
+        "<!doctype html><html><head><meta charset='utf-8'>"
+        f"<title>{html.escape(title)}</title>"
+        f"<style>{_CSS}</style></head><body>"
+        f"<h1>{html.escape(title)}</h1>{body}</body></html>"
+    )
+
+
+def _circuit_section(circuit: Dict[str, Any]) -> str:
+    stats = (
+        "<table><tr><th>modules</th><th>nets</th><th>nets cut</th>"
+        "<th>ratio cut</th><th>seconds</th></tr>"
+        f'<tr><td class="num">{circuit.get("modules", "—")}</td>'
+        f'<td class="num">{circuit.get("nets", "—")}</td>'
+        f'<td class="num">{circuit.get("nets_cut", "—")}</td>'
+        f'<td class="num">{_fmt(float(circuit.get("ratio_cut", 0.0)))}'
+        "</td>"
+        f'<td class="num">{circuit.get("seconds", "—")}</td></tr>'
+        "</table>"
+    )
+    flame = _flame_html(circuit.get("spans", []))
+    curves = _curves_html(circuit.get("curves", []))
+    counters = _counters_html(circuit.get("counters", {}))
+    return (
+        f"<section><h2>{html.escape(circuit['name'])}</h2>"
+        f"{stats}{flame}{curves}{counters}</section>"
+    )
+
+
+def render_html(
+    payload: Dict[str, Any],
+    diff: Optional[BenchDiff] = None,
+    title: str = "repro bench report",
+) -> str:
+    """Render a ``BENCH_obs.json`` payload (and optional diff) as HTML."""
+    meta = (
+        '<p class="meta">algorithm '
+        f"<strong>{html.escape(str(payload.get('algorithm', '?')))}"
+        f"</strong> · seed {payload.get('seed', '?')} · scale "
+        f"{payload.get('scale', '?')} · schema "
+        f"{payload.get('schema', '?')}</p>"
+    )
+    sections = [meta]
+    if diff is not None:
+        sections.append(_diff_html(diff))
+    for circuit in payload.get("circuits", []):
+        sections.append(_circuit_section(circuit))
+    return _page(title, "".join(sections))
+
+
+def render_trace_html(
+    events: Sequence[Dict[str, Any]],
+    title: str = "repro trace report",
+) -> str:
+    """Render a JSON-lines trace (list of event dicts) as HTML.
+
+    Accepts the events of one profiled run — e.g.
+    ``[json.loads(line) for line in open("trace.jsonl")]`` — and shows
+    the phase-tree flame view, convergence curves, and final counters.
+    """
+    flame = _flame_html(list(events))
+    points = [e for e in events if e.get("type") == "point"]
+    curves = _curves_html(points)
+    counters: Dict[str, float] = {}
+    for event in events:
+        if event.get("type") == "counters":
+            counters = event.get("values", {})
+    body = flame + curves + _counters_html(counters)
+    if not body:
+        body = "<p>(no events)</p>"
+    return _page(title, body)
+
+
+# ----------------------------------------------------------------------
+# Markdown summary (CI logs)
+
+
+def render_markdown(diff: BenchDiff) -> str:
+    """Compact verdict summary of a diff for CI logs / PR comments."""
+    lines: List[str] = []
+    counts = diff.counts()
+    tally = ", ".join(
+        f"{counts[status]} {status}" for status in sorted(counts)
+    )
+    if diff.mismatched_config:
+        pairs = ", ".join(
+            f"{k}={diff.baseline_meta.get(k)!r}→"
+            f"{diff.current_meta.get(k)!r}"
+            for k in diff.mismatched_config
+        )
+        lines.append(f"⚠ config mismatch: {pairs}")
+    if diff.has_regressions:
+        lines.append(
+            f"✗ REGRESSED: {len(diff.regressions)} deterministic "
+            f"field(s) ({tally or 'no fields compared'})"
+        )
+    else:
+        lines.append(
+            "✓ no deterministic regressions "
+            f"({tally or 'no fields compared'})"
+        )
+    for circuit in diff.circuits:
+        if circuit.status != "common":
+            lines.append(f"- {circuit.name}: circuit {circuit.status}")
+            continue
+        changed = [f for f in circuit.fields if f.status != "unchanged"]
+        for f in changed:
+            b = "—" if f.baseline is None else _fmt(float(f.baseline))
+            c = "—" if f.current is None else _fmt(float(f.current))
+            marker = {
+                REGRESSED: "✗",
+                SLOWER: "~",
+                "improved": "✓",
+                "faster": "~",
+            }.get(f.status, "·")
+            lines.append(
+                f"- {marker} {circuit.name} {f.kind} {f.name}: "
+                f"{b} → {c} ({f.status})"
+            )
+    return "\n".join(lines)
+
+
+def load_jsonl(path: Any) -> List[Dict[str, Any]]:
+    """Read a JSON-lines trace file into a list of event dicts."""
+    events: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events

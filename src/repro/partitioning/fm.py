@@ -23,7 +23,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..errors import PartitionError
 from ..hypergraph import Hypergraph
-from ..obs import emit, incr, span
+from ..obs import emit, incr, is_enabled, span
 from .metrics import ratio_cut_cost
 from .partition import Partition, PartitionResult
 
@@ -485,6 +485,10 @@ def fm_bipartition(
         return low <= new_to <= high and low <= new_from <= high
 
     passes = 0
+    profiling = is_enabled()
+    cut_initial = engine.cut
+    pass_cuts: List[int] = []
+    pass_kept: List[int] = []
     with span(
         "fm", modules=h.num_modules, nets=h.num_nets, cut_initial=engine.cut
     ) as fm_span:
@@ -494,20 +498,33 @@ def fm_bipartition(
                 feasible, objective="cut", lookahead=config.lookahead
             )
             passes += 1
-            incr("fm.passes")
-            incr("fm.moves_attempted", engine.last_pass["moved"])
-            incr("fm.moves_kept", moves)
-            emit(
-                "fm.pass",
-                index=passes,
-                moved=engine.last_pass["moved"],
-                kept=moves,
-                cut_before=before,
-                cut_after=engine.cut,
-            )
+            if profiling:
+                incr("fm.passes")
+                incr("fm.moves_attempted", engine.last_pass["moved"])
+                incr("fm.moves_kept", moves)
+                emit(
+                    "fm.pass",
+                    index=passes,
+                    moved=engine.last_pass["moved"],
+                    kept=moves,
+                    cut_before=before,
+                    cut_after=engine.cut,
+                )
+                pass_cuts.append(engine.cut)
+                pass_kept.append(moves)
             if engine.cut >= before or moves == 0:
                 break
         fm_span.set(passes=passes, cut_final=engine.cut)
+        if profiling and pass_cuts:
+            # The per-pass gain curve: cut after each pass, starting
+            # from the initial cut at pass 0.
+            emit(
+                "fm.curve",
+                cut_initial=cut_initial,
+                passes=list(range(len(pass_cuts) + 1)),
+                cuts=[cut_initial] + pass_cuts,
+                kept=pass_kept,
+            )
 
     elapsed = time.perf_counter() - start
     return PartitionResult(

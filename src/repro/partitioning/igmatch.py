@@ -415,6 +415,24 @@ def ig_match_sweep(
                 final_matching_size=matcher.matching_size,
                 best_rank=None if best_eval is None else best_eval.rank,
             )
+            if evaluations:
+                # The ratio-cut-vs-split-index curve behind Theorem 6's
+                # sweep, plus the matching-size (Theorem 5 bound) at
+                # each evaluated split — the IG-Match analogue of the
+                # EIG1 splits.curve event.
+                emit(
+                    "igmatch.curve",
+                    nets=num_nets,
+                    ranks=[e.rank for e in evaluations],
+                    ratio_cuts=[e.ratio_cut for e in evaluations],
+                    nets_cut=[e.nets_cut for e in evaluations],
+                    matching_sizes=[
+                        e.matching_size for e in evaluations
+                    ],
+                    best_rank=(
+                        None if best_eval is None else best_eval.rank
+                    ),
+                )
 
     if best_eval is None or best_assign is None:
         return evaluations, None

@@ -126,6 +126,11 @@ def lanczos_extreme(
 
     profiling = is_enabled()
     t_start = time.perf_counter() if profiling else 0.0
+    # Residual-decay trace: (Krylov step, max Ritz residual) at every
+    # convergence check, emitted as one point event after the solve so
+    # the Kaniel–Paige–Saad decay curve is a reproducible artifact.
+    conv_steps: list = []
+    conv_residuals: list = []
     rng = np.random.default_rng(seed)
     basis = np.zeros((size, max_steps))
     alphas = np.zeros(max_steps)
@@ -161,6 +166,11 @@ def lanczos_extreme(
             if steps >= k and blocks >= k:
                 betas[j] = 0.0
                 result = _ritz(basis, alphas, betas, steps, k)
+                if profiling:
+                    conv_steps.append(steps)
+                    conv_residuals.append(
+                        float(result[2].max(initial=0.0))
+                    )
                 converged = result[2].max(initial=0.0) <= _scale(result[0], tol)
                 if converged or exhausted:
                     break
@@ -185,6 +195,9 @@ def lanczos_extreme(
 
         if steps >= k and (steps % check_every == 0 or exhausted):
             result = _ritz(basis, alphas, betas, steps, k)
+            if profiling:
+                conv_steps.append(steps)
+                conv_residuals.append(float(result[2].max(initial=0.0)))
             if result[2].max(initial=0.0) <= _scale(result[0], tol):
                 break
 
@@ -222,6 +235,19 @@ def lanczos_extreme(
             iterations=steps,
             restarts=blocks - 1,
             max_residual=float(residuals.max(initial=0.0)),
+        )
+        final_residual = float(residuals.max(initial=0.0))
+        if not conv_steps or conv_steps[-1] != steps:
+            conv_steps.append(steps)
+            conv_residuals.append(final_residual)
+        else:
+            conv_residuals[-1] = final_residual
+        emit(
+            "spectral.lanczos.convergence",
+            n=size,
+            k=k,
+            steps=conv_steps,
+            residuals=conv_residuals,
         )
     return LanczosResult(
         eigenvalues=eigenvalues[order],

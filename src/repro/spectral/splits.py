@@ -18,7 +18,7 @@ from typing import List, Sequence
 
 from ..errors import PartitionError
 from ..hypergraph import Hypergraph
-from ..obs import incr, span
+from ..obs import emit, incr, is_enabled, span
 
 __all__ = ["SplitPoint", "SplitSweep", "sweep_module_splits"]
 
@@ -95,4 +95,16 @@ def sweep_module_splits(
         sweep = SplitSweep(order=list(order), points=points)
         sp.set(splits=len(points), best_rank=sweep.best.rank)
         incr("splits.evaluated", len(points))
+        if is_enabled():
+            # The full ratio-cut-vs-split-index curve (the EIG1 sweep
+            # figure) as one point event — deterministic under a fixed
+            # seed, so the paper's curve is a reproducible artifact.
+            emit(
+                "splits.curve",
+                modules=n,
+                ranks=[p.rank for p in points],
+                nets_cut=[p.nets_cut for p in points],
+                ratio_cuts=[p.ratio_cut for p in points],
+                best_rank=sweep.best.rank,
+            )
     return sweep

@@ -98,6 +98,28 @@ class TestCounters:
         assert obs.STATE.roots  # spans survive a counter reset
 
 
+class TestEnabledContext:
+    def test_scopes_instrumentation(self):
+        with obs.enabled() as state:
+            assert state is obs.STATE
+            assert obs.is_enabled()
+            obs.incr("a")
+        assert not obs.is_enabled()
+        assert obs.counters() == {"a": 1}  # data readable after exit
+
+    def test_disables_on_exception(self):
+        sink = obs.MemorySink()
+        with pytest.raises(RuntimeError):
+            with obs.enabled(sink=sink):
+                obs.incr("a")
+                raise RuntimeError("boom")
+        assert not obs.is_enabled()
+        assert sink.closed
+        # The final counters event was still flushed on the way out.
+        assert sink.events[-1]["type"] == "counters"
+        assert sink.events[-1]["values"] == {"a": 1}
+
+
 class TestDisabledMode:
     def test_disabled_emits_and_collects_nothing(self):
         sink = obs.MemorySink()
@@ -218,11 +240,77 @@ class TestPipelineInstrumentation:
 
         h = random_hypergraph(5, num_modules=50, num_nets=55)
         baseline = ig_match(h)
-        obs.enable()
-        observed = ig_match(h)
-        obs.disable()
+        with obs.enabled():
+            observed = ig_match(h)
         assert observed.partition.sides == baseline.partition.sides
         assert observed.nets_cut == baseline.nets_cut
+
+    def test_lanczos_convergence_curve(self):
+        from repro import ig_match, IGMatchConfig
+
+        h = random_hypergraph(8, num_modules=40, num_nets=44)
+        sink = obs.MemorySink()
+        with obs.enabled(sink=sink):
+            ig_match(h, IGMatchConfig(backend="lanczos"))
+        curves = [
+            e for e in sink.events
+            if e.get("name") == "spectral.lanczos.convergence"
+        ]
+        assert curves
+        curve = curves[0]
+        assert len(curve["steps"]) == len(curve["residuals"])
+        assert curve["steps"] == sorted(curve["steps"])
+        # Residuals decay towards the converged solve's tolerance.
+        assert curve["residuals"][-1] <= curve["residuals"][0]
+
+    def test_igmatch_curve_matches_sweep(self):
+        from repro import ig_match
+
+        h = random_hypergraph(9, num_modules=40, num_nets=44)
+        sink = obs.MemorySink()
+        with obs.enabled(sink=sink):
+            result = ig_match(h)
+        curves = [
+            e for e in sink.events if e.get("name") == "igmatch.curve"
+        ]
+        assert curves
+        curve = curves[0]
+        assert len(curve["ranks"]) == len(curve["ratio_cuts"])
+        best_i = curve["ratio_cuts"].index(min(curve["ratio_cuts"]))
+        assert curve["ranks"][best_i] == result.details["best_rank"]
+
+    def test_splits_curve_event(self):
+        from repro import eig1
+
+        h = random_hypergraph(10, num_modules=36, num_nets=40)
+        sink = obs.MemorySink()
+        with obs.enabled(sink=sink):
+            eig1(h)
+        curves = [
+            e for e in sink.events if e.get("name") == "splits.curve"
+        ]
+        assert curves
+        curve = curves[0]
+        assert len(curve["ranks"]) == h.num_modules - 1
+        best_i = curve["ratio_cuts"].index(min(curve["ratio_cuts"]))
+        assert curve["ranks"][best_i] == curve["best_rank"]
+
+    def test_fm_curve_event(self):
+        from repro import fm_bipartition
+
+        h = random_hypergraph(11, num_modules=40, num_nets=44)
+        sink = obs.MemorySink()
+        with obs.enabled(sink=sink):
+            fm_bipartition(h)
+        curves = [
+            e for e in sink.events if e.get("name") == "fm.curve"
+        ]
+        assert curves
+        curve = curves[0]
+        assert curve["cuts"][0] == curve["cut_initial"]
+        assert len(curve["passes"]) == len(curve["cuts"])
+        # FM never ends a pass loop worse than it started.
+        assert curve["cuts"][-1] <= curve["cuts"][0]
 
     def test_fm_pass_events(self):
         from repro import fm_bipartition
@@ -296,6 +384,16 @@ class TestCliFlags:
         assert "phase tree" in err
         assert trace.exists()
 
+    def test_trace_html_report(self, netlist_file, tmp_path, capsys):
+        out = tmp_path / "trace.html"
+        assert main([str(netlist_file), "--trace-html", str(out)]) == 0
+        assert "wrote trace report" in capsys.readouterr().err
+        html = out.read_text()
+        assert 'class="frow"' in html  # phase-tree flame view
+        assert "igmatch" in html
+        assert "<svg" in html  # igmatch.curve convergence chart
+        assert not obs.is_enabled()
+
     def test_obs_disabled_after_cli_run(self, netlist_file, capsys):
         assert main([str(netlist_file), "--profile"]) == 0
         assert not obs.is_enabled()
@@ -309,12 +407,18 @@ class TestObservedSuite:
         payload = run_observed_suite(
             names=["bm1"], scale=0.1, out_path=out
         )
-        assert payload["schema"] == 1
+        assert payload["schema"] == 2
         (circuit,) = payload["circuits"]
         assert circuit["name"] == "bm1"
         assert circuit["nets_cut"] >= 0
         assert "igmatch.sweep" in circuit["phases"]
         assert circuit["counters"]["matching.augmentations"] > 0
+        # Schema 2: raw span events (for the phase-tree flame view) and
+        # convergence curves ride along.
+        span_names = {e["name"] for e in circuit["spans"]}
+        assert "igmatch" in span_names
+        curve_names = {e["name"] for e in circuit["curves"]}
+        assert "igmatch.curve" in curve_names
         on_disk = json.loads(out.read_text())
         assert on_disk == payload
         assert not obs.is_enabled()

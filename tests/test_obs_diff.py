@@ -1,0 +1,346 @@
+"""Tests for BENCH_obs.json regression diffing (:mod:`repro.obs.diff`)
+and the ``python -m repro.bench --compare`` exit-code gate."""
+
+import copy
+import json
+
+import pytest
+
+from repro.obs.diff import (
+    FASTER,
+    IMPROVED,
+    MISSING,
+    NEW,
+    REGRESSED,
+    SLOWER,
+    UNCHANGED,
+    DiffThresholds,
+    diff_payloads,
+)
+
+
+def make_circuit(name="bm1", **overrides):
+    circuit = {
+        "name": name,
+        "modules": 88,
+        "nets": 90,
+        "seconds": 1.0,
+        "nets_cut": 5,
+        "ratio_cut": 2.5e-3,
+        "phases": {
+            "igmatch.sweep": {"seconds": 0.6, "count": 1},
+            "spectral.fiedler": {"seconds": 0.2, "count": 1},
+        },
+        "counters": {
+            "lanczos.iterations": 40,
+            "matching.augmentations": 70,
+        },
+    }
+    circuit.update(overrides)
+    return circuit
+
+
+def make_payload(*circuits, **overrides):
+    payload = {
+        "schema": 2,
+        "algorithm": "ig-match",
+        "seed": 0,
+        "scale": 0.1,
+        "circuits": list(circuits) or [make_circuit()],
+    }
+    payload.update(overrides)
+    return payload
+
+
+def field(diff, name):
+    (found,) = [
+        f
+        for c in diff.circuits
+        for f in c.fields
+        if f.name == name
+    ]
+    return found
+
+
+class TestDeterministicFields:
+    def test_identical_payloads_have_no_changes(self):
+        base = make_payload()
+        diff = diff_payloads(base, copy.deepcopy(base))
+        assert not diff.has_regressions
+        assert diff.counts() == {UNCHANGED: len(diff.circuits[0].fields)}
+
+    def test_counter_increase_is_regression(self):
+        base = make_payload()
+        cur = copy.deepcopy(base)
+        cur["circuits"][0]["counters"]["lanczos.iterations"] = 55
+        diff = diff_payloads(base, cur)
+        assert diff.has_regressions
+        f = field(diff, "lanczos.iterations")
+        assert f.status == REGRESSED
+        assert f.deterministic and f.is_regression
+        assert f.delta == 15
+
+    def test_counter_decrease_is_improvement(self):
+        base = make_payload()
+        cur = copy.deepcopy(base)
+        cur["circuits"][0]["counters"]["lanczos.iterations"] = 30
+        diff = diff_payloads(base, cur)
+        assert not diff.has_regressions
+        assert field(diff, "lanczos.iterations").status == IMPROVED
+        assert len(diff.improvements) == 1
+
+    def test_new_and_missing_counters(self):
+        base = make_payload()
+        cur = copy.deepcopy(base)
+        del cur["circuits"][0]["counters"]["matching.augmentations"]
+        cur["circuits"][0]["counters"]["fm.passes"] = 3
+        diff = diff_payloads(base, cur)
+        assert not diff.has_regressions  # new/missing don't gate
+        assert field(diff, "fm.passes").status == NEW
+        assert field(diff, "matching.augmentations").status == MISSING
+
+    def test_nets_cut_increase_regresses(self):
+        base = make_payload()
+        cur = copy.deepcopy(base)
+        cur["circuits"][0]["nets_cut"] = 6
+        cur["circuits"][0]["ratio_cut"] = 3.0e-3
+        diff = diff_payloads(base, cur)
+        statuses = {
+            f.name: f.status for f in diff.circuits[0].fields
+        }
+        assert statuses["nets_cut"] == REGRESSED
+        assert statuses["ratio_cut"] == REGRESSED
+        assert len(diff.regressions) == 2
+
+    def test_ratio_cut_float_roundtrip_noise_is_equal(self):
+        base = make_payload()
+        cur = copy.deepcopy(base)
+        cur["circuits"][0]["ratio_cut"] = 2.5e-3 * (1 + 1e-12)
+        diff = diff_payloads(base, cur)
+        assert field(diff, "ratio_cut").status == UNCHANGED
+
+    def test_phase_count_change_regresses(self):
+        base = make_payload()
+        cur = copy.deepcopy(base)
+        cur["circuits"][0]["phases"]["igmatch.sweep"]["count"] = 2
+        diff = diff_payloads(base, cur)
+        regressed = [f for f in diff.regressions]
+        assert [f.kind for f in regressed] == ["phase.count"]
+
+    def test_phase_only_in_current_is_new(self):
+        base = make_payload()
+        cur = copy.deepcopy(base)
+        cur["circuits"][0]["phases"]["igmatch.refinement"] = {
+            "seconds": 0.01,
+            "count": 1,
+        }
+        diff = diff_payloads(base, cur)
+        new = diff.circuits[0].by_status(NEW)
+        assert {f.kind for f in new} == {"phase.count", "phase.seconds"}
+        assert not diff.has_regressions
+
+
+class TestWallClockFields:
+    def test_jitter_within_tolerance_is_unchanged(self):
+        base = make_payload()
+        cur = copy.deepcopy(base)
+        cur["circuits"][0]["seconds"] = 1.2  # +20% < 25% tolerance
+        diff = diff_payloads(base, cur)
+        assert field(diff, "seconds").status == UNCHANGED
+
+    def test_large_slowdown_is_slower_but_never_gates(self):
+        base = make_payload()
+        cur = copy.deepcopy(base)
+        cur["circuits"][0]["seconds"] = 2.0
+        diff = diff_payloads(base, cur)
+        f = field(diff, "seconds")
+        assert f.status == SLOWER
+        assert not f.deterministic and not f.is_regression
+        assert not diff.has_regressions
+        assert diff.time_regressions == [f]
+
+    def test_large_speedup_is_faster(self):
+        base = make_payload()
+        cur = copy.deepcopy(base)
+        cur["circuits"][0]["seconds"] = 0.4
+        diff = diff_payloads(base, cur)
+        assert field(diff, "seconds").status == FASTER
+
+    def test_zero_second_baseline_phase_uses_absolute_floor(self):
+        base = make_payload()
+        base["circuits"][0]["phases"]["igmatch.sweep"]["seconds"] = 0.0
+        cur = copy.deepcopy(base)
+        # Tiny absolute move on a zero baseline: infinite relative
+        # change, but under the floor -> noise.
+        cur["circuits"][0]["phases"]["igmatch.sweep"]["seconds"] = 0.015
+        diff = diff_payloads(base, cur)
+        seconds = [
+            f
+            for f in diff.circuits[0].fields
+            if f.kind == "phase.seconds" and f.name == "igmatch.sweep"
+        ]
+        assert seconds[0].status == UNCHANGED
+        # Above the floor the same zero baseline is a real slowdown.
+        cur["circuits"][0]["phases"]["igmatch.sweep"]["seconds"] = 0.5
+        diff = diff_payloads(base, cur)
+        seconds = [
+            f
+            for f in diff.circuits[0].fields
+            if f.kind == "phase.seconds" and f.name == "igmatch.sweep"
+        ]
+        assert seconds[0].status == SLOWER
+
+    def test_custom_thresholds(self):
+        thresholds = DiffThresholds(rel_tol=0.05, abs_floor_s=0.0)
+        assert thresholds.verdict(1.0, 1.04) == UNCHANGED
+        assert thresholds.verdict(1.0, 1.10) == SLOWER
+        assert thresholds.verdict(1.0, 0.90) == FASTER
+
+
+class TestCircuitLevel:
+    def test_circuit_only_in_baseline_is_missing(self):
+        base = make_payload(make_circuit("bm1"), make_circuit("Prim1"))
+        cur = make_payload(make_circuit("bm1"))
+        diff = diff_payloads(base, cur)
+        by_name = {c.name: c for c in diff.circuits}
+        assert by_name["Prim1"].status == "missing"
+        assert by_name["Prim1"].fields == []
+        assert by_name["bm1"].status == "common"
+        assert not diff.has_regressions
+
+    def test_circuit_only_in_current_is_new(self):
+        base = make_payload(make_circuit("bm1"))
+        cur = make_payload(make_circuit("bm1"), make_circuit("Test05"))
+        diff = diff_payloads(base, cur)
+        by_name = {c.name: c for c in diff.circuits}
+        assert by_name["Test05"].status == "new"
+        assert not diff.has_regressions
+
+    def test_mismatched_config_is_recorded(self):
+        base = make_payload()
+        cur = make_payload(scale=0.2, algorithm="rcut")
+        diff = diff_payloads(base, cur)
+        assert set(diff.mismatched_config) == {"algorithm", "scale"}
+
+    def test_schema1_payload_without_spans_curves(self):
+        base = make_payload(schema=1)
+        cur = make_payload()
+        diff = diff_payloads(base, cur)
+        assert not diff.has_regressions
+
+
+class TestBenchCompareCli:
+    """End-to-end exit codes of ``python -m repro.bench --compare``."""
+
+    @pytest.fixture(scope="class")
+    def baseline_path(self, tmp_path_factory):
+        from repro.bench.__main__ import main
+
+        path = tmp_path_factory.mktemp("bench") / "baseline.json"
+        assert main(
+            ["bm1", "--scale", "0.1", "--out", str(path)]
+        ) == 0
+        return path
+
+    def run_compare(self, baseline, tmp_path, *extra):
+        from repro.bench.__main__ import main
+
+        return main(
+            [
+                "bm1", "--scale", "0.1",
+                "--out", str(tmp_path / "current.json"),
+                "--compare", str(baseline),
+                *extra,
+            ]
+        )
+
+    def test_identical_seed_runs_exit_zero(
+        self, baseline_path, tmp_path, capsys
+    ):
+        code = self.run_compare(
+            baseline_path, tmp_path, "--fail-on-regress"
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "no deterministic regressions" in out
+
+    def test_injected_counter_regression_exits_one(
+        self, baseline_path, tmp_path, capsys
+    ):
+        doctored = tmp_path / "doctored.json"
+        payload = json.loads(baseline_path.read_text())
+        payload["circuits"][0]["counters"]["matching.augmentations"] -= 1
+        doctored.write_text(json.dumps(payload))
+        code = self.run_compare(
+            doctored, tmp_path, "--fail-on-regress"
+        )
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "REGRESSED" in captured.out
+        assert "matching.augmentations" in captured.out
+
+    def test_injected_cut_regression_exits_one(
+        self, baseline_path, tmp_path
+    ):
+        doctored = tmp_path / "doctored.json"
+        payload = json.loads(baseline_path.read_text())
+        payload["circuits"][0]["nets_cut"] -= 1
+        doctored.write_text(json.dumps(payload))
+        assert (
+            self.run_compare(doctored, tmp_path, "--fail-on-regress")
+            == 1
+        )
+
+    def test_without_fail_flag_reports_but_exits_zero(
+        self, baseline_path, tmp_path, capsys
+    ):
+        doctored = tmp_path / "doctored.json"
+        payload = json.loads(baseline_path.read_text())
+        payload["circuits"][0]["counters"]["matching.augmentations"] -= 1
+        doctored.write_text(json.dumps(payload))
+        assert self.run_compare(doctored, tmp_path) == 0
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_missing_baseline_file_exits_usage(self, tmp_path, capsys):
+        assert (
+            self.run_compare(tmp_path / "nope.json", tmp_path) == 2
+        )
+        assert "cannot read baseline" in capsys.readouterr().err
+
+    def test_report_written_alongside_compare(
+        self, baseline_path, tmp_path
+    ):
+        report = tmp_path / "report.html"
+        code = self.run_compare(
+            baseline_path, tmp_path, "--report", str(report)
+        )
+        assert code == 0
+        html = report.read_text()
+        assert "Baseline comparison" in html
+        assert "<svg" in html
+
+
+class TestBenchCliValidation:
+    def test_list_prints_specs(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("bm1", "Prim2", "Test05"):
+            assert name in out
+
+    def test_unknown_name_suggests_closest(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["Test5"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown circuit" in err
+        assert "did you mean" in err
+        assert "Test05" in err
+
+    def test_case_insensitive_names_accepted(self, tmp_path):
+        from repro.bench.__main__ import main
+
+        assert main(
+            ["BM1", "--scale", "0.1", "--out", str(tmp_path / "o.json")]
+        ) == 0
