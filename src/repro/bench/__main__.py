@@ -17,6 +17,7 @@ Examples
     python -m repro.bench --scale 0.1                 # quick pass
     python -m repro.bench Test05 Prim1 --out BENCH_obs.json
     python -m repro.bench --algorithm rcut --scale 0.2
+    python -m repro.bench --scale 0.2 --workers 4     # parallel circuits
     python -m repro.bench --list                      # known circuits
     python -m repro.bench --scale 0.2 \\
         --compare benchmarks/results/BENCH_baseline.json \\
@@ -33,6 +34,7 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from ..errors import ReproError
+from ..parallel import BACKENDS, resolve_parallel
 from .specs import BENCHMARKS, spec_names
 from .suite import run_observed_suite
 
@@ -106,6 +108,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="partitioner to profile (default ig-match)",
     )
     parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="run circuits in parallel on N workers (0 = auto-detect "
+        "CPUs; default: $REPRO_WORKERS or 1).  Deterministic payload "
+        "fields are identical for any worker count",
+    )
+    parser.add_argument(
+        "--backend", choices=BACKENDS, default=None,
+        help="parallel backend (default: $REPRO_BACKEND, or process "
+        "when --workers > 1)",
+    )
+    parser.add_argument(
         "--out", metavar="PATH", default="BENCH_obs.json",
         help="output JSON path (default BENCH_obs.json)",
     )
@@ -166,6 +179,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             scale=args.scale,
             algorithm=args.algorithm,
             out_path=args.out,
+            parallel=resolve_parallel(args.workers, args.backend),
         )
     except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -20,6 +20,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Union
 
 from ..hypergraph import Hypergraph
+from ..parallel import ParallelConfig, pstarmap
 from .generator import generate_from_spec
 from .specs import BENCHMARKS, BenchmarkSpec, get_spec
 
@@ -97,12 +98,62 @@ def _downsample_curve(
     return sampled
 
 
+def _circuit_task(
+    name: str, seed: int, scale: float, algorithm: str
+) -> Dict[str, Any]:
+    """Partition one benchmark circuit under an isolated obs session.
+
+    Module-level (picklable) so :func:`run_observed_suite` can fan
+    circuits out over a process pool; the isolated obs state keeps
+    concurrently running circuits from interleaving their traces, and
+    gives each circuit the same fresh-counters view a serial run had.
+    """
+    # Imported lazily: repro.bench loads before repro.partitioning in
+    # the package __init__, so a module-level import would be circular.
+    from .. import obs
+    from ..cli import _run_algorithm
+
+    h = build_circuit(name, seed=seed, scale=scale)
+    sink = obs.MemorySink()
+    with obs.isolated():
+        with obs.enabled(sink=sink):
+            result = _run_algorithm(
+                h, algorithm, seed=seed, restarts=10, stride=1
+            )
+            phases = {
+                span_name: {"seconds": round(seconds, 6), "count": count}
+                for span_name, (seconds, count) in sorted(
+                    obs.flatten_totals().items()
+                )
+            }
+            counters = obs.counters()
+    spans = [e for e in sink.events if e.get("type") == "span"]
+    curves = [
+        _downsample_curve(e)
+        for e in sink.events
+        if e.get("type") == "point" and _is_curve_event(e)
+    ]
+    return {
+        "name": name,
+        "modules": h.num_modules,
+        "nets": h.num_nets,
+        "seconds": round(result.elapsed_seconds, 6),
+        "nets_cut": result.nets_cut,
+        "ratio_cut": result.ratio_cut,
+        "phases": phases,
+        "counters": counters,
+        "spans": spans,
+        "curves": curves,
+    }
+
+
 def run_observed_suite(
     names: Optional[Sequence[str]] = None,
     seed: int = 0,
     scale: float = 1.0,
     algorithm: str = "ig-match",
     out_path: Optional[Union[str, Path]] = None,
+    parallel: Optional[ParallelConfig] = None,
 ) -> Dict[str, Any]:
     """Run ``algorithm`` over the suite with observability enabled.
 
@@ -127,50 +178,20 @@ def run_observed_suite(
     Schema history: 1 had no ``spans``/``curves``;
     :func:`repro.obs.diff.diff_payloads` accepts both.
 
-    Note: enables and disables the global :mod:`repro.obs` state.
+    ``parallel`` fans the per-circuit runs out over a worker pool
+    (``None`` resolves from the ``REPRO_WORKERS`` / ``REPRO_BACKEND``
+    environment).  The payload's deterministic fields (``nets_cut``,
+    ``ratio_cut``, ``counters``, phase counts, circuit order) are
+    byte-identical to a serial run; only wall-clock fields vary.
     """
-    # Imported lazily: repro.bench loads before repro.partitioning in
-    # the package __init__, so a module-level import would be circular.
-    from .. import obs
-    from ..cli import _run_algorithm
-
     if names is None:
         names = [spec.name for spec in BENCHMARKS]
-    circuits: List[Dict[str, Any]] = []
-    for name in names:
-        h = build_circuit(name, seed=seed, scale=scale)
-        sink = obs.MemorySink()
-        with obs.enabled(sink=sink):
-            result = _run_algorithm(
-                h, algorithm, seed=seed, restarts=10, stride=1
-            )
-            phases = {
-                span_name: {"seconds": round(seconds, 6), "count": count}
-                for span_name, (seconds, count) in sorted(
-                    obs.flatten_totals().items()
-                )
-            }
-            counters = obs.counters()
-        spans = [e for e in sink.events if e.get("type") == "span"]
-        curves = [
-            _downsample_curve(e)
-            for e in sink.events
-            if e.get("type") == "point" and _is_curve_event(e)
-        ]
-        circuits.append(
-            {
-                "name": name,
-                "modules": h.num_modules,
-                "nets": h.num_nets,
-                "seconds": round(result.elapsed_seconds, 6),
-                "nets_cut": result.nets_cut,
-                "ratio_cut": result.ratio_cut,
-                "phases": phases,
-                "counters": counters,
-                "spans": spans,
-                "curves": curves,
-            }
-        )
+    circuits: List[Dict[str, Any]] = pstarmap(
+        _circuit_task,
+        [(name, seed, scale, algorithm) for name in names],
+        parallel,
+        label="bench.circuits",
+    )
     payload: Dict[str, Any] = {
         "schema": 2,
         "algorithm": algorithm,

@@ -43,6 +43,7 @@ from .partitioning import (
     rcut,
 )
 from .clustering import MultilevelConfig, multilevel_partition
+from .parallel import BACKENDS, ParallelConfig, resolve_parallel
 
 __all__ = ["main"]
 
@@ -95,18 +96,31 @@ def _version() -> str:
 
 
 def _run_algorithm(
-    h: Hypergraph, algorithm: str, seed: int, restarts: int, stride: int
+    h: Hypergraph,
+    algorithm: str,
+    seed: int,
+    restarts: int,
+    stride: int,
+    starts: int = 1,
+    parallel: Optional[ParallelConfig] = None,
 ) -> PartitionResult:
     if algorithm == "ig-match":
-        return ig_match(h, IGMatchConfig(seed=seed, split_stride=stride))
+        return ig_match(
+            h,
+            IGMatchConfig(seed=seed, split_stride=stride, parallel=parallel),
+        )
     if algorithm == "ig-vote":
         return ig_vote(h, IGVoteConfig(seed=seed))
     if algorithm == "eig1":
         return eig1(h, EIG1Config(seed=seed))
     if algorithm == "rcut":
-        return rcut(h, RCutConfig(restarts=restarts, seed=seed))
+        return rcut(
+            h, RCutConfig(restarts=restarts, seed=seed, parallel=parallel)
+        )
     if algorithm == "fm":
-        return fm_bipartition(h, FMConfig(seed=seed))
+        return fm_bipartition(
+            h, FMConfig(seed=seed, starts=starts, parallel=parallel)
+        )
     if algorithm == "kl":
         return kl_bisection(h, KLConfig(seed=seed))
     if algorithm == "anneal":
@@ -134,7 +148,8 @@ def _run_multiway(h: Hypergraph, args) -> int:
         def bipartitioner(sub):
             return _run_algorithm(
                 sub, args.algorithm, args.seed, args.restarts,
-                args.stride,
+                args.stride, args.starts,
+                resolve_parallel(args.workers, args.backend),
             )
 
         result = recursive_partition(h, k, bipartitioner=bipartitioner)
@@ -199,6 +214,22 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--stride", type=int, default=1,
         help="IG-Match split stride (1 = all splits)",
+    )
+    parser.add_argument(
+        "--starts", type=int, default=1,
+        help="FM multi-start runs (best cut wins; default 1)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker pool size for parallel fan-outs (restarts, "
+        "multi-starts, candidate orderings); 0 = auto-detect CPUs; "
+        "default: $REPRO_WORKERS or 1.  Results are identical for "
+        "any worker count",
+    )
+    parser.add_argument(
+        "--backend", choices=BACKENDS, default=None,
+        help="parallel backend (default: $REPRO_BACKEND, or process "
+        "when --workers > 1)",
     )
     parser.add_argument(
         "--generate", metavar="BENCHMARK", choices=spec_names(),
@@ -328,7 +359,8 @@ def _execute(args, parser: argparse.ArgumentParser) -> int:
             return _run_multiway(h, args)
 
         result = _run_algorithm(
-            h, args.algorithm, args.seed, args.restarts, args.stride
+            h, args.algorithm, args.seed, args.restarts, args.stride,
+            args.starts, resolve_parallel(args.workers, args.backend),
         )
     except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -45,7 +45,16 @@ from .diff import (
     diff_payloads,
 )
 from .events import JsonLinesSink, MemorySink, emit
-from .registry import STATE, disable, enable, enabled, is_enabled, reset
+from .registry import (
+    STATE,
+    current_state,
+    disable,
+    enable,
+    enabled,
+    is_enabled,
+    isolated,
+    reset,
+)
 from .render import (
     load_jsonl,
     render_html,
@@ -68,6 +77,7 @@ __all__ = [
     "SpanNode",
     "add_timing",
     "counters",
+    "current_state",
     "diff_payloads",
     "disable",
     "emit",
@@ -77,6 +87,7 @@ __all__ = [
     "gauge",
     "incr",
     "is_enabled",
+    "isolated",
     "load_jsonl",
     "phase_report",
     "render_html",

@@ -1,31 +1,39 @@
 """Global on/off switch and shared state for the observability layer.
 
 The whole :mod:`repro.obs` package funnels through one module-level
-:class:`ObsState`.  Instrumentation call sites check ``STATE.enabled``
+``STATE`` handle.  Instrumentation call sites check ``STATE.enabled``
 (or call a helper that does) before doing any work, so a disabled run
 pays one attribute load and a branch per instrumented *phase* — never
 per move, pin, or matrix element.  Hot inner loops keep their own plain
 integer tallies and report them once per phase for the same reason.
 
-State is process-wide and single-threaded by design: the partitioners
-are synchronous, and a trace interleaved from several threads would be
-unreadable anyway.  ``enable()`` resets all collected data, so
+``STATE`` is a thin proxy over a :class:`contextvars.ContextVar`
+holding the *current* :class:`ObsState`.  In ordinary single-threaded
+use there is exactly one state (the process-wide root) and the proxy is
+invisible.  The :mod:`repro.parallel` executor gives each worker task a
+fresh private state via :func:`isolated`, so concurrently running tasks
+record their own spans and counters without interleaving; the parent
+merges the resulting trace fragments deterministically (in submission
+order) after the fan-out.  ``enable()`` resets all collected data, so
 back-to-back profiled runs never bleed counters or spans into each
 other.
 """
 
 from __future__ import annotations
 
+import contextvars
 from contextlib import contextmanager
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Iterator, List, Optional
 
 __all__ = [
     "ObsState",
     "STATE",
+    "current_state",
     "enable",
     "enabled",
     "disable",
     "is_enabled",
+    "isolated",
     "reset",
 ]
 
@@ -54,12 +62,65 @@ class ObsState:
         return self.seq
 
 
-STATE = ObsState()
+#: The process-wide root state — what every thread sees unless it is
+#: inside an :func:`isolated` scope.
+_ROOT = ObsState()
+
+_CURRENT: "contextvars.ContextVar[ObsState]" = contextvars.ContextVar(
+    "repro_obs_state", default=_ROOT
+)
+
+
+def current_state() -> ObsState:
+    """The :class:`ObsState` the calling context is recording into."""
+    return _CURRENT.get()
+
+
+class _StateProxy:
+    """Attribute proxy delegating to the context's current ObsState.
+
+    Keeps the historical ``from repro.obs.registry import STATE`` call
+    sites working unchanged while letting parallel workers swap in a
+    private state.  Attribute access costs one ``ContextVar.get`` — paid
+    per instrumented phase, not per inner-loop iteration.
+    """
+
+    __slots__ = ()
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(_CURRENT.get(), name)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        setattr(_CURRENT.get(), name, value)
+
+    def next_seq(self) -> int:
+        return _CURRENT.get().next_seq()
+
+
+STATE = _StateProxy()
+
+
+@contextmanager
+def isolated() -> Iterator[ObsState]:
+    """Record into a fresh private :class:`ObsState` within the block.
+
+    The primitive behind per-worker trace capture: everything the block
+    does (spans, counters, events) lands in the yielded state instead of
+    the shared root, so concurrent tasks cannot interleave their traces.
+    On exit the previous state is restored; the private state remains
+    readable for serialisation into a trace fragment.
+    """
+    state = ObsState()
+    token = _CURRENT.set(state)
+    try:
+        yield state
+    finally:
+        _CURRENT.reset(token)
 
 
 def is_enabled() -> bool:
-    """True when instrumentation is collecting (the global switch)."""
-    return STATE.enabled
+    """True when instrumentation is collecting (the context's switch)."""
+    return _CURRENT.get().enabled
 
 
 def enable(sink: Optional[Any] = None) -> ObsState:
@@ -70,10 +131,11 @@ def enable(sink: Optional[Any] = None) -> ObsState:
     object with ``handle(dict)`` / ``close()``).
     """
     reset()
+    state = _CURRENT.get()
     if sink is not None:
-        STATE.sinks.append(sink)
-    STATE.enabled = True
-    return STATE
+        state.sinks.append(sink)
+    state.enabled = True
+    return state
 
 
 def disable() -> None:
@@ -85,21 +147,22 @@ def disable() -> None:
     (for :func:`repro.obs.report.phase_report`) until the next
     :func:`enable`.
     """
-    if STATE.enabled and STATE.counters and STATE.sinks:
+    state = _CURRENT.get()
+    if state.enabled and state.counters and state.sinks:
         from .events import emit_raw
 
         emit_raw(
             {
                 "type": "counters",
-                "values": {k: STATE.counters[k] for k in sorted(STATE.counters)},
+                "values": {k: state.counters[k] for k in sorted(state.counters)},
             }
         )
-    for sink in STATE.sinks:
+    for sink in state.sinks:
         close = getattr(sink, "close", None)
         if close is not None:
             close()
-    STATE.sinks = []
-    STATE.enabled = False
+    state.sinks = []
+    state.enabled = False
 
 
 @contextmanager
@@ -122,12 +185,13 @@ def enabled(sink: Optional[Any] = None):
 
 def reset() -> None:
     """Drop all collected spans, counters, and sinks (keeps on/off state)."""
-    for sink in STATE.sinks:
+    state = _CURRENT.get()
+    for sink in state.sinks:
         close = getattr(sink, "close", None)
         if close is not None:
             close()
-    STATE.sinks = []
-    STATE.roots = []
-    STATE.stack = []
-    STATE.counters = {}
-    STATE.seq = 0
+    state.sinks = []
+    state.roots = []
+    state.stack = []
+    state.counters = {}
+    state.seq = 0

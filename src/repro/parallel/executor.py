@@ -1,0 +1,330 @@
+"""Deterministic parallel mapping for embarrassingly parallel fan-outs.
+
+:func:`pmap` / :func:`pstarmap` run a module-level function over a task
+list on one of three backends — ``serial`` (inline), ``thread``
+(:class:`~concurrent.futures.ThreadPoolExecutor`), or ``process``
+(:class:`~concurrent.futures.ProcessPoolExecutor`) — with results that
+are **bit-identical to a serial run** regardless of backend, worker
+count, or pool scheduling order.  Three rules make that hold:
+
+1. *No shared randomness.*  Tasks never draw from a shared RNG stream;
+   callers derive one independent seed per task up front with
+   :func:`spawn_seeds` (a hash of ``(master_seed, task_index)``), so a
+   task's randomness depends only on its index — not on how many tasks
+   run, on which worker, or in which order.
+2. *Submission-order reduction.*  Results (and worker trace fragments)
+   are consumed in the order tasks were submitted, never in completion
+   order, so reductions like "best of N, first wins ties" are stable.
+3. *Isolated observability.*  When the parent is profiling, each task
+   records into a private :mod:`repro.obs` state and returns a
+   serialisable fragment that the parent merges in submission order
+   (see :mod:`repro.parallel.tracing`).
+
+Worker exceptions propagate to the caller as the *original* exception
+object (first failing task in submission order), with the task context
+attached as a ``__notes__`` entry on Python 3.11+ and the remote
+traceback preserved on the ``worker_traceback`` attribute.
+
+Pools are cached per ``(backend, workers)`` and reused across calls, so
+repeated small fan-outs (e.g. one per hypothesis example) amortise pool
+start-up.  Nested fan-outs are suppressed: a ``pmap`` issued from inside
+a worker runs serially inline, so configuring both an outer and an
+inner loop for parallelism cannot oversubscribe or deadlock the pools.
+
+``REPRO_WORKERS`` / ``REPRO_BACKEND`` provide process-wide defaults for
+call sites that do not pass an explicit :class:`ParallelConfig` — the
+hook the CI parallel job and the CLI ``--workers`` / ``--backend``
+flags build on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import threading
+import traceback
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import ReproError
+from .tracing import capture_fragment, merge_fragment
+
+__all__ = [
+    "BACKENDS",
+    "ParallelConfig",
+    "ParallelError",
+    "pmap",
+    "pstarmap",
+    "resolve_parallel",
+    "shutdown_executors",
+    "spawn_seeds",
+]
+
+BACKENDS = ("serial", "thread", "process")
+
+
+class ParallelError(ReproError):
+    """A worker failure that could not be propagated verbatim (e.g. an
+    unpicklable exception raised in a process worker)."""
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """How to run a deterministic fan-out.
+
+    ``workers`` is the pool size; ``0`` means auto-detect
+    (``os.cpu_count()``), and any value below 2 degrades to inline
+    serial execution.  ``backend`` is one of :data:`BACKENDS`:
+    ``thread`` suits tasks that release the GIL (NumPy/SciPy solves),
+    ``process`` suits pure-Python tasks (FM passes, restarts) at the
+    price of pickling the task arguments.  Results are identical across
+    all three — the backend only changes wall-clock time.
+    """
+
+    workers: int = 1
+    backend: str = "serial"
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ReproError(
+                f"unknown parallel backend {self.backend!r} "
+                f"(choose from {', '.join(BACKENDS)})"
+            )
+        if self.workers < 0:
+            raise ReproError(
+                f"workers must be >= 0 (0 = auto), got {self.workers}"
+            )
+
+    def effective_workers(self) -> int:
+        """The concrete pool size (resolving ``workers=0`` to the CPU
+        count, and the serial backend to 1)."""
+        if self.backend == "serial":
+            return 1
+        if self.workers == 0:
+            return os.cpu_count() or 1
+        return self.workers
+
+
+def resolve_parallel(
+    workers: Optional[int] = None, backend: Optional[str] = None
+) -> ParallelConfig:
+    """Build a :class:`ParallelConfig` from explicit values and the
+    ``REPRO_WORKERS`` / ``REPRO_BACKEND`` environment defaults.
+
+    Precedence per field: explicit argument, then environment variable,
+    then default (1 worker; ``process`` when more than one worker is
+    requested, else ``serial``).  Malformed ``REPRO_WORKERS`` values
+    raise :class:`ReproError` rather than silently running serial.
+    """
+    if workers is None:
+        raw = os.environ.get("REPRO_WORKERS", "").strip()
+        if raw:
+            try:
+                workers = int(raw)
+            except ValueError:
+                raise ReproError(
+                    f"REPRO_WORKERS must be an integer, got {raw!r}"
+                ) from None
+        else:
+            workers = 1
+    if backend is None:
+        backend = os.environ.get("REPRO_BACKEND", "").strip() or None
+    if backend is None:
+        backend = "process" if workers != 1 else "serial"
+    return ParallelConfig(workers=workers, backend=backend)
+
+
+def spawn_seeds(seed: int, count: int) -> List[int]:
+    """``count`` independent 63-bit child seeds derived from ``seed``.
+
+    Child ``i`` depends only on ``(seed, i)`` — computed by SHA-256, so
+    the derivation is identical across platforms, processes, and Python
+    hash randomisation.  Extending a fan-out (``count`` -> ``count+1``)
+    leaves all earlier seeds unchanged, and no worker ever touches a
+    shared RNG stream.
+    """
+    if count < 0:
+        raise ReproError(f"cannot spawn {count} seeds")
+    return [_spawn_seed(seed, index) for index in range(count)]
+
+
+def _spawn_seed(seed: int, index: int) -> int:
+    digest = hashlib.sha256(
+        f"repro.parallel:{seed}:{index}".encode("ascii")
+    ).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+# ----------------------------------------------------------------------
+# Worker bookkeeping: nested fan-outs degrade to inline serial runs.
+_IS_PROCESS_WORKER = False
+_thread_worker = threading.local()
+
+
+def _mark_process_worker() -> None:
+    global _IS_PROCESS_WORKER
+    _IS_PROCESS_WORKER = True
+
+
+def _mark_thread_worker() -> None:
+    _thread_worker.active = True
+
+
+def _in_worker() -> bool:
+    return _IS_PROCESS_WORKER or getattr(_thread_worker, "active", False)
+
+
+# Pools are cached per (backend, workers) and reused; ProcessPool
+# workers are long-lived, which also amortises module imports.
+_EXECUTORS: Dict[Tuple[str, int], Any] = {}
+_EXECUTORS_LOCK = threading.Lock()
+
+
+def _get_executor(backend: str, workers: int):
+    key = (backend, workers)
+    with _EXECUTORS_LOCK:
+        executor = _EXECUTORS.get(key)
+        if executor is None:
+            if backend == "thread":
+                executor = ThreadPoolExecutor(
+                    max_workers=workers,
+                    thread_name_prefix="repro-parallel",
+                    initializer=_mark_thread_worker,
+                )
+            else:
+                executor = ProcessPoolExecutor(
+                    max_workers=workers, initializer=_mark_process_worker
+                )
+            _EXECUTORS[key] = executor
+    return executor
+
+
+def shutdown_executors() -> None:
+    """Shut down and drop every cached pool (mainly for tests)."""
+    with _EXECUTORS_LOCK:
+        executors = list(_EXECUTORS.values())
+        _EXECUTORS.clear()
+    for executor in executors:
+        executor.shutdown(wait=True)
+
+
+# ----------------------------------------------------------------------
+def _invoke(payload: Tuple[Any, ...]) -> Tuple[Any, ...]:
+    """Run one task in a worker; never raises.
+
+    Returns ``("ok", result, fragment)`` or ``("error", exc, tb_text)``.
+    ``needs_pickle`` marks process-backend tasks, whose outcome must
+    survive pickling back to the parent.
+    """
+    fn, args, capture, needs_pickle = payload
+    try:
+        if capture:
+            result, fragment = capture_fragment(fn, *args)
+        else:
+            result, fragment = fn(*args), None
+        return ("ok", result, fragment)
+    except Exception as exc:  # noqa: BLE001 — reported to the parent
+        tb_text = traceback.format_exc()
+        if needs_pickle:
+            try:
+                pickle.loads(pickle.dumps(exc))
+            except Exception:
+                exc = ParallelError(
+                    f"worker task raised an unpicklable "
+                    f"{type(exc).__name__}: {exc}"
+                )
+        return ("error", exc, tb_text)
+
+
+def _raise_task_error(
+    exc: BaseException, tb_text: str, index: int, total: int, label: str
+) -> None:
+    context = f"parallel task {index + 1}/{total} ({label})"
+    exc.worker_traceback = tb_text  # type: ignore[attr-defined]
+    add_note = getattr(exc, "add_note", None)
+    if add_note is not None:  # Python 3.11+
+        add_note(f"raised in {context}")
+    raise exc
+
+
+def _run(
+    fn: Callable[..., Any],
+    argtuples: Sequence[Tuple[Any, ...]],
+    config: Optional[ParallelConfig],
+    label: str,
+) -> List[Any]:
+    if config is None:
+        config = resolve_parallel()
+    tasks = [tuple(args) for args in argtuples]
+    total = len(tasks)
+    if total == 0:
+        return []
+    workers = min(config.effective_workers(), total)
+    if workers <= 1 or _in_worker():
+        # Inline in the caller's context: tracing needs no capture
+        # dance, and nested fan-outs cannot oversubscribe the pools.
+        results = []
+        for index, args in enumerate(tasks):
+            try:
+                results.append(fn(*args))
+            except Exception as exc:
+                _raise_task_error(
+                    exc, traceback.format_exc(), index, total, label
+                )
+        return results
+
+    from .. import obs
+
+    capture = obs.is_enabled()
+    needs_pickle = config.backend == "process"
+    executor = _get_executor(config.backend, config.effective_workers())
+    futures = [
+        executor.submit(_invoke, (fn, args, capture, needs_pickle))
+        for args in tasks
+    ]
+    # Reduce strictly in submission order — both results and trace
+    # fragments — so parallel runs are indistinguishable from serial
+    # ones in every deterministic field.
+    outcomes = [future.result() for future in futures]
+    results: List[Any] = []
+    for index, outcome in enumerate(outcomes):
+        if outcome[0] == "ok":
+            _, result, fragment = outcome
+            if capture:
+                merge_fragment(fragment)
+            results.append(result)
+        else:
+            _, exc, tb_text = outcome
+            _raise_task_error(exc, tb_text, index, total, label)
+    return results
+
+
+def pmap(
+    fn: Callable[[Any], Any],
+    items: Iterable[Any],
+    config: Optional[ParallelConfig] = None,
+    *,
+    label: str = "pmap",
+) -> List[Any]:
+    """``[fn(item) for item in items]``, fanned out deterministically.
+
+    ``fn`` must be a module-level callable and ``items`` picklable when
+    the process backend is in play.  ``config=None`` resolves from the
+    ``REPRO_WORKERS`` / ``REPRO_BACKEND`` environment.  ``label`` names
+    the fan-out in propagated error context.
+    """
+    return _run(fn, [(item,) for item in items], config, label)
+
+
+def pstarmap(
+    fn: Callable[..., Any],
+    argtuples: Iterable[Tuple[Any, ...]],
+    config: Optional[ParallelConfig] = None,
+    *,
+    label: str = "pstarmap",
+) -> List[Any]:
+    """``[fn(*args) for args in argtuples]``, fanned out like
+    :func:`pmap`."""
+    return _run(fn, list(argtuples), config, label)

@@ -1,0 +1,106 @@
+"""Per-worker observability capture and deterministic merging.
+
+The executor keeps :mod:`repro.obs` correct under parallelism by giving
+every worker task its own private trace and folding the results back
+into the parent's trace in *submission order* — never pool-completion
+order — so a profiled parallel run records the same deterministic data
+as the serial run.
+
+A worker runs its task inside :func:`capture_fragment`: a fresh
+:func:`repro.obs.isolated` state is enabled with an in-memory sink, the
+task executes, and everything it recorded is serialised into a plain
+``dict`` *fragment*::
+
+    {"counters": {...},          # counter name -> total
+     "spans":    [node, ...],    # phase tree as nested dicts
+     "events":   [event, ...]}   # raw span/point events
+
+Fragments are picklable, so they cross process boundaries unchanged.
+
+The parent calls :func:`merge_fragment` once per task, in submission
+order: counters are summed into the parent's counters, the span tree is
+grafted under the parent's currently open span (so ``phase_report`` and
+``flatten_totals`` see identical structure to a serial run), and events
+are re-emitted to the parent's sinks with re-assigned sequence numbers
+and depth offsets.  Only wall-clock interleaving differs from a serial
+trace; every deterministic field (names, counts, counters, attributes)
+is preserved.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+__all__ = ["capture_fragment", "merge_fragment"]
+
+Fragment = Dict[str, Any]
+
+
+def _node_to_dict(node: Any) -> Dict[str, Any]:
+    return {
+        "name": node.name,
+        "attrs": dict(node.attrs),
+        "seconds": node.seconds,
+        "count": node.count,
+        "children": [_node_to_dict(child) for child in node.children],
+    }
+
+
+def _node_from_dict(data: Dict[str, Any]) -> Any:
+    from ..obs.span import SpanNode
+
+    node = SpanNode(data["name"], data["attrs"])
+    node.seconds = data["seconds"]
+    node.count = data["count"]
+    node.children = [_node_from_dict(child) for child in data["children"]]
+    return node
+
+
+def capture_fragment(
+    fn: Callable[..., Any], *args: Any, **kwargs: Any
+) -> Tuple[Any, Fragment]:
+    """Run ``fn`` with a private, enabled obs state; return its result
+    and the serialisable trace fragment it recorded."""
+    from .. import obs
+
+    sink = obs.MemorySink()
+    with obs.isolated() as state:
+        with obs.enabled(sink=sink):
+            result = fn(*args, **kwargs)
+            counters = obs.counters()
+            spans = [_node_to_dict(node) for node in state.roots]
+    # The trailing {"type": "counters"} event emitted by disable() is
+    # dropped: the parent's own shutdown emits the merged totals.
+    events = [e for e in sink.events if e.get("type") != "counters"]
+    return result, {"counters": counters, "spans": spans, "events": events}
+
+
+def merge_fragment(fragment: Optional[Fragment]) -> None:
+    """Fold one worker's trace fragment into the parent's obs state.
+
+    No-op when ``fragment`` is ``None`` or parent instrumentation is
+    off.  Must be called in task submission order for deterministic
+    sequence numbering.
+    """
+    if fragment is None:
+        return
+    from .. import obs
+    from ..obs.events import emit_raw
+
+    state = obs.current_state()
+    if not state.enabled:
+        return
+    for name, value in fragment["counters"].items():
+        state.counters[name] = state.counters.get(name, 0) + value
+    parent = state.stack[-1] if state.stack else None
+    target: List[Any] = parent.children if parent is not None else state.roots
+    for data in fragment["spans"]:
+        target.append(_node_from_dict(data))
+    if state.sinks:
+        depth_offset = len(state.stack)
+        for event in fragment["events"]:
+            merged = dict(event)
+            if isinstance(merged.get("depth"), int):
+                merged["depth"] = merged["depth"] + depth_offset
+            merged["seq"] = state.next_seq()
+            emit_raw(merged)

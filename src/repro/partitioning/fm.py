@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from ..errors import PartitionError
 from ..hypergraph import Hypergraph
 from ..obs import emit, incr, is_enabled, span
+from ..parallel import ParallelConfig, pstarmap, spawn_seeds
 from .metrics import ratio_cut_cost
 from .partition import Partition, PartitionResult
 
@@ -430,12 +431,24 @@ class FMConfig:
     bisection up to one cell).  ``max_passes`` bounds the pass loop;
     passes stop early when one yields no improvement.  ``lookahead=2``
     enables Krishnamurthy second-level gain tie-breaking [21].
+
+    ``starts > 1`` runs the whole multi-pass optimisation from that
+    many independent random initial partitions (seeds spawned up front
+    from ``seed``) and keeps the lowest cut — classic multi-start
+    refinement.  The starts fan out through :mod:`repro.parallel`
+    according to ``parallel`` (``None`` resolves from the
+    ``REPRO_WORKERS`` / ``REPRO_BACKEND`` environment); results are
+    identical on every backend.  ``starts=1`` preserves the historical
+    single-start behaviour (initial partition drawn directly from
+    ``random.Random(seed)``).
     """
 
     balance_tolerance: float = 0.10
     max_passes: int = 20
     seed: int = 0
     lookahead: int = 1
+    starts: int = 1
+    parallel: Optional[ParallelConfig] = None
 
 
 def random_balanced_sides(
@@ -450,20 +463,14 @@ def random_balanced_sides(
     return sides
 
 
-def fm_bipartition(
-    h: Hypergraph,
-    config: FMConfig = FMConfig(),
-    initial_sides: Optional[Sequence[int]] = None,
-) -> PartitionResult:
-    """Min-net-cut r-balanced bipartition by multi-pass FM."""
-    if h.num_modules < 2:
-        raise PartitionError("FM needs at least 2 modules")
-    start = time.perf_counter()
-    rng = random.Random(config.seed)
-    if initial_sides is None:
-        sides = random_balanced_sides(h, rng)
-    else:
-        sides = list(initial_sides)
+def _optimise_start(
+    h: Hypergraph, sides: List[int], config: FMConfig
+) -> Tuple[List[int], int, int]:
+    """The multi-pass FM loop from one initial partition.
+
+    Returns ``(final_sides, cut, passes)``.  Module-level and driven by
+    plain data so multi-start refinement can run it in process workers.
+    """
     engine = FMEngine(h, sides)
 
     total_area = h.total_area
@@ -525,16 +532,69 @@ def fm_bipartition(
                 cuts=[cut_initial] + pass_cuts,
                 kept=pass_kept,
             )
+    return list(engine.sides), engine.cut, passes
+
+
+def _fm_start_task(
+    h: Hypergraph, config: FMConfig, start_seed: int
+) -> Tuple[List[int], int, int]:
+    """One multi-start run from a spawned per-start seed (picklable)."""
+    rng = random.Random(start_seed)
+    sides = random_balanced_sides(h, rng)
+    return _optimise_start(h, sides, config)
+
+
+def fm_bipartition(
+    h: Hypergraph,
+    config: FMConfig = FMConfig(),
+    initial_sides: Optional[Sequence[int]] = None,
+) -> PartitionResult:
+    """Min-net-cut r-balanced bipartition by multi-pass FM.
+
+    With ``config.starts > 1`` (and no ``initial_sides``) the
+    optimisation is repeated from independent random starts and the
+    lowest final cut wins; ties go to the lowest start index, so the
+    result is deterministic and backend-independent.
+    """
+    if h.num_modules < 2:
+        raise PartitionError("FM needs at least 2 modules")
+    start = time.perf_counter()
+
+    multi_start = initial_sides is None and config.starts > 1
+    if multi_start:
+        with span("fm.multistart", starts=config.starts) as ms_span:
+            start_seeds = spawn_seeds(config.seed, config.starts)
+            outcomes = pstarmap(
+                _fm_start_task,
+                [(h, config, s) for s in start_seeds],
+                config.parallel,
+                label="fm.starts",
+            )
+            best_sides, best_cut, best_passes = outcomes[0]
+            for sides, cut, passes in outcomes[1:]:
+                if cut < best_cut:
+                    best_sides, best_cut, best_passes = sides, cut, passes
+            ms_span.set(cut_final=best_cut)
+    else:
+        if initial_sides is None:
+            rng = random.Random(config.seed)
+            sides = random_balanced_sides(h, rng)
+        else:
+            sides = list(initial_sides)
+        best_sides, best_cut, best_passes = _optimise_start(
+            h, sides, config
+        )
 
     elapsed = time.perf_counter() - start
     return PartitionResult(
         algorithm="FM",
-        partition=engine.partition(),
+        partition=Partition(h, best_sides),
         elapsed_seconds=elapsed,
         details={
-            "passes": passes,
+            "passes": best_passes,
             "balance_tolerance": config.balance_tolerance,
             "seed": config.seed,
             "lookahead": config.lookahead,
+            "starts": config.starts if multi_start else 1,
         },
     )

@@ -36,6 +36,7 @@ from ..intersection import intersection_graph
 from ..matching import IncrementalMatching
 from ..matching.incremental import VertexClass
 from ..obs import add_timing, emit, incr, is_enabled, span
+from ..parallel import ParallelConfig, pstarmap
 from ..spectral import spectral_ordering
 from .metrics import ratio_cut_cost
 from .partition import Partition, PartitionResult
@@ -80,6 +81,11 @@ class IGMatchConfig:
     #: to net *counts*, so ``check_invariants`` is unavailable in this
     #: mode.  No-op on unweighted netlists.
     use_net_weights: bool = False
+    #: Fan the candidate-ordering sweeps out over a worker pool
+    #: (``None`` resolves from the ``REPRO_WORKERS`` /
+    #: ``REPRO_BACKEND`` environment).  IG-Match is deterministic, so
+    #: this only changes wall-clock time, never the result.
+    parallel: Optional[ParallelConfig] = None
 
 
 @dataclass(frozen=True)
@@ -525,6 +531,27 @@ def _candidate_orders(
     ]
 
 
+def _sweep_task(
+    h: Hypergraph,
+    config: IGMatchConfig,
+    order: Sequence[int],
+    graph,
+) -> Tuple[int, Optional[SplitEvaluation], Optional[List[int]]]:
+    """Run one candidate ordering's sweep (picklable worker task).
+
+    Returns ``(splits_evaluated, best_evaluation, sides)`` with the
+    partition flattened to its side list so process workers never ship
+    a full :class:`Partition` back.
+    """
+    evaluations, partition = ig_match_sweep(
+        h, config, order=order, graph=graph
+    )
+    if partition is None:
+        return len(evaluations), None, None
+    sweep_best = min(evaluations, key=lambda e: (e.ratio_cut, e.rank))
+    return len(evaluations), sweep_best, list(partition.sides)
+
+
 def ig_match(
     h: Hypergraph,
     config: IGMatchConfig = IGMatchConfig(),
@@ -557,24 +584,27 @@ def ig_match(
             ):
                 orders = _candidate_orders(h, graph, config)
 
+        # Candidate orderings sweep independently over the shared
+        # intersection graph — the IG-Match fan-out site.  Reduction is
+        # in ordering index order, so the first ordering wins ties.
+        sweeps = pstarmap(
+            _sweep_task,
+            [(h, config, list(candidate), graph) for candidate in orders],
+            config.parallel,
+            label="igmatch.orderings",
+        )
         best_partition: Optional[Partition] = None
         best_eval: Optional[SplitEvaluation] = None
         best_index = 0
         total_evaluations = 0
-        for index, candidate in enumerate(orders):
-            evaluations, partition = ig_match_sweep(
-                h, config, order=candidate, graph=graph
-            )
-            total_evaluations += len(evaluations)
-            if partition is None:
+        for index, (splits, sweep_best, sides) in enumerate(sweeps):
+            total_evaluations += splits
+            if sides is None or sweep_best is None:
                 continue
-            sweep_best = min(
-                evaluations, key=lambda e: (e.ratio_cut, e.rank)
-            )
             # Compare orderings by the sweep objective (which is the
             # weighted ratio cut under use_net_weights).
             if best_eval is None or sweep_best.ratio_cut < best_eval.ratio_cut:
-                best_partition = partition
+                best_partition = Partition(h, sides)
                 best_eval = sweep_best
                 best_index = index
         if best_eval is not None:

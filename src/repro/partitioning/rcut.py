@@ -17,6 +17,13 @@ phases and random-restart stabilisation:
 
 The initial partition seeds each run; a run iterates shifting and
 swapping passes to convergence.
+
+Restarts are independent, so they fan out through
+:mod:`repro.parallel`: each restart gets its own seed spawned up front
+from ``config.seed`` (never drawn from a shared stream, so adding a
+restart leaves every earlier start unchanged), and the best-of
+reduction happens in restart order — results are bit-identical across
+the serial, thread, and process backends.
 """
 
 from __future__ import annotations
@@ -28,6 +35,8 @@ from typing import List, Optional, Tuple
 
 from ..errors import PartitionError
 from ..hypergraph import Hypergraph
+from ..obs import span
+from ..parallel import ParallelConfig, pstarmap, spawn_seeds
 from .fm import FMEngine, random_balanced_sides
 from .metrics import ratio_cut_cost
 from .partition import Partition, PartitionResult
@@ -41,13 +50,17 @@ class RCutConfig:
 
     ``restarts`` random starting partitions are optimised independently
     (Wei–Cheng report best-of-10).  ``max_rounds`` bounds the
-    shift/swap rounds per restart.
+    shift/swap rounds per restart.  ``parallel`` fans the restarts out
+    over a worker pool (``None`` resolves from the ``REPRO_WORKERS`` /
+    ``REPRO_BACKEND`` environment); the result never depends on the
+    backend or worker count.
     """
 
     restarts: int = 10
     max_rounds: int = 12
     seed: int = 0
     min_side: int = 1
+    parallel: Optional[ParallelConfig] = None
 
 
 def _ratio(engine: FMEngine) -> float:
@@ -104,6 +117,23 @@ def _run_single(
     return list(engine.sides), best_ratio, rounds
 
 
+def _restart_task(
+    h: Hypergraph, config: RCutConfig, restart_seed: int
+) -> Tuple[List[int], float, int]:
+    """One restart: its own RNG from a spawned seed, then optimise.
+
+    Module-level (picklable) so the process backend can run it; the
+    per-restart RNG makes the outcome a pure function of
+    ``(h, config, restart_seed)`` regardless of scheduling.
+    """
+    rng = random.Random(restart_seed)
+    sides = random_balanced_sides(h, rng)
+    with span("rcut.restart") as sp:
+        final_sides, ratio, rounds = _run_single(h, sides, config)
+        sp.set(ratio_cut=ratio, rounds=rounds)
+    return final_sides, ratio, rounds
+
+
 def rcut(
     h: Hypergraph,
     config: RCutConfig = RCutConfig(),
@@ -113,27 +143,42 @@ def rcut(
 
     With ``initial_sides`` given, a single run is performed from that
     partition (no restarts) — used by the refinement wrapper.
+
+    Each restart's starting partition is drawn from a private RNG
+    seeded by ``spawn_seeds(config.seed, restarts)[i]``, so restart
+    ``i`` is identical whether the run uses 1 restart or 100, one
+    worker or eight.  (Historically all starts were drawn from one
+    shared stream, so growing ``restarts`` perturbed every later
+    start.)  Ties on the best ratio go to the lowest restart index.
     """
     if h.num_modules < 2:
         raise PartitionError("RCut needs at least 2 modules")
     start = time.perf_counter()
-    rng = random.Random(config.seed)
 
-    best_sides: Optional[List[int]] = None
-    best_ratio = float("inf")
-    runs = []
-    if initial_sides is not None:
-        starts = [list(initial_sides)]
-    else:
-        starts = [
-            random_balanced_sides(h, rng) for _ in range(config.restarts)
-        ]
-    for sides in starts:
-        final_sides, ratio, rounds = _run_single(h, sides, config)
-        runs.append({"ratio_cut": ratio, "rounds": rounds})
-        if ratio < best_ratio:
-            best_ratio = ratio
-            best_sides = final_sides
+    with span("rcut", restarts=config.restarts) as rcut_span:
+        if initial_sides is not None:
+            final_sides, ratio, rounds = _run_single(
+                h, list(initial_sides), config
+            )
+            outcomes = [(final_sides, ratio, rounds)]
+        else:
+            restart_seeds = spawn_seeds(config.seed, config.restarts)
+            outcomes = pstarmap(
+                _restart_task,
+                [(h, config, s) for s in restart_seeds],
+                config.parallel,
+                label="rcut.restarts",
+            )
+
+        best_sides: Optional[List[int]] = None
+        best_ratio = float("inf")
+        runs = []
+        for final_sides, ratio, rounds in outcomes:
+            runs.append({"ratio_cut": ratio, "rounds": rounds})
+            if ratio < best_ratio:
+                best_ratio = ratio
+                best_sides = final_sides
+        rcut_span.set(best_of_runs=best_ratio)
 
     elapsed = time.perf_counter() - start
     if best_sides is None:
@@ -143,7 +188,7 @@ def rcut(
         partition=Partition(h, best_sides),
         elapsed_seconds=elapsed,
         details={
-            "restarts": len(starts),
+            "restarts": len(outcomes),
             "runs": runs,
             "best_of_runs": best_ratio,
             "seed": config.seed,

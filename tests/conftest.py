@@ -1,15 +1,39 @@
-"""Shared fixtures and hypothesis strategies for the test suite."""
+"""Shared fixtures and hypothesis profiles for the test suite.
+
+The hypothesis strategies themselves live in :mod:`tests.strategies`;
+the historical names (``hypergraph_strategy``, ``bipartite_strategy``)
+are re-exported here for the test files that import them from
+``tests.conftest``.
+"""
 
 from __future__ import annotations
 
 import random
 
 import pytest
-from hypothesis import strategies as st
+from hypothesis import HealthCheck, settings
 
 from repro.bench import generate_hierarchical
 from repro.graph import Graph
 from repro.hypergraph import Hypergraph
+from tests.strategies import (  # noqa: F401  (re-exported)
+    bipartite_strategy,
+    hypergraph_strategy,
+)
+
+# Profiles: "ci" trades example count for wall time so the matrix jobs
+# (and the parallel-backend job, where every example forks workers)
+# stay fast; "default" is the local run.  Select with
+# ``pytest --hypothesis-profile ci``.  Note tests that hardcode
+# ``@settings(max_examples=...)`` override the profile's count.
+settings.register_profile("default", deadline=None)
+settings.register_profile(
+    "ci",
+    deadline=None,
+    max_examples=25,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("default")
 
 
 # ----------------------------------------------------------------------
@@ -120,40 +144,3 @@ def connected_random_graph(
         if not g.has_edge(u, v):
             g.add_edge(u, v, 1.0)
     return g
-
-
-# ----------------------------------------------------------------------
-# Hypothesis strategies
-# ----------------------------------------------------------------------
-@st.composite
-def hypergraph_strategy(
-    draw, min_modules=3, max_modules=12, min_nets=2, max_nets=14
-):
-    """Random small hypergraphs with all nets of size >= 2."""
-    n = draw(st.integers(min_modules, max_modules))
-    m = draw(st.integers(min_nets, max_nets))
-    nets = []
-    for _ in range(m):
-        size = draw(st.integers(2, min(5, n)))
-        pins = draw(
-            st.lists(
-                st.integers(0, n - 1),
-                min_size=size,
-                max_size=size,
-                unique=True,
-            )
-        )
-        nets.append(pins)
-    return Hypergraph(nets, num_modules=n)
-
-
-@st.composite
-def bipartite_strategy(draw, max_side=7):
-    """Random small bipartite graphs as (left, right, edges) triples."""
-    nl = draw(st.integers(1, max_side))
-    nr = draw(st.integers(1, max_side))
-    possible = [(l, r) for l in range(nl) for r in range(nr)]
-    edges = draw(
-        st.lists(st.sampled_from(possible), max_size=len(possible), unique=True)
-    )
-    return nl, nr, edges

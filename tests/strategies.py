@@ -1,0 +1,163 @@
+"""Shared hypothesis strategies for the test suite.
+
+One home for every generator the property tests draw from, so each
+suite fuzzes the same instance space:
+
+- :func:`hypergraphs` — the workhorse: random hypergraphs with a
+  controllable pin-size distribution and optional degenerate features
+  (empty nets, isolated/singleton modules, duplicate pins).
+- :func:`partitionable_hypergraphs` — hypergraphs every bipartitioner
+  accepts (>= 4 modules, every net with >= 2 pins).
+- :func:`bipartite_graphs` — ``(num_left, num_right, edges)`` triples
+  for the matching tests.
+- :func:`netlist_texts` — adversarial parser input skewed toward
+  format-relevant tokens.
+
+``hypergraph_strategy`` and ``bipartite_strategy`` are kept as aliases
+for the historical names exported from ``tests.conftest``.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.hypergraph import Hypergraph
+
+__all__ = [
+    "bipartite_graphs",
+    "bipartite_strategy",
+    "hypergraph_strategy",
+    "hypergraphs",
+    "netlist_texts",
+    "partitionable_hypergraphs",
+    "pin_counts",
+]
+
+
+# ----------------------------------------------------------------------
+# Hypergraphs
+# ----------------------------------------------------------------------
+def pin_counts(max_size: int, skew: str = "uniform"):
+    """A strategy for one net's pin count in ``2 .. max_size``.
+
+    ``skew`` shapes the distribution: ``"uniform"`` draws all sizes
+    equally, ``"two-pin"`` mimics real netlists (mostly 2-pin nets with
+    an occasional wide bus), ``"wide"`` favours the largest sizes.
+    """
+    if max_size <= 2 or skew == "uniform":
+        return st.integers(2, max_size)
+    if skew == "two-pin":
+        return st.one_of(
+            st.just(2),
+            st.just(2),
+            st.just(3),
+            st.integers(2, max_size),
+        )
+    if skew == "wide":
+        return st.integers(max(2, max_size - 2), max_size)
+    raise ValueError(f"unknown pin skew {skew!r}")
+
+
+@st.composite
+def hypergraphs(
+    draw,
+    min_modules=3,
+    max_modules=12,
+    min_nets=2,
+    max_nets=14,
+    max_net_size=5,
+    pin_skew="uniform",
+    allow_empty_nets=False,
+    allow_singleton_modules=False,
+    allow_duplicate_pins=False,
+):
+    """Random small hypergraphs.
+
+    By default every net has >= 2 distinct pins and every module index
+    below the maximum drawn appears in some net — the shape all the
+    algorithms accept.  The ``allow_*`` flags mix in the degenerate
+    cases the data structures must tolerate:
+
+    - ``allow_empty_nets``: some nets have no pins at all.
+    - ``allow_singleton_modules``: ``num_modules`` may exceed the
+      largest pin, leaving isolated modules connected to nothing.
+    - ``allow_duplicate_pins``: raw pin lists may repeat a module
+      (the constructor collapses duplicates).
+    """
+    n = draw(st.integers(min_modules, max_modules))
+    m = draw(st.integers(min_nets, max_nets))
+    size_strategy = pin_counts(min(max_net_size, n), skew=pin_skew)
+    nets = []
+    for _ in range(m):
+        if allow_empty_nets and draw(st.booleans()):
+            nets.append([])
+            continue
+        size = draw(size_strategy)
+        pins = draw(
+            st.lists(
+                st.integers(0, n - 1),
+                min_size=size,
+                max_size=size,
+                unique=True,
+            )
+        )
+        if allow_duplicate_pins and draw(st.booleans()):
+            pins = pins + [pins[0]]
+        nets.append(pins)
+    num_modules = n
+    if allow_singleton_modules:
+        num_modules = n + draw(st.integers(0, 3))
+    return Hypergraph(nets, num_modules=num_modules)
+
+
+def partitionable_hypergraphs(**kwargs):
+    """Hypergraphs every bipartitioner accepts.
+
+    At least 4 modules (so both sides of any balanced start are
+    non-empty) and only well-formed nets.
+    """
+    kwargs.setdefault("min_modules", 4)
+    kwargs.setdefault("min_nets", 3)
+    return hypergraphs(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# Bipartite graphs (for the matching tests)
+# ----------------------------------------------------------------------
+@st.composite
+def bipartite_graphs(draw, max_side=7):
+    """Random small bipartite graphs as (left, right, edges) triples."""
+    nl = draw(st.integers(1, max_side))
+    nr = draw(st.integers(1, max_side))
+    possible = [(l, r) for l in range(nl) for r in range(nr)]
+    edges = draw(
+        st.lists(st.sampled_from(possible), max_size=len(possible), unique=True)
+    )
+    return nl, nr, edges
+
+
+# ----------------------------------------------------------------------
+# Netlist text (for the parser fuzz tests)
+# ----------------------------------------------------------------------
+#: Text skewed toward format-relevant tokens so the fuzzer reaches deep
+#: parser states, plus raw unicode for the shallow ones.
+_TOKENS = st.sampled_from(
+    [
+        "module", "endmodule", "input", "output", "wire", "net",
+        "NumNets", "NumPins", "NetDegree", "UCLA", "nets", "nodes",
+        "1.0", ":", ";", "(", ")", ",", "%", "#", "//", "0", "1",
+        "7", "-3", "a", "b", "g1", "\n", " ", "terminal",
+    ]
+)
+_STRUCTURED_TEXT = st.lists(_TOKENS, max_size=60).map(" ".join)
+_RAW_TEXT = st.text(max_size=200)
+
+
+def netlist_texts():
+    """Adversarial parser input: token soup or raw unicode."""
+    return st.one_of(_STRUCTURED_TEXT, _RAW_TEXT)
+
+
+# Historical names (originally defined in tests/conftest.py).
+hypergraph_strategy = hypergraphs
+bipartite_strategy = bipartite_graphs

@@ -12,7 +12,7 @@ from repro.matching import (
     hopcroft_karp,
     matching_size,
 )
-from tests.conftest import bipartite_strategy
+from tests.strategies import bipartite_graphs
 
 
 def build(nl, nr, edges):
@@ -107,7 +107,7 @@ class TestCrossValidation:
         assert ours == theirs
 
     @settings(max_examples=60, deadline=None)
-    @given(bipartite_strategy(max_side=5))
+    @given(bipartite_graphs(max_side=5))
     def test_against_brute_force(self, instance):
         nl, nr, edges = instance
         b = build(nl, nr, edges)

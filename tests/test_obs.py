@@ -101,7 +101,7 @@ class TestCounters:
 class TestEnabledContext:
     def test_scopes_instrumentation(self):
         with obs.enabled() as state:
-            assert state is obs.STATE
+            assert state is obs.current_state()
             assert obs.is_enabled()
             obs.incr("a")
         assert not obs.is_enabled()

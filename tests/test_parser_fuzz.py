@@ -7,7 +7,6 @@ IndexError/KeyError/ValueError escapes.
 
 import pytest
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.errors import ParseError, ReproError
 from repro.hypergraph import (
@@ -16,20 +15,9 @@ from repro.hypergraph import (
     loads_net,
     loads_verilog,
 )
+from tests.strategies import netlist_texts
 
-# Text skewed toward format-relevant tokens so the fuzzer reaches deep
-# parser states, plus raw unicode for the shallow ones.
-_tokens = st.sampled_from(
-    [
-        "module", "endmodule", "input", "output", "wire", "net",
-        "NumNets", "NumPins", "NetDegree", "UCLA", "nets", "nodes",
-        "1.0", ":", ";", "(", ")", ",", "%", "#", "//", "0", "1",
-        "7", "-3", "a", "b", "g1", "\n", " ", "terminal",
-    ]
-)
-_structured_text = st.lists(_tokens, max_size=60).map(" ".join)
-_raw_text = st.text(max_size=200)
-_any_text = st.one_of(_structured_text, _raw_text)
+_any_text = netlist_texts()
 
 
 @settings(max_examples=150, deadline=None)
