@@ -75,6 +75,7 @@ from .partitioning import (
 )
 from .placement import MincutPlacement, hpwl, mincut_placement
 from .spectral import fiedler_vector, lanczos_extreme, spectral_ordering
+from . import service
 
 __version__ = "1.0.0"
 
@@ -135,6 +136,7 @@ __all__ = [
     "refine",
     "save_json",
     "save_net",
+    "service",
     "spec_names",
     "spectral_ordering",
     "__version__",

@@ -59,6 +59,39 @@ def _print_spec_list() -> None:
         )
 
 
+#: BENCH_obs.json schema versions :func:`repro.obs.diff.diff_payloads`
+#: understands (1 = no spans/curves, 2 = current).
+_KNOWN_SCHEMAS = (1, 2)
+
+
+def _load_baseline(path: str):
+    """Read and validate a ``--compare`` baseline payload.
+
+    Returns ``(payload, None)`` on success, ``(None, message)`` when the
+    file is missing, unreadable, not a JSON object, or carries an
+    unknown ``schema`` version — every failure is one clear line, never
+    a traceback.
+    """
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        return None, f"cannot read baseline {path}: {exc}"
+    if not isinstance(payload, dict):
+        return None, (
+            f"baseline {path} is not a benchmark payload "
+            f"(expected a JSON object, got {type(payload).__name__})"
+        )
+    schema = payload.get("schema")
+    if schema not in _KNOWN_SCHEMAS:
+        known = ", ".join(str(s) for s in _KNOWN_SCHEMAS)
+        return None, (
+            f"baseline {path} has unknown schema version {schema!r} "
+            f"(known versions: {known}; re-run python -m repro.bench "
+            f"to regenerate it)"
+        )
+    return payload, None
+
+
 def _validate_names(names: Sequence[str]) -> Optional[str]:
     """Return an error message for the first unknown circuit name."""
     known = spec_names()
@@ -81,6 +114,49 @@ def _validate_names(names: Sequence[str]) -> Optional[str]:
             f"(known: {', '.join(known)}; see --list)"
         )
     return None
+
+
+def _run_cache_scenario(args) -> int:
+    """Handle ``--cache-scenario``: one cold serve, one warm serve."""
+    from .cache_scenario import run_cache_scenario
+
+    names = args.names or ["Test05"]
+    if len(names) != 1:
+        print(
+            "error: --cache-scenario takes exactly one circuit name",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+    error = _validate_names(names)
+    if error is not None:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_USAGE
+    try:
+        record = run_cache_scenario(
+            names[0],
+            seed=args.seed,
+            scale=args.scale,
+            algorithm=args.algorithm,
+        )
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    speedup = record["speedup"]
+    print(
+        f"{record['circuit']:>10}: cold {record['cold_wall_s']:.3f}s "
+        f"({record['cold']['source']}), warm "
+        f"{record['warm_wall_s']:.3f}s ({record['warm']['source']}"
+        f"{', %.0fx' % speedup if speedup else ''})"
+    )
+    for check, ok in record["verified"].items():
+        print(f"  {'PASS' if ok else 'FAIL'}  {check}")
+    out = Path(args.out)
+    out.write_text(
+        json.dumps(record, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(f"wrote {args.out}", file=sys.stderr)
+    return EXIT_OK if record["ok"] else EXIT_REGRESSED
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -148,11 +224,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="write a self-contained HTML report (phase trees, "
         "convergence curves, and the diff when --compare is given)",
     )
+    parser.add_argument(
+        "--cache-scenario", action="store_true",
+        help="run the cached-vs-cold serving scenario instead of the "
+        "suite: serve one circuit twice through repro.service and "
+        "verify the warm request hit the cache and skipped every "
+        "compute phase (writes the record to --out)",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
         _print_spec_list()
         return EXIT_OK
+
+    if args.cache_scenario:
+        return _run_cache_scenario(args)
 
     error = _validate_names(args.names)
     if error is not None:
@@ -161,15 +247,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     baseline = None
     if args.compare:
-        try:
-            baseline = json.loads(
-                Path(args.compare).read_text(encoding="utf-8")
-            )
-        except (OSError, ValueError) as exc:
-            print(
-                f"error: cannot read baseline {args.compare}: {exc}",
-                file=sys.stderr,
-            )
+        baseline, error = _load_baseline(args.compare)
+        if error is not None:
+            print(f"error: {error}", file=sys.stderr)
             return EXIT_USAGE
 
     try:

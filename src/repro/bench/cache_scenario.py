@@ -1,0 +1,145 @@
+"""Cached-vs-cold serving benchmark scenario.
+
+Measures what the :mod:`repro.service` cache actually buys: one circuit
+is served twice through a fresh :class:`~repro.service.engine.
+PartitionEngine` — a *cold* request that runs the full pipeline and a
+*warm* repeat of the identical request.  Both serves run under the
+observability layer, so the scenario can verify (not just assert by
+timing) that the warm serve skipped the compute phases entirely: the
+cold trace contains intersection-build / eigensolve / sweep spans, the
+warm trace contains none of them, and the engine counters show exactly
+one miss followed by one hit.
+
+``python -m repro.bench --cache-scenario`` is the CLI front end; the
+returned payload is JSON-serialisable for machine consumption.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence
+
+from .. import obs
+from .suite import build_circuit
+
+__all__ = ["COMPUTE_SPAN_PREFIXES", "run_cache_scenario"]
+
+#: Span-name roots that mean "the partitioner actually computed": the
+#: intersection-graph build, any eigensolve, the split sweeps, and the
+#: iterative algorithms' own phases.  A cached serve must produce none
+#: of these (only ``service.*`` spans).
+COMPUTE_SPAN_PREFIXES = (
+    "intersection",
+    "spectral",
+    "splits",
+    "igmatch",
+    "eig1",
+    "fm",
+    "rcut",
+    "kl",
+    "anneal",
+    "multilevel",
+)
+
+
+def _compute_spans(phases: Dict[str, Any]) -> Sequence[str]:
+    return sorted(
+        name
+        for name in phases
+        if any(
+            name == root or name.startswith(root + ".")
+            for root in COMPUTE_SPAN_PREFIXES
+        )
+    )
+
+
+def _observed_serve(engine, h, request) -> Dict[str, Any]:
+    """One serve under a fresh obs session; returns its trace summary."""
+    from ..service.engine import result_to_payload
+
+    with obs.enabled():
+        served = engine.partition(h, request)
+        phases = {
+            name: {"seconds": round(seconds, 6), "count": count}
+            for name, (seconds, count) in sorted(
+                obs.flatten_totals().items()
+            )
+        }
+        service_counters = obs.counters("service.")
+    return {
+        "cached": served.cached,
+        "source": served.source,
+        "fingerprint": served.fingerprint,
+        "seconds": served.result.elapsed_seconds,
+        "nets_cut": served.result.nets_cut,
+        "ratio_cut": served.result.ratio_cut,
+        "phases": phases,
+        "compute_spans": list(_compute_spans(phases)),
+        "counters": service_counters,
+        "payload": result_to_payload(served.result),
+    }
+
+
+def run_cache_scenario(
+    name: str = "Test05",
+    seed: int = 0,
+    scale: float = 1.0,
+    algorithm: str = "ig-match",
+    cache_dir: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Serve ``name`` cold then warm through a fresh engine.
+
+    Returns a payload with both serve records, the speedup, and a
+    ``verified`` block recording the three contract checks: the warm
+    serve hit the cache, it ran **zero** compute-phase spans, and its
+    deterministic result fields are byte-identical to the cold serve's.
+    """
+    import time
+
+    from ..service import PartitionEngine, PartitionRequest, ResultCache
+
+    h = build_circuit(name, seed=seed, scale=scale)
+    engine = PartitionEngine(
+        cache=ResultCache(disk_dir=cache_dir, use_disk=cache_dir is not None)
+    )
+    request = PartitionRequest(algorithm=algorithm, seed=seed)
+
+    start = time.perf_counter()
+    cold = _observed_serve(engine, h, request)
+    cold_wall = time.perf_counter() - start
+    start = time.perf_counter()
+    warm = _observed_serve(engine, h, request)
+    warm_wall = time.perf_counter() - start
+
+    cold_payload = dict(cold.pop("payload"))
+    warm_payload = dict(warm.pop("payload"))
+    cold_payload.pop("elapsed_seconds", None)
+    warm_payload.pop("elapsed_seconds", None)
+    stats = engine.stats
+    verified = {
+        "warm_hit": warm["cached"] and not cold["cached"],
+        "warm_skipped_compute": not warm["compute_spans"],
+        "cold_ran_compute": bool(cold["compute_spans"]),
+        "results_identical": cold_payload == warm_payload,
+        "counters_one_miss_one_hit": (
+            stats["service.cache.miss"] == 1
+            and stats["service.cache.hit"] == 1
+            and stats["service.computed"] == 1
+        ),
+    }
+    return {
+        "schema": 1,
+        "scenario": "cache-cold-vs-warm",
+        "circuit": name,
+        "algorithm": algorithm,
+        "seed": seed,
+        "scale": scale,
+        "modules": h.num_modules,
+        "nets": h.num_nets,
+        "cold": cold,
+        "warm": warm,
+        "cold_wall_s": round(cold_wall, 6),
+        "warm_wall_s": round(warm_wall, 6),
+        "speedup": round(cold_wall / warm_wall, 1) if warm_wall > 0 else None,
+        "verified": verified,
+        "ok": all(verified.values()),
+    }

@@ -25,24 +25,7 @@ from . import obs
 from .bench import build_circuit, spec_names
 from .errors import ReproError
 from .hypergraph import Hypergraph, describe, load_json, load_net, save_net
-from .partitioning import (
-    AnnealingConfig,
-    EIG1Config,
-    FMConfig,
-    IGMatchConfig,
-    IGVoteConfig,
-    KLConfig,
-    PartitionResult,
-    RCutConfig,
-    anneal,
-    eig1,
-    fm_bipartition,
-    ig_match,
-    ig_vote,
-    kl_bisection,
-    rcut,
-)
-from .clustering import MultilevelConfig, multilevel_partition
+from .partitioning import PartitionResult
 from .parallel import BACKENDS, ParallelConfig, resolve_parallel
 
 __all__ = ["main"]
@@ -95,6 +78,21 @@ def _version() -> str:
         return __version__
 
 
+def _request(
+    algorithm: str, seed: int, restarts: int, stride: int, starts: int = 1
+):
+    """Build the frozen service request for the given CLI knobs."""
+    from .service import PartitionRequest
+
+    return PartitionRequest(
+        algorithm=algorithm,
+        seed=seed,
+        restarts=restarts,
+        split_stride=stride,
+        starts=starts,
+    )
+
+
 def _run_algorithm(
     h: Hypergraph,
     algorithm: str,
@@ -104,30 +102,15 @@ def _run_algorithm(
     starts: int = 1,
     parallel: Optional[ParallelConfig] = None,
 ) -> PartitionResult:
-    if algorithm == "ig-match":
-        return ig_match(
-            h,
-            IGMatchConfig(seed=seed, split_stride=stride, parallel=parallel),
-        )
-    if algorithm == "ig-vote":
-        return ig_vote(h, IGVoteConfig(seed=seed))
-    if algorithm == "eig1":
-        return eig1(h, EIG1Config(seed=seed))
-    if algorithm == "rcut":
-        return rcut(
-            h, RCutConfig(restarts=restarts, seed=seed, parallel=parallel)
-        )
-    if algorithm == "fm":
-        return fm_bipartition(
-            h, FMConfig(seed=seed, starts=starts, parallel=parallel)
-        )
-    if algorithm == "kl":
-        return kl_bisection(h, KLConfig(seed=seed))
-    if algorithm == "anneal":
-        return anneal(h, AnnealingConfig(seed=seed))
-    if algorithm == "multilevel":
-        return multilevel_partition(h, MultilevelConfig(seed=seed))
-    raise ReproError(f"unknown algorithm {algorithm!r}")
+    """Direct (uncached) dispatch; the service engine owns the mapping
+    from request to algorithm, so CLI and HTTP runs share one code path."""
+    from .service import run_partitioner
+
+    return run_partitioner(
+        h,
+        _request(algorithm, seed, restarts, stride, starts),
+        parallel=parallel,
+    )
 
 
 def _run_multiway(h: Hypergraph, args) -> int:
@@ -266,6 +249,29 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write one '<module-name> <side>' line per module",
     )
     parser.add_argument(
+        "--fingerprint", action="store_true",
+        help="print the netlist's canonical (relabeling-invariant) "
+        "content fingerprint and exit without partitioning; with "
+        "--json, also print the exact (label-sensitive) hash that "
+        "keys the result cache",
+    )
+    cache_group = parser.add_mutually_exclusive_group()
+    cache_group.add_argument(
+        "--cache", action="store_true",
+        help="serve the request through the content-addressed result "
+        "cache (in-memory + disk under $REPRO_CACHE_DIR or "
+        "~/.cache/repro); repeated identical requests skip the "
+        "partitioner entirely",
+    )
+    cache_group.add_argument(
+        "--no-cache", action="store_true",
+        help="explicitly bypass the result cache (the default)",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="override the disk cache directory for --cache",
+    )
+    parser.add_argument(
         "--profile", action="store_true",
         help="collect per-phase timings/counters and print the phase "
         "tree to stderr after the run",
@@ -355,13 +361,54 @@ def _execute(args, parser: argparse.ArgumentParser) -> int:
             print(describe(h))
             print()
 
+        if args.fingerprint:
+            from .service import canonical_fingerprint, exact_fingerprint
+
+            if args.json:
+                print(
+                    json.dumps(
+                        {
+                            "canonical": canonical_fingerprint(h),
+                            "exact": exact_fingerprint(h),
+                        },
+                        indent=2,
+                    )
+                )
+            else:
+                print(canonical_fingerprint(h))
+            return 0
+
         if args.blocks > 2 or args.algorithm == "spectral-kway":
             return _run_multiway(h, args)
 
-        result = _run_algorithm(
-            h, args.algorithm, args.seed, args.restarts, args.stride,
-            args.starts, resolve_parallel(args.workers, args.backend),
-        )
+        if args.cache:
+            from .service import (
+                PartitionEngine,
+                ResultCache,
+            )
+
+            engine = PartitionEngine(
+                cache=ResultCache(disk_dir=args.cache_dir),
+                parallel=resolve_parallel(args.workers, args.backend),
+            )
+            served = engine.partition(
+                h,
+                _request(
+                    args.algorithm, args.seed, args.restarts,
+                    args.stride, args.starts,
+                ),
+            )
+            print(
+                f"cache {'hit (' + served.source + ')' if served.cached else 'miss'} "
+                f"{served.fingerprint[:12]}",
+                file=sys.stderr,
+            )
+            result = served.result
+        else:
+            result = _run_algorithm(
+                h, args.algorithm, args.seed, args.restarts, args.stride,
+                args.starts, resolve_parallel(args.workers, args.backend),
+            )
     except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -36,9 +36,17 @@ def gauge(name: str, value: float) -> None:
     STATE.counters[name] = value
 
 
-def counters() -> Dict[str, float]:
-    """A snapshot of every counter/gauge, sorted by name."""
-    return {k: STATE.counters[k] for k in sorted(STATE.counters)}
+def counters(prefix: str = "") -> Dict[str, float]:
+    """A snapshot of every counter/gauge, sorted by name.
+
+    ``prefix`` filters to one dotted namespace (e.g. ``"service."`` for
+    the serving layer's counters in ``/metrics``).
+    """
+    return {
+        k: STATE.counters[k]
+        for k in sorted(STATE.counters)
+        if k.startswith(prefix)
+    }
 
 
 def reset_counters() -> None:

@@ -1,0 +1,280 @@
+"""Two-tier content-addressed result cache (memory LRU + disk store).
+
+Layer one is an in-process LRU with a **byte budget**: entries are
+charged their canonical-JSON size and the least-recently-used entries
+are evicted once the budget is exceeded.  Layer two is an optional disk
+store under ``$REPRO_CACHE_DIR`` (default ``~/.cache/repro``): one JSON
+file per key, sharded by hash prefix, written atomically (temp file +
+``os.replace``) so a crashed or concurrent writer can never leave a
+half-written entry.  Disk hits are promoted into the memory tier.
+
+Every stored file carries a ``schema`` version; entries that fail to
+parse, fail validation, or carry an unknown schema are **quarantined**
+— moved aside to ``quarantine/`` with a reason suffix instead of
+crashing the service or being silently re-read forever.  A corrupt
+cache entry therefore costs one recompute, never an outage.
+
+All tiers are thread-safe; the service's single-flight request
+deduplication lives one level up in :mod:`repro.service.engine`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+__all__ = [
+    "CACHE_ENTRY_SCHEMA",
+    "DiskCache",
+    "MemoryCache",
+    "ResultCache",
+    "default_cache_dir",
+]
+
+#: On-disk entry schema.  Bump when the stored envelope shape changes;
+#: readers quarantine anything they do not recognise.
+CACHE_ENTRY_SCHEMA = 1
+
+#: Default in-memory budget: enough for thousands of bipartition results
+#: on paper-scale netlists without letting a busy server grow unbounded.
+DEFAULT_MEMORY_BUDGET = 32 * 1024 * 1024
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro"
+
+
+def _encode(payload: Dict[str, Any]) -> bytes:
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+class MemoryCache:
+    """Thread-safe LRU keyed by fingerprint, evicting by byte budget.
+
+    ``budget_bytes <= 0`` disables storage entirely (every ``put`` is a
+    no-op), which keeps the calling code branch-free.  A single entry
+    larger than the whole budget is refused rather than evicting
+    everything else.
+    """
+
+    def __init__(self, budget_bytes: int = DEFAULT_MEMORY_BUDGET):
+        self.budget_bytes = int(budget_bytes)
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, bytes]" = OrderedDict()
+        self._used = 0
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            blob = self._entries.get(key)
+            if blob is None:
+                return None
+            self._entries.move_to_end(key)
+        return json.loads(blob.decode("utf-8"))
+
+    def put(self, key: str, payload: Dict[str, Any]) -> bool:
+        blob = _encode(payload)
+        if self.budget_bytes <= 0 or len(blob) > self.budget_bytes:
+            return False
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._used -= len(old)
+            self._entries[key] = blob
+            self._used += len(blob)
+            while self._used > self.budget_bytes:
+                _, evicted = self._entries.popitem(last=False)
+                self._used -= len(evicted)
+        return True
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def used_bytes(self) -> int:
+        with self._lock:
+            return self._used
+
+    def keys(self) -> list:
+        """Keys from least- to most-recently used (for tests/stats)."""
+        with self._lock:
+            return list(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._used = 0
+
+
+class DiskCache:
+    """Content-addressed JSON files under a cache directory.
+
+    Layout: ``<root>/objects/<key[:2]>/<key>.json`` holding
+    ``{"schema": .., "key": .., "payload": ..}``.  Writes go through a
+    sibling temp file and ``os.replace`` so readers only ever see
+    complete entries.  Unreadable or mismatched entries are moved to
+    ``<root>/quarantine/`` and reported as a miss.
+    """
+
+    def __init__(self, root: Union[str, Path, None] = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self._lock = threading.Lock()
+        self.quarantined = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / "objects" / key[:2] / f"{key}.json"
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        target_dir = self.root / "quarantine"
+        try:
+            target_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target_dir / f"{path.name}.{reason}")
+        except OSError:
+            # Last resort: make sure the bad entry cannot be re-read.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        self.quarantined += 1
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        path = self._path(key)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return None
+        except OSError:
+            return None
+        try:
+            envelope = json.loads(text)
+        except ValueError:
+            self._quarantine(path, "unparsable")
+            return None
+        if not isinstance(envelope, dict):
+            self._quarantine(path, "malformed")
+            return None
+        if envelope.get("schema") != CACHE_ENTRY_SCHEMA:
+            self._quarantine(path, "schema")
+            return None
+        if envelope.get("key") != key:
+            self._quarantine(path, "keymismatch")
+            return None
+        payload = envelope.get("payload")
+        if not isinstance(payload, dict):
+            self._quarantine(path, "malformed")
+            return None
+        return payload
+
+    def put(self, key: str, payload: Dict[str, Any]) -> bool:
+        envelope = {
+            "schema": CACHE_ENTRY_SCHEMA,
+            "key": key,
+            "payload": payload,
+        }
+        path = self._path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=str(path.parent), prefix=".tmp-", suffix=".json"
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(envelope, handle, sort_keys=True)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return False
+        return True
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).is_file()
+
+
+class ResultCache:
+    """The facade the engine talks to: memory in front of optional disk.
+
+    ``get`` consults the memory tier first, then disk (promoting disk
+    hits into memory).  ``put`` writes through to both tiers.  Hit and
+    miss tallies are kept per tier for ``/metrics`` and tests.
+    """
+
+    def __init__(
+        self,
+        memory_budget: int = DEFAULT_MEMORY_BUDGET,
+        disk_dir: Union[str, Path, None] = None,
+        use_disk: bool = True,
+    ):
+        self.memory = MemoryCache(memory_budget)
+        self.disk: Optional[DiskCache] = (
+            DiskCache(disk_dir) if use_disk else None
+        )
+        self._lock = threading.Lock()
+        self.stats: Dict[str, int] = {
+            "memory_hits": 0,
+            "disk_hits": 0,
+            "misses": 0,
+            "stores": 0,
+        }
+
+    def _count(self, field: str) -> None:
+        with self._lock:
+            self.stats[field] += 1
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        return self.lookup(key)[0]
+
+    def lookup(self, key: str) -> Tuple[Optional[Dict[str, Any]], str]:
+        """``(payload, tier)`` where tier is ``memory``/``disk``/``miss``."""
+        payload = self.memory.get(key)
+        if payload is not None:
+            self._count("memory_hits")
+            return payload, "memory"
+        if self.disk is not None:
+            payload = self.disk.get(key)
+            if payload is not None:
+                self._count("disk_hits")
+                self.memory.put(key, payload)
+                return payload, "disk"
+        self._count("misses")
+        return None, "miss"
+
+    def put(self, key: str, payload: Dict[str, Any]) -> None:
+        self._count("stores")
+        self.memory.put(key, payload)
+        if self.disk is not None:
+            self.disk.put(key, payload)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Stats + sizing for ``/metrics``."""
+        with self._lock:
+            stats = dict(self.stats)
+        stats.update(
+            memory_entries=len(self.memory),
+            memory_used_bytes=self.memory.used_bytes,
+            memory_budget_bytes=self.memory.budget_bytes,
+            disk_enabled=self.disk is not None,
+            disk_quarantined=(
+                self.disk.quarantined if self.disk is not None else 0
+            ),
+        )
+        return stats

@@ -1,0 +1,486 @@
+"""The serving request path: fingerprint → cache → partitioner.
+
+:class:`PartitionRequest` is the frozen, hashable description of one
+partitioning problem configuration — the algorithm plus every knob that
+can change the answer.  :func:`run_partitioner` is the single dispatch
+point from a request to the eight bipartitioning algorithms (the CLI
+delegates here, so library, CLI, and HTTP callers run literally the
+same code path — the base of the byte-identical serving contract).
+
+:class:`PartitionEngine` wraps that dispatch with:
+
+* **content-addressed caching** — the request fingerprint
+  (:func:`repro.service.fingerprint.request_fingerprint`) keys a
+  :class:`repro.service.cache.ResultCache`; hits skip the partitioner
+  entirely (no intersection build, no eigensolve, no sweep — their obs
+  spans are simply absent from a cached serve);
+* **single-flight deduplication** — concurrent identical requests
+  compute once; the N−1 waiters are served the first flight's payload
+  and count as cache hits;
+* **async jobs** — :meth:`PartitionEngine.submit` queues requests on a
+  :class:`repro.service.jobs.JobScheduler` with priorities, deadlines
+  and bounded retries; :meth:`PartitionEngine.submit_batch` additionally
+  deduplicates identical requests *within* the batch.
+
+Counters (mirrored into :mod:`repro.obs` and always tallied locally for
+``/metrics``): ``service.requests``, ``service.cache.hit``,
+``service.cache.miss``, ``service.cache.hit.inflight``,
+``service.computed``.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .. import obs
+from ..clustering import MultilevelConfig, multilevel_partition
+from ..errors import ReproError
+from ..hypergraph import Hypergraph
+from ..parallel import ParallelConfig
+from ..partitioning import (
+    AnnealingConfig,
+    EIG1Config,
+    FMConfig,
+    IGMatchConfig,
+    IGVoteConfig,
+    KLConfig,
+    PartitionResult,
+    RCutConfig,
+    anneal,
+    eig1,
+    fm_bipartition,
+    ig_match,
+    ig_vote,
+    kl_bisection,
+    rcut,
+)
+from ..partitioning.partition import Partition
+from .cache import ResultCache
+from .fingerprint import request_fingerprint
+from .jobs import Job, JobScheduler
+
+__all__ = [
+    "ALGORITHMS",
+    "PartitionEngine",
+    "PartitionRequest",
+    "RESULT_SCHEMA",
+    "ServedResult",
+    "canonical_result_bytes",
+    "payload_to_result",
+    "result_to_payload",
+    "run_partitioner",
+]
+
+#: The eight bipartitioning algorithms the service can run.
+ALGORITHMS = (
+    "ig-match",
+    "ig-vote",
+    "eig1",
+    "rcut",
+    "fm",
+    "kl",
+    "anneal",
+    "multilevel",
+)
+
+#: Version of the cached/served result payload shape.
+RESULT_SCHEMA = 1
+
+#: Request knobs that only matter to *one* algorithm.  They are dropped
+#: from the cache key for every other algorithm, so e.g. an ``fm``
+#: request with the default ``restarts`` and one with ``restarts=50``
+#: share a cache line (RCut is the only consumer of ``restarts``).
+_ALGORITHM_KNOBS = {
+    "ig-match": ("split_stride",),
+    "rcut": ("restarts",),
+    "fm": ("starts",),
+}
+
+
+@dataclass(frozen=True)
+class PartitionRequest:
+    """One frozen partitioning problem configuration.
+
+    Only fields that can change the *answer* belong here; execution
+    details (worker counts, backends, tracing) live outside the request
+    because :mod:`repro.parallel` guarantees they cannot change results.
+    """
+
+    algorithm: str = "ig-match"
+    seed: int = 0
+    restarts: int = 10
+    split_stride: int = 1
+    starts: int = 1
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in ALGORITHMS:
+            raise ReproError(
+                f"unknown algorithm {self.algorithm!r} "
+                f"(choose from {', '.join(ALGORITHMS)})"
+            )
+        for fname in ("seed", "restarts", "split_stride", "starts"):
+            value = getattr(self, fname)
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise ReproError(
+                    f"{fname} must be an integer, got {value!r}"
+                )
+        if self.restarts < 1 or self.split_stride < 1 or self.starts < 1:
+            raise ReproError(
+                "restarts, split_stride and starts must be >= 1"
+            )
+
+    @classmethod
+    def from_mapping(cls, doc: Dict[str, Any]) -> "PartitionRequest":
+        """Build from an untrusted dict (HTTP body), rejecting unknown
+        keys with a clear error instead of silently ignoring them."""
+        known = {"algorithm", "seed", "restarts", "split_stride", "starts"}
+        unknown = sorted(set(doc) - known)
+        if unknown:
+            raise ReproError(
+                f"unknown request field(s): {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(known))})"
+            )
+        return cls(**doc)
+
+    def key_fields(self) -> Dict[str, Any]:
+        """The fields that enter the cache key for this algorithm."""
+        fields: Dict[str, Any] = {
+            "algorithm": self.algorithm,
+            "seed": self.seed,
+        }
+        for knob in _ALGORITHM_KNOBS.get(self.algorithm, ()):
+            fields[knob] = getattr(self, knob)
+        return fields
+
+
+def run_partitioner(
+    h: Hypergraph,
+    request: PartitionRequest,
+    parallel: Optional[ParallelConfig] = None,
+) -> PartitionResult:
+    """Run the requested algorithm directly (no cache involvement)."""
+    algorithm = request.algorithm
+    seed = request.seed
+    if algorithm == "ig-match":
+        return ig_match(
+            h,
+            IGMatchConfig(
+                seed=seed,
+                split_stride=request.split_stride,
+                parallel=parallel,
+            ),
+        )
+    if algorithm == "ig-vote":
+        return ig_vote(h, IGVoteConfig(seed=seed))
+    if algorithm == "eig1":
+        return eig1(h, EIG1Config(seed=seed))
+    if algorithm == "rcut":
+        return rcut(
+            h,
+            RCutConfig(
+                restarts=request.restarts, seed=seed, parallel=parallel
+            ),
+        )
+    if algorithm == "fm":
+        return fm_bipartition(
+            h, FMConfig(seed=seed, starts=request.starts, parallel=parallel)
+        )
+    if algorithm == "kl":
+        return kl_bisection(h, KLConfig(seed=seed))
+    if algorithm == "anneal":
+        return anneal(h, AnnealingConfig(seed=seed))
+    if algorithm == "multilevel":
+        return multilevel_partition(h, MultilevelConfig(seed=seed))
+    raise ReproError(f"unknown algorithm {algorithm!r}")
+
+
+# ----------------------------------------------------------------------
+# Result payloads
+# ----------------------------------------------------------------------
+def _scalar_details(details: Dict[str, Any]) -> Dict[str, Any]:
+    return {
+        k: v
+        for k, v in details.items()
+        if isinstance(v, (int, float, str, bool))
+    }
+
+
+def result_to_payload(result: PartitionResult) -> Dict[str, Any]:
+    """Serialise a result into the JSON-safe cached payload."""
+    return {
+        "schema": RESULT_SCHEMA,
+        "algorithm": result.algorithm,
+        "sides": list(result.partition.sides),
+        "areas": result.areas,
+        "nets_cut": result.nets_cut,
+        "ratio_cut": result.ratio_cut,
+        "elapsed_seconds": result.elapsed_seconds,
+        "details": _scalar_details(result.details),
+    }
+
+
+def payload_to_result(
+    h: Hypergraph, payload: Dict[str, Any]
+) -> PartitionResult:
+    """Rebuild a :class:`PartitionResult` from a cached payload."""
+    if payload.get("schema") != RESULT_SCHEMA:
+        raise ReproError(
+            f"unknown result payload schema {payload.get('schema')!r} "
+            f"(expected {RESULT_SCHEMA})"
+        )
+    return PartitionResult(
+        algorithm=payload["algorithm"],
+        partition=Partition(h, payload["sides"]),
+        elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
+        details=dict(payload.get("details", {})),
+    )
+
+
+def canonical_result_bytes(result: PartitionResult) -> bytes:
+    """The deterministic fields of a result as canonical JSON bytes.
+
+    This is the serving equivalence contract: for the same hypergraph,
+    request, and seed, these bytes are identical whether the result came
+    from a direct library call, a cold engine serve, a cached serve, or
+    an HTTP round-trip.  Wall-clock fields are excluded — they are the
+    only nondeterministic part of a result.
+    """
+    import json
+
+    payload = result_to_payload(result)
+    payload.pop("elapsed_seconds", None)
+    details = payload.get("details", {})
+    for key in list(details):
+        if key.endswith(("seconds", "_s")) or key.startswith("time"):
+            details.pop(key)
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+@dataclass
+class ServedResult:
+    """What the engine returns: the result plus serving provenance."""
+
+    result: PartitionResult
+    fingerprint: str
+    cached: bool
+    source: str  # "computed" | "memory" | "disk" | "inflight"
+
+    def response(self) -> Dict[str, Any]:
+        """The JSON document the HTTP layer returns for a serve."""
+        return {
+            "fingerprint": self.fingerprint,
+            "cached": self.cached,
+            "source": self.source,
+            "result": result_to_payload(self.result),
+        }
+
+
+class _Flight:
+    """A computation in progress that duplicates can wait on."""
+
+    __slots__ = ("event", "payload", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.payload: Optional[Dict[str, Any]] = None
+        self.error: Optional[BaseException] = None
+
+
+class PartitionEngine:
+    """Cache-fronted, dedup-aware partitioning engine.
+
+    ``cache=None`` disables result caching entirely (every request
+    computes).  ``parallel`` is forwarded to the partitioners' internal
+    fan-outs; it never affects results, only wall-clock time.
+    """
+
+    def __init__(
+        self,
+        cache: Optional[ResultCache] = None,
+        parallel: Optional[ParallelConfig] = None,
+        scheduler: Optional[JobScheduler] = None,
+    ):
+        self.cache = cache
+        self.parallel = parallel
+        self._scheduler = scheduler
+        self._scheduler_lock = threading.Lock()
+        self._inflight: Dict[str, _Flight] = {}
+        self._inflight_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self.stats: Dict[str, int] = {
+            "service.requests": 0,
+            "service.cache.hit": 0,
+            "service.cache.miss": 0,
+            "service.cache.hit.inflight": 0,
+            "service.computed": 0,
+        }
+
+    # ------------------------------------------------------------------
+    def _count(self, name: str, value: int = 1) -> None:
+        with self._stats_lock:
+            self.stats[name] = self.stats.get(name, 0) + value
+        obs.incr(name, value)
+
+    @property
+    def scheduler(self) -> JobScheduler:
+        """The job scheduler, created on first use."""
+        with self._scheduler_lock:
+            if self._scheduler is None:
+                self._scheduler = JobScheduler()
+            return self._scheduler
+
+    # ------------------------------------------------------------------
+    def partition(
+        self,
+        h: Hypergraph,
+        request: PartitionRequest,
+        use_cache: bool = True,
+    ) -> ServedResult:
+        """Serve one request: cache lookup, then compute-once.
+
+        The returned result is byte-identical (in its deterministic
+        fields, see :func:`canonical_result_bytes`) to calling
+        :func:`run_partitioner` directly — whether it was computed now,
+        found in a cache tier, or joined onto an in-flight computation.
+        """
+        key = request_fingerprint(h, request)
+        self._count("service.requests")
+        with obs.span(
+            "service.request",
+            algorithm=request.algorithm,
+            fingerprint=key[:12],
+        ) as sp:
+            if not use_cache or self.cache is None:
+                result = self._compute(h, request)
+                sp.set(source="computed", cached=False)
+                return ServedResult(result, key, False, "computed")
+
+            payload, source = self.cache.lookup(key)
+            if payload is not None:
+                self._count("service.cache.hit")
+                sp.set(source=source, cached=True)
+                return ServedResult(
+                    payload_to_result(h, payload), key, True, source
+                )
+
+            flight, owner = self._join_flight(key)
+            if not owner:
+                flight.event.wait()
+                if flight.error is not None:
+                    raise flight.error
+                self._count("service.cache.hit")
+                self._count("service.cache.hit.inflight")
+                sp.set(source="inflight", cached=True)
+                assert flight.payload is not None
+                return ServedResult(
+                    payload_to_result(h, flight.payload),
+                    key,
+                    True,
+                    "inflight",
+                )
+
+            try:
+                self._count("service.cache.miss")
+                result = self._compute(h, request)
+                payload = result_to_payload(result)
+                self.cache.put(key, payload)
+                flight.payload = payload
+            except BaseException as exc:
+                flight.error = exc
+                raise
+            finally:
+                with self._inflight_lock:
+                    self._inflight.pop(key, None)
+                flight.event.set()
+            sp.set(source="computed", cached=False)
+            return ServedResult(result, key, False, "computed")
+
+    def _join_flight(self, key: str) -> Tuple[_Flight, bool]:
+        """Register interest in ``key``; True when we own the compute."""
+        with self._inflight_lock:
+            flight = self._inflight.get(key)
+            if flight is not None:
+                return flight, False
+            flight = _Flight()
+            self._inflight[key] = flight
+            return flight, True
+
+    def _compute(
+        self, h: Hypergraph, request: PartitionRequest
+    ) -> PartitionResult:
+        self._count("service.computed")
+        return run_partitioner(h, request, parallel=self.parallel)
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        h: Hypergraph,
+        request: PartitionRequest,
+        priority: int = 0,
+        max_retries: int = 0,
+        deadline_s: Optional[float] = None,
+        use_cache: bool = True,
+    ) -> Job:
+        """Queue a request as an async job; the job result is the
+        :meth:`ServedResult.response` document."""
+
+        def work() -> Dict[str, Any]:
+            return self.partition(h, request, use_cache=use_cache).response()
+
+        return self.scheduler.submit(
+            work,
+            priority=priority,
+            max_retries=max_retries,
+            deadline_s=deadline_s,
+            label=request.algorithm,
+        )
+
+    def submit_batch(
+        self,
+        items: Sequence[Tuple[Hypergraph, PartitionRequest]],
+        priority: int = 0,
+        use_cache: bool = True,
+    ) -> List[Job]:
+        """Submit many requests, deduplicating identical ones.
+
+        Returns one :class:`Job` handle per input item, in order; items
+        whose fingerprint matches an earlier item in the batch share the
+        earlier item's job (so N identical submissions schedule exactly
+        one computation).
+        """
+        jobs: List[Job] = []
+        by_key: Dict[str, Job] = {}
+        for h, request in items:
+            key = request_fingerprint(h, request)
+            job = by_key.get(key)
+            if job is None:
+                job = self.submit(
+                    h, request, priority=priority, use_cache=use_cache
+                )
+                by_key[key] = job
+            else:
+                self._count("service.batch.dedup")
+            jobs.append(job)
+        return jobs
+
+    # ------------------------------------------------------------------
+    def metrics(self) -> Dict[str, Any]:
+        """Counter snapshot for ``/metrics`` (engine, cache, jobs)."""
+        with self._stats_lock:
+            doc: Dict[str, Any] = {"service": dict(self.stats)}
+        if self.cache is not None:
+            doc["cache"] = self.cache.snapshot()
+        with self._scheduler_lock:
+            scheduler = self._scheduler
+        if scheduler is not None:
+            doc["jobs"] = scheduler.snapshot()
+        if obs.is_enabled():
+            doc["obs"] = obs.counters("service.")
+        return doc

@@ -1,0 +1,324 @@
+"""Stdlib-only HTTP JSON API over the partition engine.
+
+A :class:`ThreadingHTTPServer` (one thread per connection, zero
+dependencies beyond the standard library) exposing:
+
+* ``POST /partition`` — body carries the netlist and request config::
+
+      {"netlist": {...},            # repro-hypergraph-v1 JSON document
+       "net": "...",                # OR: NET text format (one of the two)
+       "algorithm": "ig-match",     # optional request fields ...
+       "seed": 0,
+       "cache": true,               # false forces a fresh compute
+       "async": false,              # true -> 202 + job id
+       "priority": 0, "max_retries": 0, "deadline_s": null}
+
+  Synchronous requests return ``{"fingerprint", "cached", "source",
+  "result": {...}}``; ``"async": true`` returns ``{"job": "<id>"}``
+  with status 202.
+* ``GET /jobs/<id>`` — the job's status/result record (404 unknown).
+* ``DELETE /jobs/<id>`` — cancel a still-pending job.
+* ``GET /healthz`` — liveness: version, uptime, worker config.
+* ``GET /metrics`` — engine/cache/job counters as JSON.
+
+Errors are always JSON: ``{"error": "<one line>"}`` with 400 for bad
+requests, 404 for unknown routes/jobs, 405 for wrong methods.  The
+``repro-serve`` console script (:func:`serve_main`) is the deployment
+entry point.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from ..errors import ReproError
+from ..hypergraph import Hypergraph, from_json, loads_net
+from ..parallel import BACKENDS, ParallelConfig, resolve_parallel
+from .cache import ResultCache
+from .engine import PartitionEngine, PartitionRequest
+
+__all__ = ["create_server", "serve_main"]
+
+#: Request bodies above this size are rejected up front (64 MiB is far
+#: beyond any paper-scale netlist; it only guards the server's memory).
+_MAX_BODY_BYTES = 64 * 1024 * 1024
+
+_REQUEST_FIELDS = ("algorithm", "seed", "restarts", "split_stride", "starts")
+
+#: Every key a ``POST /partition`` body may carry.  Anything else is a
+#: 400 — silently ignoring a typo like ``retries`` would accept the
+#: request while quietly not doing what the caller asked.
+_BODY_FIELDS = frozenset(_REQUEST_FIELDS) | {
+    "netlist", "net", "cache", "async", "priority", "max_retries",
+    "deadline_s",
+}
+
+
+def _version() -> str:
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:  # pragma: no cover - metadata missing
+        from .. import __version__
+
+        return __version__
+
+
+def _parse_body(doc: Dict[str, Any]) -> Tuple[Hypergraph, PartitionRequest]:
+    """Extract the hypergraph and request from a ``POST /partition`` body."""
+    if not isinstance(doc, dict):
+        raise ReproError("request body must be a JSON object")
+    unknown = sorted(set(doc) - _BODY_FIELDS)
+    if unknown:
+        raise ReproError(
+            f"unknown request field(s): {', '.join(unknown)} "
+            f"(known: {', '.join(sorted(_BODY_FIELDS))})"
+        )
+    has_json = "netlist" in doc
+    has_net = "net" in doc
+    if has_json == has_net:
+        raise ReproError(
+            "give exactly one of 'netlist' (JSON document) or "
+            "'net' (NET text)"
+        )
+    if has_json:
+        h = from_json(doc["netlist"])
+    else:
+        if not isinstance(doc["net"], str):
+            raise ReproError("'net' must be a string in NET text format")
+        h = loads_net(doc["net"])
+    config = {k: doc[k] for k in _REQUEST_FIELDS if k in doc}
+    try:
+        request = PartitionRequest.from_mapping(config)
+    except TypeError as exc:
+        raise ReproError(f"bad request config: {exc}") from None
+    return h, request
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests to the server's engine.  One instance per request."""
+
+    server_version = "repro-serve/" + _version()
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    def _send_json(self, status: int, doc: Dict[str, Any]) -> None:
+        body = json.dumps(doc, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        self._send_json(status, {"error": message})
+
+    def log_message(self, format: str, *args: Any) -> None:
+        if getattr(self.server, "quiet", True):
+            return
+        sys.stderr.write(
+            "%s - %s\n" % (self.address_string(), format % args)
+        )
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:
+        engine: PartitionEngine = self.server.engine
+        if self.path == "/healthz":
+            parallel = engine.parallel or ParallelConfig()
+            self._send_json(
+                200,
+                {
+                    "status": "ok",
+                    "version": _version(),
+                    "uptime_s": round(
+                        time.monotonic() - self.server.started_at, 3
+                    ),
+                    "workers": parallel.effective_workers(),
+                    "backend": parallel.backend,
+                    "cache": engine.cache is not None,
+                },
+            )
+            return
+        if self.path == "/metrics":
+            self._send_json(200, engine.metrics())
+            return
+        if self.path.startswith("/jobs/"):
+            job_id = self.path[len("/jobs/"):]
+            job = engine.scheduler.get(job_id)
+            if job is None:
+                self._send_error_json(404, f"unknown job {job_id!r}")
+                return
+            self._send_json(200, job.record())
+            return
+        self._send_error_json(404, f"unknown path {self.path!r}")
+
+    def do_POST(self) -> None:
+        engine: PartitionEngine = self.server.engine
+        if self.path != "/partition":
+            self._send_error_json(404, f"unknown path {self.path!r}")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            self._send_error_json(400, "bad Content-Length header")
+            return
+        if length <= 0:
+            self._send_error_json(400, "empty request body")
+            return
+        if length > _MAX_BODY_BYTES:
+            self._send_error_json(
+                400, f"request body exceeds {_MAX_BODY_BYTES} bytes"
+            )
+            return
+        raw = self.rfile.read(length)
+        try:
+            doc = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            self._send_error_json(400, f"invalid JSON body: {exc}")
+            return
+        try:
+            h, request = _parse_body(doc)
+        except ReproError as exc:
+            self._send_error_json(400, str(exc))
+            return
+        use_cache = bool(doc.get("cache", True))
+        if doc.get("async"):
+            deadline = doc.get("deadline_s")
+            job = engine.submit(
+                h,
+                request,
+                priority=int(doc.get("priority", 0)),
+                max_retries=int(doc.get("max_retries", 0)),
+                deadline_s=float(deadline) if deadline is not None else None,
+                use_cache=use_cache,
+            )
+            self._send_json(202, {"job": job.id, "status": job.status})
+            return
+        try:
+            served = engine.partition(h, request, use_cache=use_cache)
+        except ReproError as exc:
+            self._send_error_json(400, str(exc))
+            return
+        self._send_json(200, served.response())
+
+    def do_DELETE(self) -> None:
+        engine: PartitionEngine = self.server.engine
+        if not self.path.startswith("/jobs/"):
+            self._send_error_json(404, f"unknown path {self.path!r}")
+            return
+        job_id = self.path[len("/jobs/"):]
+        if engine.scheduler.get(job_id) is None:
+            self._send_error_json(404, f"unknown job {job_id!r}")
+            return
+        cancelled = engine.scheduler.cancel(job_id)
+        self._send_json(200, {"job": job_id, "cancelled": cancelled})
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, engine: PartitionEngine, quiet: bool = True):
+        super().__init__(address, _Handler)
+        self.engine = engine
+        self.quiet = quiet
+        self.started_at = time.monotonic()
+
+
+def create_server(
+    engine: Optional[PartitionEngine] = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    quiet: bool = True,
+) -> _Server:
+    """Build a ready-to-run server (``port=0`` picks an ephemeral port).
+
+    Call ``serve_forever()`` on the result (typically in a thread for
+    tests) and ``shutdown()`` / ``server_close()`` to stop it.  The
+    bound port is ``server.server_address[1]``.
+    """
+    if engine is None:
+        engine = PartitionEngine(cache=ResultCache())
+    return _Server((host, port), engine, quiet=quiet)
+
+
+def serve_main(argv: Optional[Sequence[str]] = None) -> int:
+    """``repro-serve`` — run the partitioning service until interrupted."""
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Serve ratio-cut partitioning over HTTP with "
+        "content-addressed result caching.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=8377,
+        help="listen port (0 = ephemeral; default 8377)",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="disk cache directory (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--no-disk-cache", action="store_true",
+        help="keep results only in the in-memory LRU",
+    )
+    parser.add_argument(
+        "--memory-budget", type=int, default=None, metavar="BYTES",
+        help="in-memory cache byte budget (default 32 MiB)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker pool size for the partitioners' parallel fan-outs "
+        "(default: $REPRO_WORKERS or 1)",
+    )
+    parser.add_argument(
+        "--backend", choices=BACKENDS, default=None,
+        help="parallel backend (default: $REPRO_BACKEND)",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true",
+        help="log one line per handled request",
+    )
+    args = parser.parse_args(argv)
+
+    cache_kwargs: Dict[str, Any] = {
+        "disk_dir": args.cache_dir,
+        "use_disk": not args.no_disk_cache,
+    }
+    if args.memory_budget is not None:
+        cache_kwargs["memory_budget"] = args.memory_budget
+    try:
+        engine = PartitionEngine(
+            cache=ResultCache(**cache_kwargs),
+            parallel=resolve_parallel(args.workers, args.backend),
+        )
+        server = create_server(
+            engine, host=args.host, port=args.port, quiet=not args.verbose
+        )
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    host, port = server.server_address[:2]
+    print(
+        f"repro-serve {_version()} listening on http://{host}:{port} "
+        f"(POST /partition, GET /jobs/<id>, /healthz, /metrics)",
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        server.server_close()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(serve_main())

@@ -1,0 +1,319 @@
+"""A small thread-backed job scheduler for partitioning requests.
+
+Jobs are callables submitted with a priority, an optional deadline, and
+a bounded retry budget.  A fixed pool of daemon worker threads drains a
+priority queue (highest priority first; FIFO within a priority level).
+Each job carries a full status record — queued/running timestamps,
+attempt count, result or error text — that the HTTP layer serves at
+``GET /jobs/<id>``.
+
+Semantics worth stating precisely:
+
+* **Deadlines** are *start* deadlines: a job still queued when its
+  deadline passes is marked ``expired`` and never runs.  Python threads
+  cannot be safely killed, so a job that has already started is allowed
+  to finish (the engine's work units are seconds-scale).
+* **Retries** re-queue the job after an exponential backoff
+  (``backoff_s * 2**(attempt-1)``) at the same priority.  Only job
+  *exceptions* trigger retries; cancellation and expiry do not.
+* **Cancellation** flips a pending job to ``cancelled``; the queue
+  entry is abandoned lazily when a worker dequeues it.
+
+Counters: ``service.jobs.submitted`` / ``completed`` / ``failed`` /
+``retried`` / ``cancelled`` / ``expired`` are mirrored into
+:mod:`repro.obs` (no-ops while tracing is off) and tallied locally for
+``/metrics``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from .. import obs
+
+__all__ = ["Job", "JobScheduler", "JOB_STATES"]
+
+#: The job lifecycle vocabulary.
+PENDING = "pending"
+RUNNING = "running"
+SUCCEEDED = "succeeded"
+FAILED = "failed"
+CANCELLED = "cancelled"
+EXPIRED = "expired"
+
+JOB_STATES = (PENDING, RUNNING, SUCCEEDED, FAILED, CANCELLED, EXPIRED)
+
+_TERMINAL = frozenset({SUCCEEDED, FAILED, CANCELLED, EXPIRED})
+
+
+@dataclass
+class Job:
+    """One unit of work and its full lifecycle record."""
+
+    id: str
+    fn: Callable[[], Any]
+    priority: int = 0
+    max_retries: int = 0
+    deadline_s: Optional[float] = None
+    label: str = ""
+    status: str = PENDING
+    attempts: int = 0
+    result: Any = None
+    error: Optional[str] = None
+    submitted_at: float = field(default_factory=time.monotonic)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+
+    @property
+    def done(self) -> bool:
+        return self.status in _TERMINAL
+
+    def record(self) -> Dict[str, Any]:
+        """A JSON-safe status document (what ``GET /jobs/<id>`` serves)."""
+        now = time.monotonic()
+        doc: Dict[str, Any] = {
+            "id": self.id,
+            "label": self.label,
+            "status": self.status,
+            "priority": self.priority,
+            "attempts": self.attempts,
+            "max_retries": self.max_retries,
+            "queued_s": round(
+                (self.started_at or now) - self.submitted_at, 6
+            ),
+        }
+        if self.started_at is not None:
+            doc["running_s"] = round(
+                (self.finished_at or now) - self.started_at, 6
+            )
+        if self.error is not None:
+            doc["error"] = self.error
+        if self.status == SUCCEEDED:
+            doc["result"] = self.result
+        return doc
+
+
+class JobScheduler:
+    """Priority-queue scheduler over a fixed daemon thread pool."""
+
+    def __init__(
+        self,
+        workers: int = 2,
+        backoff_s: float = 0.05,
+        max_backoff_s: float = 2.0,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.backoff_s = float(backoff_s)
+        self.max_backoff_s = float(max_backoff_s)
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._queue: List[Any] = []  # (-priority, seq, not_before, job)
+        self._seq = itertools.count()
+        self._jobs: Dict[str, Job] = {}
+        self._done = threading.Condition(self._lock)
+        self._shutdown = False
+        self.counts: Dict[str, int] = {
+            "submitted": 0,
+            "completed": 0,
+            "failed": 0,
+            "retried": 0,
+            "cancelled": 0,
+            "expired": 0,
+        }
+        self._threads = [
+            threading.Thread(
+                target=self._worker, name=f"repro-job-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        fn: Callable[[], Any],
+        priority: int = 0,
+        max_retries: int = 0,
+        deadline_s: Optional[float] = None,
+        label: str = "",
+        job_id: Optional[str] = None,
+    ) -> Job:
+        """Queue ``fn`` and return its :class:`Job` handle."""
+        job = Job(
+            id=job_id or uuid.uuid4().hex[:12],
+            fn=fn,
+            priority=int(priority),
+            max_retries=int(max_retries),
+            deadline_s=deadline_s,
+            label=label,
+        )
+        with self._lock:
+            if self._shutdown:
+                raise RuntimeError("scheduler is shut down")
+            if job.id in self._jobs:
+                raise ValueError(f"duplicate job id {job.id!r}")
+            self._jobs[job.id] = job
+            self._push_locked(job, not_before=0.0)
+            self.counts["submitted"] += 1
+            self._wakeup.notify()
+        obs.incr("service.jobs.submitted")
+        return job
+
+    def _push_locked(self, job: Job, not_before: float) -> None:
+        heapq.heappush(
+            self._queue, (-job.priority, next(self._seq), not_before, job)
+        )
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a still-pending job; running/finished jobs are left."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None or job.status != PENDING:
+                return False
+            job.status = CANCELLED
+            job.finished_at = time.monotonic()
+            self.counts["cancelled"] += 1
+            self._done.notify_all()
+        obs.incr("service.jobs.cancelled")
+        return True
+
+    def wait(self, job_id: str, timeout: Optional[float] = None) -> Job:
+        """Block until the job reaches a terminal state (or timeout)."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            job = self._jobs[job_id]
+            while not job.done:
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    break
+                self._done.wait(remaining)
+            return job
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Queue depth and lifetime tallies for ``/metrics``."""
+        with self._lock:
+            pending = sum(
+                1 for j in self._jobs.values() if j.status == PENDING
+            )
+            running = sum(
+                1 for j in self._jobs.values() if j.status == RUNNING
+            )
+            counts = dict(self.counts)
+        counts.update(pending=pending, running=running)
+        return counts
+
+    def shutdown(self) -> None:
+        """Stop the workers; pending jobs are left un-run."""
+        with self._lock:
+            self._shutdown = True
+            self._wakeup.notify_all()
+
+    # ------------------------------------------------------------------
+    def _worker(self) -> None:
+        while True:
+            with self._lock:
+                job = None
+                while job is None:
+                    if self._shutdown:
+                        return
+                    job, wait_s = self._next_runnable_locked()
+                    if job is None:
+                        self._wakeup.wait(wait_s)
+                job.status = RUNNING
+                job.started_at = time.monotonic()
+                job.attempts += 1
+            self._run_one(job)
+
+    def _next_runnable_locked(self):
+        """Pop the best runnable job, expiring stale ones on the way.
+
+        Returns ``(job, _)`` or ``(None, wait_seconds)`` when nothing is
+        runnable yet (backoff delay pending or queue empty).
+        """
+        now = time.monotonic()
+        wait_s: Optional[float] = None
+        deferred = []
+        job = None
+        while self._queue:
+            neg_priority, seq, not_before, candidate = heapq.heappop(
+                self._queue
+            )
+            if candidate.status != PENDING:
+                continue  # cancelled while queued
+            if (
+                candidate.deadline_s is not None
+                and now - candidate.submitted_at > candidate.deadline_s
+            ):
+                candidate.status = EXPIRED
+                candidate.error = (
+                    f"deadline of {candidate.deadline_s}s passed "
+                    "before the job started"
+                )
+                candidate.finished_at = now
+                self.counts["expired"] += 1
+                obs.incr("service.jobs.expired")
+                self._done.notify_all()
+                continue
+            if not_before > now:
+                deferred.append((neg_priority, seq, not_before, candidate))
+                wait_s = (
+                    not_before - now
+                    if wait_s is None
+                    else min(wait_s, not_before - now)
+                )
+                continue
+            job = candidate
+            break
+        for item in deferred:
+            heapq.heappush(self._queue, item)
+        return job, wait_s
+
+    def _run_one(self, job: Job) -> None:
+        try:
+            result = job.fn()
+        except Exception as exc:
+            with self._lock:
+                if job.attempts <= job.max_retries:
+                    job.status = PENDING
+                    delay = min(
+                        self.backoff_s * (2 ** (job.attempts - 1)),
+                        self.max_backoff_s,
+                    )
+                    self.counts["retried"] += 1
+                    self._push_locked(
+                        job, not_before=time.monotonic() + delay
+                    )
+                    self._wakeup.notify()
+                    retried = True
+                else:
+                    job.status = FAILED
+                    job.error = f"{type(exc).__name__}: {exc}"
+                    job.finished_at = time.monotonic()
+                    self.counts["failed"] += 1
+                    retried = False
+                self._done.notify_all()
+            obs.incr(
+                "service.jobs.retried" if retried else "service.jobs.failed"
+            )
+        else:
+            with self._lock:
+                job.result = result
+                job.status = SUCCEEDED
+                job.finished_at = time.monotonic()
+                self.counts["completed"] += 1
+                self._done.notify_all()
+            obs.incr("service.jobs.completed")

@@ -110,3 +110,80 @@ class TestMultiwayCli:
         labels = {line.split()[1] for line in lines}
         assert labels <= {"0", "1", "2"}
         assert len(labels) == 3
+
+
+class TestFingerprintFlag:
+    def test_prints_canonical_hash_and_exits(self, capsys):
+        assert main(
+            ["--generate", "Test02", "--scale", "0.12", "--fingerprint"]
+        ) == 0
+        out = capsys.readouterr().out.strip()
+        assert len(out) == 64
+        int(out, 16)  # a hex digest, nothing else
+
+    def test_same_netlist_same_fingerprint(self, capsys):
+        argv = ["--generate", "bm1", "--scale", "0.12", "--fingerprint"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_json_includes_both_hashes(self, capsys):
+        assert main(
+            [
+                "--generate", "Test02", "--scale", "0.12",
+                "--fingerprint", "--json",
+            ]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"canonical", "exact"}
+        assert payload["canonical"] != payload["exact"]
+
+    def test_fingerprint_skips_partitioning(self, capsys):
+        # No partition summary follows the hash.
+        assert main(
+            ["--generate", "Test02", "--scale", "0.12", "--fingerprint"]
+        ) == 0
+        assert "IG-Match" not in capsys.readouterr().out
+
+
+class TestCacheFlag:
+    def test_miss_then_disk_hit_across_invocations(
+        self, tmp_path, capsys
+    ):
+        argv = [
+            "--generate", "Test02", "--scale", "0.12",
+            "-a", "fm", "--cache", "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr()
+        assert "cache miss" in cold.err
+        # A fresh main() is a fresh engine: only the disk tier persists.
+        assert main(argv) == 0
+        warm = capsys.readouterr()
+        assert "cache hit (disk)" in warm.err
+
+    def test_cached_answer_matches_direct_run(self, tmp_path, capsys):
+        base = ["--generate", "bm1", "--scale", "0.12", "-a", "fm", "--json"]
+        assert main(base) == 0
+        direct = json.loads(capsys.readouterr().out)
+        for _ in range(2):  # cold, then cached
+            assert main(
+                base + ["--cache", "--cache-dir", str(tmp_path)]
+            ) == 0
+            served = json.loads(capsys.readouterr().out)
+            assert served["nets_cut"] == direct["nets_cut"]
+            assert served["areas"] == direct["areas"]
+            assert served["ratio_cut"] == direct["ratio_cut"]
+
+    def test_no_cache_is_accepted(self, capsys):
+        assert main(
+            ["--generate", "Test02", "--scale", "0.12", "--no-cache"]
+        ) == 0
+
+    def test_cache_and_no_cache_conflict(self, capsys):
+        with pytest.raises(SystemExit):
+            main(
+                ["--generate", "Test02", "--scale", "0.12",
+                 "--cache", "--no-cache"]
+            )

@@ -307,6 +307,33 @@ class TestBenchCompareCli:
         )
         assert "cannot read baseline" in capsys.readouterr().err
 
+    def test_unparsable_baseline_exits_usage(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json", encoding="utf-8")
+        assert self.run_compare(bad, tmp_path) == 2
+        err = capsys.readouterr().err
+        assert "cannot read baseline" in err
+        assert "Traceback" not in err
+
+    def test_non_object_baseline_exits_usage(self, tmp_path, capsys):
+        bad = tmp_path / "list.json"
+        bad.write_text("[1, 2, 3]", encoding="utf-8")
+        assert self.run_compare(bad, tmp_path) == 2
+        err = capsys.readouterr().err
+        assert "not a benchmark payload" in err
+
+    def test_unknown_schema_baseline_exits_usage(
+        self, baseline_path, tmp_path, capsys
+    ):
+        doctored = tmp_path / "future.json"
+        payload = json.loads(baseline_path.read_text())
+        payload["schema"] = 99
+        doctored.write_text(json.dumps(payload))
+        assert self.run_compare(doctored, tmp_path) == 2
+        err = capsys.readouterr().err
+        assert "unknown schema version 99" in err
+        assert "Traceback" not in err
+
     def test_report_written_alongside_compare(
         self, baseline_path, tmp_path
     ):
@@ -344,3 +371,37 @@ class TestBenchCliValidation:
         assert main(
             ["BM1", "--scale", "0.1", "--out", str(tmp_path / "o.json")]
         ) == 0
+
+
+class TestBenchCacheScenarioCli:
+    """``python -m repro.bench --cache-scenario``: cold vs warm serve."""
+
+    def test_scenario_passes_all_checks(self, tmp_path, capsys):
+        from repro.bench.__main__ import main
+
+        out = tmp_path / "cache.json"
+        code = main(
+            ["bm1", "--cache-scenario", "--scale", "0.2",
+             "--out", str(out)]
+        )
+        captured = capsys.readouterr()
+        assert code == 0, captured.err
+        assert "FAIL" not in captured.out
+        assert captured.out.count("PASS") == 5
+        record = json.loads(out.read_text())
+        assert record["ok"] is True
+        assert record["warm"]["cached"] is True
+        assert record["verified"]["warm_skipped_compute"] is True
+        assert record["verified"]["results_identical"] is True
+
+    def test_scenario_rejects_multiple_circuits(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["bm1", "Test02", "--cache-scenario"]) == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_scenario_unknown_circuit(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["NoSuch", "--cache-scenario"]) == 2
+        assert "unknown circuit" in capsys.readouterr().err

@@ -1,0 +1,226 @@
+"""Cache robustness: LRU byte budgets, disk atomicity, quarantine."""
+
+import json
+import os
+import threading
+
+from repro.service import DiskCache, MemoryCache, ResultCache
+from repro.service.cache import CACHE_ENTRY_SCHEMA, default_cache_dir
+
+
+def payload_of_size(size: int) -> dict:
+    """A payload whose canonical JSON is roughly ``size`` bytes."""
+    return {"pad": "x" * size}
+
+
+KEY = "a" * 64
+KEY2 = "b" * 64
+KEY3 = "c" * 64
+KEY4 = "d" * 64
+
+
+class TestMemoryCacheLRU:
+    def test_roundtrip(self):
+        cache = MemoryCache(1024)
+        cache.put(KEY, {"v": 1})
+        assert cache.get(KEY) == {"v": 1}
+        assert cache.get(KEY2) is None
+
+    def test_byte_budget_evicts_least_recently_used_first(self):
+        cache = MemoryCache(3 * 120)
+        for key in (KEY, KEY2, KEY3):
+            assert cache.put(key, payload_of_size(100))
+        assert cache.keys() == [KEY, KEY2, KEY3]
+        # A fourth entry must push out exactly the oldest (KEY).
+        cache.put(KEY4, payload_of_size(100))
+        assert cache.get(KEY) is None
+        assert cache.get(KEY2) is not None
+        assert len(cache) == 3
+
+    def test_get_refreshes_recency(self):
+        cache = MemoryCache(3 * 120)
+        for key in (KEY, KEY2, KEY3):
+            cache.put(key, payload_of_size(100))
+        cache.get(KEY)  # now KEY2 is least recently used
+        cache.put(KEY4, payload_of_size(100))
+        assert cache.get(KEY) is not None
+        assert cache.get(KEY2) is None
+
+    def test_put_refreshes_recency_and_replaces(self):
+        cache = MemoryCache(3 * 120)
+        for key in (KEY, KEY2, KEY3):
+            cache.put(key, payload_of_size(100))
+        cache.put(KEY, payload_of_size(100))  # refresh + same size
+        cache.put(KEY4, payload_of_size(100))
+        assert cache.get(KEY2) is None
+        assert cache.get(KEY) is not None
+
+    def test_eviction_cascades_for_large_entry(self):
+        cache = MemoryCache(400)
+        cache.put(KEY, payload_of_size(100))
+        cache.put(KEY2, payload_of_size(100))
+        cache.put(KEY3, payload_of_size(300))
+        assert cache.get(KEY) is None
+        assert cache.get(KEY2) is None
+        assert cache.get(KEY3) is not None
+
+    def test_oversized_entry_refused(self):
+        cache = MemoryCache(50)
+        assert not cache.put(KEY, payload_of_size(200))
+        assert len(cache) == 0
+
+    def test_zero_budget_disables_storage(self):
+        cache = MemoryCache(0)
+        assert not cache.put(KEY, {"v": 1})
+        assert cache.get(KEY) is None
+
+    def test_used_bytes_accounting(self):
+        cache = MemoryCache(10_000)
+        cache.put(KEY, payload_of_size(100))
+        used = cache.used_bytes
+        assert used > 100
+        cache.put(KEY, payload_of_size(50))  # replace: no double count
+        assert cache.used_bytes < used
+        cache.clear()
+        assert cache.used_bytes == 0
+
+
+class TestDiskCache:
+    def test_roundtrip(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        assert cache.get(KEY) is None
+        assert cache.put(KEY, {"v": [1, 2]})
+        assert cache.get(KEY) == {"v": [1, 2]}
+        assert KEY in cache
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        for i in range(5):
+            cache.put(KEY, {"v": i})
+        leftovers = [
+            p for p in tmp_path.rglob("*") if p.name.startswith(".tmp-")
+        ]
+        assert leftovers == []
+
+    def test_corrupt_json_quarantined_not_crash(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.put(KEY, {"v": 1})
+        path = cache._path(KEY)
+        path.write_text("{not json", encoding="utf-8")
+        assert cache.get(KEY) is None
+        assert cache.quarantined == 1
+        assert not path.exists()
+        quarantined = list((tmp_path / "quarantine").iterdir())
+        assert len(quarantined) == 1
+        assert quarantined[0].name.endswith(".unparsable")
+
+    def test_unknown_schema_quarantined(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.put(KEY, {"v": 1})
+        path = cache._path(KEY)
+        doc = json.loads(path.read_text())
+        doc["schema"] = CACHE_ENTRY_SCHEMA + 99
+        path.write_text(json.dumps(doc), encoding="utf-8")
+        assert cache.get(KEY) is None
+        assert any(
+            p.name.endswith(".schema")
+            for p in (tmp_path / "quarantine").iterdir()
+        )
+
+    def test_key_mismatch_quarantined(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.put(KEY, {"v": 1})
+        # Simulate a mis-filed entry: content says a different key.
+        src = cache._path(KEY)
+        dst = cache._path(KEY2)
+        dst.parent.mkdir(parents=True, exist_ok=True)
+        os.replace(src, dst)
+        assert cache.get(KEY2) is None
+        assert cache.quarantined == 1
+
+    def test_non_object_payload_quarantined(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        path = cache._path(KEY)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(
+                {"schema": CACHE_ENTRY_SCHEMA, "key": KEY, "payload": [1]}
+            ),
+            encoding="utf-8",
+        )
+        assert cache.get(KEY) is None
+        assert cache.quarantined == 1
+
+    def test_quarantine_survives_repeated_reads(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.put(KEY, {"v": 1})
+        cache._path(KEY).write_text("garbage", encoding="utf-8")
+        assert cache.get(KEY) is None
+        # Second read is a plain miss — the bad file is gone, not re-read.
+        assert cache.get(KEY) is None
+        assert cache.quarantined == 1
+
+
+class TestDefaultCacheDir:
+    def test_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))
+        assert default_cache_dir() == tmp_path / "custom"
+
+    def test_default_under_home(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert default_cache_dir().name == "repro"
+
+
+class TestResultCache:
+    def test_two_tier_promotion(self, tmp_path):
+        cache = ResultCache(disk_dir=tmp_path)
+        cache.put(KEY, {"v": 1})
+        cache.memory.clear()
+        payload, tier = cache.lookup(KEY)
+        assert payload == {"v": 1} and tier == "disk"
+        # Promoted: the next lookup is a memory hit.
+        assert cache.lookup(KEY)[1] == "memory"
+        stats = cache.snapshot()
+        assert stats["disk_hits"] == 1
+        assert stats["memory_hits"] == 1
+
+    def test_miss_recorded(self, tmp_path):
+        cache = ResultCache(disk_dir=tmp_path)
+        assert cache.get(KEY) is None
+        assert cache.snapshot()["misses"] == 1
+
+    def test_memory_only_mode(self):
+        cache = ResultCache(use_disk=False)
+        cache.put(KEY, {"v": 1})
+        assert cache.lookup(KEY) == ({"v": 1}, "memory")
+        assert cache.snapshot()["disk_enabled"] is False
+
+    def test_quarantined_disk_entry_is_miss(self, tmp_path):
+        cache = ResultCache(disk_dir=tmp_path)
+        cache.put(KEY, {"v": 1})
+        cache.memory.clear()
+        cache.disk._path(KEY).write_text("junk", encoding="utf-8")
+        assert cache.get(KEY) is None
+        assert cache.snapshot()["disk_quarantined"] == 1
+
+    def test_thread_safety_smoke(self, tmp_path):
+        cache = ResultCache(memory_budget=50_000, disk_dir=tmp_path)
+        errors = []
+
+        def hammer(i):
+            try:
+                for j in range(30):
+                    key = f"{(i + j) % 8:064d}"
+                    cache.put(key, {"v": [i, j]})
+                    cache.get(key)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(i,)) for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []

@@ -1,0 +1,213 @@
+"""Fingerprint properties: exactness, invariance, and cache keying."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hypergraph import Hypergraph
+from repro.service import (
+    PartitionRequest,
+    canonical_fingerprint,
+    exact_fingerprint,
+    request_fingerprint,
+)
+from tests.conftest import random_hypergraph
+from tests.strategies import partitionable_hypergraphs
+
+
+def relabeled(h: Hypergraph, seed: int) -> Hypergraph:
+    """A random module/net relabeling of ``h`` (same netlist)."""
+    rng = random.Random(seed)
+    perm = list(range(h.num_modules))
+    rng.shuffle(perm)
+    nets = [
+        [perm[v] for v in h.pins(e)] for e in range(h.num_nets)
+    ]
+    order = list(range(h.num_nets))
+    rng.shuffle(order)
+    inverse = [0] * h.num_modules
+    for old, new in enumerate(perm):
+        inverse[new] = old
+    return Hypergraph(
+        [nets[e] for e in order],
+        num_modules=h.num_modules,
+        module_areas=[h.module_area(inverse[v]) for v in range(h.num_modules)],
+        net_weights=(
+            [h.net_weight(e) for e in order] if h.has_net_weights else None
+        ),
+    )
+
+
+class TestExactFingerprint:
+    def test_deterministic(self):
+        h = random_hypergraph(3)
+        assert exact_fingerprint(h) == exact_fingerprint(h)
+        assert len(exact_fingerprint(h)) == 64
+
+    def test_same_structure_same_hash(self):
+        nets = [[0, 1], [1, 2, 3], [0, 3]]
+        assert exact_fingerprint(Hypergraph(nets)) == exact_fingerprint(
+            Hypergraph([list(n) for n in nets])
+        )
+
+    def test_structure_changes_hash(self):
+        h1 = Hypergraph([[0, 1], [1, 2]])
+        h2 = Hypergraph([[0, 1], [0, 2]])
+        assert exact_fingerprint(h1) != exact_fingerprint(h2)
+
+    def test_net_order_changes_hash(self):
+        h1 = Hypergraph([[0, 1], [1, 2]])
+        h2 = Hypergraph([[1, 2], [0, 1]])
+        assert exact_fingerprint(h1) != exact_fingerprint(h2)
+
+    def test_isolated_module_count_changes_hash(self):
+        nets = [[0, 1], [1, 2]]
+        assert exact_fingerprint(
+            Hypergraph(nets, num_modules=3)
+        ) != exact_fingerprint(Hypergraph(nets, num_modules=5))
+
+    def test_areas_and_weights_change_hash(self):
+        nets = [[0, 1], [1, 2]]
+        plain = exact_fingerprint(Hypergraph(nets))
+        assert (
+            exact_fingerprint(Hypergraph(nets, module_areas=[2, 1, 1]))
+            != plain
+        )
+        assert (
+            exact_fingerprint(Hypergraph(nets, net_weights=[2.0, 1.0]))
+            != plain
+        )
+
+    def test_names_do_not_change_hash(self):
+        nets = [[0, 1], [1, 2]]
+        named = Hypergraph(
+            nets,
+            module_names=["a", "b", "c"],
+            net_names=["x", "y"],
+            name="circuit",
+        )
+        assert exact_fingerprint(named) == exact_fingerprint(
+            Hypergraph(nets)
+        )
+
+    def test_unit_weights_equal_no_weights(self):
+        nets = [[0, 1], [1, 2]]
+        assert exact_fingerprint(
+            Hypergraph(nets, net_weights=[1.0, 1.0])
+        ) == exact_fingerprint(Hypergraph(nets))
+
+
+class TestCanonicalFingerprint:
+    def test_differs_from_exact_domain(self):
+        h = random_hypergraph(5)
+        assert canonical_fingerprint(h) != exact_fingerprint(h)
+
+    @settings(max_examples=40)
+    @given(partitionable_hypergraphs(), st.integers(0, 2**16))
+    def test_invariant_under_relabeling(self, h, seed):
+        assert canonical_fingerprint(
+            relabeled(h, seed)
+        ) == canonical_fingerprint(h)
+
+    def test_invariant_on_benchmark_circuit(self):
+        h = random_hypergraph(7, num_modules=30, num_nets=40)
+        for seed in range(5):
+            assert canonical_fingerprint(
+                relabeled(h, seed)
+            ) == canonical_fingerprint(h)
+
+    def test_distinguishes_different_structures(self):
+        path = Hypergraph([[0, 1], [1, 2], [2, 3]])
+        star = Hypergraph([[0, 1], [0, 2], [0, 3]])
+        assert canonical_fingerprint(path) != canonical_fingerprint(star)
+
+    def test_weights_still_matter(self):
+        nets = [[0, 1], [1, 2]]
+        assert canonical_fingerprint(
+            Hypergraph(nets, net_weights=[2.0, 1.0])
+        ) != canonical_fingerprint(Hypergraph(nets))
+
+    def test_names_do_not_matter(self):
+        nets = [[0, 1], [1, 2]]
+        assert canonical_fingerprint(
+            Hypergraph(nets, module_names=["a", "b", "c"])
+        ) == canonical_fingerprint(Hypergraph(nets))
+
+    def test_empty_hypergraph(self):
+        assert canonical_fingerprint(Hypergraph([])) == canonical_fingerprint(
+            Hypergraph([])
+        )
+
+
+class TestRequestFingerprint:
+    def setup_method(self):
+        self.h = random_hypergraph(1)
+
+    def test_algorithm_and_seed_key(self):
+        base = request_fingerprint(self.h, PartitionRequest("fm", seed=0))
+        assert request_fingerprint(
+            self.h, PartitionRequest("fm", seed=1)
+        ) != base
+        assert request_fingerprint(
+            self.h, PartitionRequest("kl", seed=0)
+        ) != base
+
+    def test_irrelevant_knob_shares_cache_line(self):
+        # ``restarts`` only matters to rcut: fm requests with different
+        # restart counts are the same cache entry.
+        assert request_fingerprint(
+            self.h, PartitionRequest("fm", restarts=10)
+        ) == request_fingerprint(
+            self.h, PartitionRequest("fm", restarts=50)
+        )
+
+    def test_relevant_knob_splits_cache_line(self):
+        assert request_fingerprint(
+            self.h, PartitionRequest("rcut", restarts=10)
+        ) != request_fingerprint(
+            self.h, PartitionRequest("rcut", restarts=50)
+        )
+        assert request_fingerprint(
+            self.h, PartitionRequest("fm", starts=1)
+        ) != request_fingerprint(
+            self.h, PartitionRequest("fm", starts=4)
+        )
+        assert request_fingerprint(
+            self.h, PartitionRequest("ig-match", split_stride=1)
+        ) != request_fingerprint(
+            self.h, PartitionRequest("ig-match", split_stride=2)
+        )
+
+    def test_hypergraph_keys(self):
+        req = PartitionRequest("ig-match")
+        assert request_fingerprint(
+            random_hypergraph(1), req
+        ) != request_fingerprint(random_hypergraph(2), req)
+
+
+class TestRequestValidation:
+    def test_unknown_algorithm_rejected(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="unknown algorithm"):
+            PartitionRequest("simulated-annealing")
+
+    def test_non_integer_seed_rejected(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="seed"):
+            PartitionRequest("fm", seed="zero")
+
+    def test_bounds(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            PartitionRequest("rcut", restarts=0)
+
+    def test_from_mapping_rejects_unknown_keys(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="unknown request field"):
+            PartitionRequest.from_mapping({"algorithm": "fm", "sneed": 1})

@@ -1,0 +1,225 @@
+"""HTTP API tests: a real server on an ephemeral port, stdlib client."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.hypergraph import to_json
+from repro.service import (
+    PartitionEngine,
+    PartitionRequest,
+    ResultCache,
+    canonical_result_bytes,
+    create_server,
+    payload_to_result,
+    run_partitioner,
+)
+from tests.conftest import random_hypergraph
+
+
+@pytest.fixture
+def server():
+    srv = create_server(
+        engine=PartitionEngine(cache=ResultCache(use_disk=False))
+    )
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    yield srv
+    srv.shutdown()
+    srv.server_close()
+    thread.join(5)
+
+
+def call(srv, path, body=None, method=None):
+    """One HTTP exchange; returns (status, parsed JSON body)."""
+    host, port = srv.server_address[:2]
+    url = f"http://{host}:{port}{path}"
+    data = (
+        json.dumps(body).encode("utf-8") if body is not None else None
+    )
+    request = urllib.request.Request(url, data=data, method=method)
+    if data is not None:
+        request.add_header("Content-Type", "application/json")
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+@pytest.fixture
+def h():
+    return random_hypergraph(3, num_modules=12, num_nets=16)
+
+
+class TestHealthAndMetrics:
+    def test_healthz(self, server):
+        status, doc = call(server, "/healthz")
+        assert status == 200
+        assert doc["status"] == "ok"
+        assert doc["cache"] is True
+        assert doc["workers"] >= 1
+        assert doc["uptime_s"] >= 0
+
+    def test_metrics_one_miss_then_one_hit(self, server, h):
+        body = {"netlist": to_json(h), "algorithm": "fm", "seed": 0}
+        call(server, "/partition", body)
+        call(server, "/partition", body)
+        status, doc = call(server, "/metrics")
+        assert status == 200
+        assert doc["service"]["service.cache.miss"] == 1
+        assert doc["service"]["service.cache.hit"] == 1
+        assert doc["service"]["service.computed"] == 1
+        assert doc["cache"]["stores"] == 1
+
+    def test_unknown_path_404(self, server):
+        status, doc = call(server, "/nope")
+        assert status == 404
+        assert "unknown path" in doc["error"]
+
+    def test_post_to_unknown_path_404(self, server):
+        status, doc = call(server, "/healthz", {"x": 1})
+        assert status == 404
+
+
+class TestPartitionEndpoint:
+    def test_served_matches_direct_run(self, server, h):
+        request = PartitionRequest("ig-match", seed=7)
+        direct = canonical_result_bytes(run_partitioner(h, request))
+        body = {"netlist": to_json(h), "algorithm": "ig-match", "seed": 7}
+        status, cold = call(server, "/partition", body)
+        assert status == 200
+        assert cold["cached"] is False and cold["source"] == "computed"
+        status, warm = call(server, "/partition", body)
+        assert status == 200
+        assert warm["cached"] is True and warm["source"] == "memory"
+        for doc in (cold, warm):
+            result = payload_to_result(h, doc["result"])
+            assert canonical_result_bytes(result) == direct
+        assert cold["fingerprint"] == warm["fingerprint"]
+
+    def test_net_text_body(self, server):
+        net = "NET n1 a b\nNET n2 b c\nNET n3 c d\nNET n4 d a\n"
+        status, doc = call(
+            server, "/partition", {"net": net, "algorithm": "fm"}
+        )
+        assert status == 200
+        assert len(doc["result"]["sides"]) == 4
+
+    def test_cache_false_forces_compute(self, server, h):
+        body = {"netlist": to_json(h), "algorithm": "fm", "cache": False}
+        _, first = call(server, "/partition", body)
+        _, second = call(server, "/partition", body)
+        assert first["cached"] is False
+        assert second["cached"] is False
+
+    def test_both_body_forms_rejected(self, server, h):
+        status, doc = call(
+            server, "/partition", {"netlist": to_json(h), "net": "NET a b"}
+        )
+        assert status == 400
+        assert "exactly one" in doc["error"]
+
+    def test_neither_body_form_rejected(self, server):
+        status, doc = call(server, "/partition", {"algorithm": "fm"})
+        assert status == 400
+        assert "exactly one" in doc["error"]
+
+    def test_invalid_json_rejected(self, server):
+        host, port = server.server_address[:2]
+        request = urllib.request.Request(
+            f"http://{host}:{port}/partition", data=b"{not json"
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=10) as response:
+                status = response.status
+                doc = json.loads(response.read())
+        except urllib.error.HTTPError as exc:
+            status, doc = exc.code, json.loads(exc.read())
+        assert status == 400
+        assert "invalid JSON" in doc["error"]
+
+    def test_empty_body_rejected(self, server):
+        host, port = server.server_address[:2]
+        request = urllib.request.Request(
+            f"http://{host}:{port}/partition", data=b"", method="POST"
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=10) as response:
+                status = response.status
+                doc = json.loads(response.read())
+        except urllib.error.HTTPError as exc:
+            status, doc = exc.code, json.loads(exc.read())
+        assert status == 400
+        assert "empty" in doc["error"]
+
+    def test_unknown_algorithm_rejected(self, server, h):
+        status, doc = call(
+            server,
+            "/partition",
+            {"netlist": to_json(h), "algorithm": "quantum"},
+        )
+        assert status == 400
+        assert "unknown algorithm" in doc["error"]
+
+    def test_unknown_request_field_rejected(self, server, h):
+        status, doc = call(
+            server,
+            "/partition",
+            {"netlist": to_json(h), "algorithm": "fm", "retries": 3},
+        )
+        # "retries" is not a request field (it's an async-job knob
+        # spelled "max_retries") — must be called out, not ignored.
+        assert status == 400
+        assert "retries" in doc["error"]
+
+    def test_degenerate_netlist_is_400_not_500(self, server):
+        status, doc = call(
+            server,
+            "/partition",
+            {"net": "NET only a b c\n", "algorithm": "ig-match"},
+        )
+        assert status == 400
+        assert "error" in doc
+
+
+class TestAsyncJobs:
+    def test_async_job_lifecycle(self, server, h):
+        body = {
+            "netlist": to_json(h),
+            "algorithm": "fm",
+            "async": True,
+        }
+        status, doc = call(server, "/partition", body)
+        assert status == 202
+        job_id = doc["job"]
+        engine = server.engine
+        engine.scheduler.wait(job_id, timeout=30)
+        status, record = call(server, f"/jobs/{job_id}")
+        assert status == 200
+        assert record["status"] == "succeeded"
+        assert record["result"]["result"]["nets_cut"] >= 0
+
+    def test_unknown_job_404(self, server):
+        status, doc = call(server, "/jobs/ghost")
+        assert status == 404
+        assert "unknown job" in doc["error"]
+
+    def test_delete_unknown_job_404(self, server):
+        status, doc = call(server, "/jobs/ghost", method="DELETE")
+        assert status == 404
+
+    def test_delete_finished_job_reports_not_cancelled(self, server, h):
+        _, doc = call(
+            server,
+            "/partition",
+            {"netlist": to_json(h), "algorithm": "fm", "async": True},
+        )
+        job_id = doc["job"]
+        server.engine.scheduler.wait(job_id, timeout=30)
+        status, outcome = call(server, f"/jobs/{job_id}", method="DELETE")
+        assert status == 200
+        assert outcome["cancelled"] is False

@@ -1,0 +1,183 @@
+"""Job scheduler semantics: priorities, retries, deadlines, cancel."""
+
+import threading
+import time
+
+import pytest
+
+from repro.service import JobScheduler
+from repro.service.jobs import (
+    CANCELLED,
+    EXPIRED,
+    FAILED,
+    PENDING,
+    SUCCEEDED,
+)
+
+
+@pytest.fixture
+def scheduler():
+    s = JobScheduler(workers=1, backoff_s=0.01)
+    yield s
+    s.shutdown()
+
+
+class TestBasics:
+    def test_submit_and_wait(self, scheduler):
+        job = scheduler.submit(lambda: 41 + 1)
+        done = scheduler.wait(job.id, timeout=5)
+        assert done.status == SUCCEEDED
+        assert done.result == 42
+        assert done.attempts == 1
+
+    def test_record_fields(self, scheduler):
+        job = scheduler.submit(lambda: "ok", label="fm")
+        scheduler.wait(job.id, timeout=5)
+        record = job.record()
+        assert record["status"] == SUCCEEDED
+        assert record["label"] == "fm"
+        assert record["result"] == "ok"
+        assert record["queued_s"] >= 0
+        assert record["running_s"] >= 0
+
+    def test_unknown_job(self, scheduler):
+        assert scheduler.get("nope") is None
+
+    def test_duplicate_id_rejected(self, scheduler):
+        scheduler.submit(lambda: 1, job_id="same")
+        with pytest.raises(ValueError, match="duplicate"):
+            scheduler.submit(lambda: 2, job_id="same")
+
+    def test_submit_after_shutdown_raises(self):
+        s = JobScheduler(workers=1)
+        s.shutdown()
+        with pytest.raises(RuntimeError):
+            s.submit(lambda: 1)
+
+
+def occupy_worker(scheduler):
+    """Block the (single) worker until the returned event is set."""
+    release = threading.Event()
+    started = threading.Event()
+
+    def blocker():
+        started.set()
+        release.wait(10)
+
+    scheduler.submit(blocker)
+    assert started.wait(5)
+    return release
+
+
+class TestPriorities:
+    def test_higher_priority_runs_first(self, scheduler):
+        release = occupy_worker(scheduler)
+        order = []
+        low = scheduler.submit(lambda: order.append("low"), priority=0)
+        high = scheduler.submit(lambda: order.append("high"), priority=5)
+        release.set()
+        scheduler.wait(low.id, timeout=5)
+        scheduler.wait(high.id, timeout=5)
+        assert order == ["high", "low"]
+
+    def test_fifo_within_priority(self, scheduler):
+        release = occupy_worker(scheduler)
+        order = []
+        first = scheduler.submit(lambda: order.append("a"), priority=1)
+        second = scheduler.submit(lambda: order.append("b"), priority=1)
+        release.set()
+        scheduler.wait(first.id, timeout=5)
+        scheduler.wait(second.id, timeout=5)
+        assert order == ["a", "b"]
+
+
+class TestRetries:
+    def test_bounded_retries_then_success(self, scheduler):
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise RuntimeError("transient")
+            return "recovered"
+
+        job = scheduler.submit(flaky, max_retries=5)
+        done = scheduler.wait(job.id, timeout=10)
+        assert done.status == SUCCEEDED
+        assert done.result == "recovered"
+        assert done.attempts == 3
+        assert scheduler.counts["retried"] == 2
+
+    def test_retry_budget_exhausted_fails(self, scheduler):
+        def always_broken():
+            raise ValueError("permanent damage")
+
+        job = scheduler.submit(always_broken, max_retries=2)
+        done = scheduler.wait(job.id, timeout=10)
+        assert done.status == FAILED
+        assert done.attempts == 3
+        assert "permanent damage" in done.error
+        assert scheduler.counts["failed"] == 1
+
+    def test_no_retries_by_default(self, scheduler):
+        job = scheduler.submit(lambda: 1 / 0)
+        done = scheduler.wait(job.id, timeout=5)
+        assert done.status == FAILED
+        assert done.attempts == 1
+        assert "ZeroDivisionError" in done.error
+
+
+class TestCancellation:
+    def test_cancel_pending(self, scheduler):
+        release = occupy_worker(scheduler)
+        job = scheduler.submit(lambda: "never")
+        assert scheduler.cancel(job.id)
+        release.set()
+        done = scheduler.wait(job.id, timeout=5)
+        assert done.status == CANCELLED
+        assert done.result is None
+
+    def test_cancel_finished_is_noop(self, scheduler):
+        job = scheduler.submit(lambda: 1)
+        scheduler.wait(job.id, timeout=5)
+        assert not scheduler.cancel(job.id)
+        assert job.status == SUCCEEDED
+
+    def test_cancel_unknown(self, scheduler):
+        assert not scheduler.cancel("nope")
+
+
+class TestDeadlines:
+    def test_expired_before_start(self, scheduler):
+        release = occupy_worker(scheduler)
+        job = scheduler.submit(lambda: "late", deadline_s=0.01)
+        time.sleep(0.05)
+        release.set()
+        done = scheduler.wait(job.id, timeout=5)
+        assert done.status == EXPIRED
+        assert "deadline" in done.error
+        assert scheduler.counts["expired"] == 1
+
+    def test_generous_deadline_runs(self, scheduler):
+        job = scheduler.submit(lambda: "fast", deadline_s=30)
+        done = scheduler.wait(job.id, timeout=5)
+        assert done.status == SUCCEEDED
+
+
+class TestSnapshot:
+    def test_counts(self, scheduler):
+        job = scheduler.submit(lambda: 1)
+        scheduler.wait(job.id, timeout=5)
+        snap = scheduler.snapshot()
+        assert snap["submitted"] >= 1
+        assert snap["completed"] >= 1
+        assert snap["pending"] == 0
+        assert snap["running"] == 0
+
+    def test_wait_timeout_returns_unfinished(self, scheduler):
+        release = occupy_worker(scheduler)
+        job = scheduler.submit(lambda: "slow")
+        got = scheduler.wait(job.id, timeout=0.05)
+        assert got.status == PENDING
+        release.set()
+        assert scheduler.wait(job.id, timeout=5).status == SUCCEEDED
