@@ -69,6 +69,7 @@ def _observed_serve(engine, h, request) -> Dict[str, Any]:
         "cached": served.cached,
         "source": served.source,
         "fingerprint": served.fingerprint,
+        "trace_id": served.trace_id,
         "seconds": served.result.elapsed_seconds,
         "nets_cut": served.result.nets_cut,
         "ratio_cut": served.result.ratio_cut,
@@ -110,6 +111,18 @@ def run_cache_scenario(
     warm = _observed_serve(engine, h, request)
     warm_wall = time.perf_counter() - start
 
+    latency = {}
+    for hist_name in (
+        "service.request.duration_seconds",
+        "service.cache.lookup.duration_seconds",
+        "service.compute.duration_seconds",
+    ):
+        merged = engine.hists.merged(hist_name)
+        if merged is not None and merged.count:
+            latency[hist_name] = dict(
+                merged.percentiles(), count=merged.count
+            )
+
     cold_payload = dict(cold.pop("payload"))
     warm_payload = dict(warm.pop("payload"))
     cold_payload.pop("elapsed_seconds", None)
@@ -139,6 +152,7 @@ def run_cache_scenario(
         "warm": warm,
         "cold_wall_s": round(cold_wall, 6),
         "warm_wall_s": round(warm_wall, 6),
+        "latency": latency,
         "speedup": round(cold_wall / warm_wall, 1) if warm_wall > 0 else None,
         "verified": verified,
         "ok": all(verified.values()),

@@ -400,7 +400,7 @@ def _execute(args, parser: argparse.ArgumentParser) -> int:
             )
             print(
                 f"cache {'hit (' + served.source + ')' if served.cached else 'miss'} "
-                f"{served.fingerprint[:12]}",
+                f"{served.fingerprint[:12]} trace {served.trace_id}",
                 file=sys.stderr,
             )
             result = served.result

@@ -36,7 +36,7 @@ wall-clock durations (``dur_s`` fields); see
 ``docs/observability.md`` for the span-name catalogue.
 """
 
-from .counters import counters, gauge, incr, reset_counters
+from .counters import counters, gauge, gauges, incr, reset_counters
 from .diff import (
     BenchDiff,
     CircuitDiff,
@@ -45,6 +45,13 @@ from .diff import (
     diff_payloads,
 )
 from .events import JsonLinesSink, MemorySink, emit
+from .hist import (
+    DEFAULT_LATENCY_BUCKETS,
+    Histogram,
+    HistogramSet,
+    log_buckets,
+)
+from .prom import parse_prometheus_text, render_prometheus
 from .registry import (
     STATE,
     current_state,
@@ -59,25 +66,32 @@ from .render import (
     load_jsonl,
     render_html,
     render_markdown,
+    render_slow_html,
     render_trace_html,
     span_tree_from_events,
 )
 from .report import flatten_totals, phase_report
 from .span import Span, SpanNode, add_timing, span
+from .trace import TraceCapture, current_trace_id, new_trace_id
 
 __all__ = [
     "BenchDiff",
     "CircuitDiff",
+    "DEFAULT_LATENCY_BUCKETS",
     "DiffThresholds",
     "FieldDiff",
+    "Histogram",
+    "HistogramSet",
     "JsonLinesSink",
     "MemorySink",
     "STATE",
     "Span",
     "SpanNode",
+    "TraceCapture",
     "add_timing",
     "counters",
     "current_state",
+    "current_trace_id",
     "diff_payloads",
     "disable",
     "emit",
@@ -85,13 +99,19 @@ __all__ = [
     "enabled",
     "flatten_totals",
     "gauge",
+    "gauges",
     "incr",
     "is_enabled",
     "isolated",
     "load_jsonl",
+    "log_buckets",
+    "new_trace_id",
+    "parse_prometheus_text",
     "phase_report",
     "render_html",
     "render_markdown",
+    "render_prometheus",
+    "render_slow_html",
     "render_trace_html",
     "reset",
     "reset_counters",

@@ -19,7 +19,7 @@ from typing import Dict
 
 from .registry import STATE
 
-__all__ = ["counters", "gauge", "incr", "reset_counters"]
+__all__ = ["counters", "gauge", "gauges", "incr", "reset_counters"]
 
 
 def incr(name: str, value: float = 1) -> None:
@@ -34,6 +34,7 @@ def gauge(name: str, value: float) -> None:
     if not STATE.enabled:
         return
     STATE.counters[name] = value
+    STATE.gauge_names.add(name)
 
 
 def counters(prefix: str = "") -> Dict[str, float]:
@@ -49,6 +50,23 @@ def counters(prefix: str = "") -> Dict[str, float]:
     }
 
 
+def gauges(prefix: str = "") -> Dict[str, float]:
+    """A snapshot of the *gauge* subset of the namespace, sorted.
+
+    Counters and gauges share one dict; this returns only the names
+    recorded via :func:`gauge` (last-write observations), filtered by
+    ``prefix`` exactly like :func:`counters`.  A name written by both
+    helpers counts as a gauge — last write wins there too.
+    """
+    gauge_names = STATE.gauge_names
+    return {
+        k: STATE.counters[k]
+        for k in sorted(STATE.counters)
+        if k in gauge_names and k.startswith(prefix)
+    }
+
+
 def reset_counters() -> None:
     """Zero all counters without touching spans or sinks."""
     STATE.counters.clear()
+    STATE.gauge_names.clear()

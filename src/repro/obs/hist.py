@@ -1,0 +1,284 @@
+"""Fixed-bucket log-scale latency histograms with mergeable state.
+
+A :class:`Histogram` counts observations into a fixed set of log-spaced
+upper bucket boundaries (Prometheus ``le`` semantics: bucket *i* holds
+values ``<= boundaries[i]``, with one implicit ``+Inf`` overflow
+bucket).  Because the boundaries are fixed at construction and shared
+by default, histogram state is **mergeable**: merging is element-wise
+addition of bucket counts, so it is associative and commutative —
+fragments recorded by different threads, processes, or time windows
+fold into one distribution without loss.
+
+Quantiles (:meth:`Histogram.quantile`, p50/p95/p99 via
+:meth:`Histogram.percentiles`) are estimated by linear interpolation
+inside the bucket containing the target rank — the same estimator
+Prometheus' ``histogram_quantile`` uses — then clamped to the observed
+``[min, max]`` so a single-sample histogram reports that sample
+exactly.  The worst-case error is one bucket width, which the default
+log-scale boundaries keep below ~78% relative anywhere in range.
+
+:class:`HistogramSet` is the thread-safe, label-aware registry the
+serving layer keeps **always on** (like the engine's ``/metrics``
+tallies, independent of whether :mod:`repro.obs` tracing is enabled):
+``set.observe("service.request.duration_seconds", dt, algorithm="fm")``
+costs one lock acquisition and one bisect.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "Histogram",
+    "HistogramSet",
+    "log_buckets",
+]
+
+
+def log_buckets(
+    lo: float = 1e-4, hi: float = 100.0, per_decade: int = 4
+) -> Tuple[float, ...]:
+    """Log-spaced upper boundaries from ``lo`` to ``hi`` inclusive.
+
+    ``per_decade`` boundaries per factor of ten, rounded to 4
+    significant digits so the values are byte-stable across platforms
+    and readable in ``/metrics`` output.
+    """
+    if lo <= 0 or hi <= lo:
+        raise ValueError(f"need 0 < lo < hi, got lo={lo!r} hi={hi!r}")
+    if per_decade < 1:
+        raise ValueError(f"per_decade must be >= 1, got {per_decade}")
+    boundaries: List[float] = []
+    k = 0
+    while True:
+        value = float(f"{lo * 10 ** (k / per_decade):.4g}")
+        if value > hi * (1 + 1e-9):
+            break
+        boundaries.append(value)
+        k += 1
+    return tuple(boundaries)
+
+
+#: The shared default: 100 µs to 100 s at four buckets per decade.
+#: Wide enough for a sub-millisecond cache hit and a minutes-scale
+#: exact-partitioner run in the same series.
+DEFAULT_LATENCY_BUCKETS = log_buckets(1e-4, 100.0, per_decade=4)
+
+
+class Histogram:
+    """Counts in fixed ``le`` buckets, plus count/sum/min/max.
+
+    Not synchronised — wrap access in a lock (or use
+    :class:`HistogramSet`) when sharing across threads.
+    """
+
+    __slots__ = ("boundaries", "bucket_counts", "count", "sum", "min", "max")
+
+    def __init__(self, boundaries: Optional[Iterable[float]] = None):
+        bounds = (
+            DEFAULT_LATENCY_BUCKETS
+            if boundaries is None
+            else tuple(float(b) for b in boundaries)
+        )
+        if not bounds:
+            raise ValueError("need at least one bucket boundary")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(
+                f"boundaries must be strictly increasing: {bounds}"
+            )
+        self.boundaries = bounds
+        #: Per-bucket (non-cumulative) tallies; the extra last slot is
+        #: the +Inf overflow bucket.
+        self.bucket_counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    # ------------------------------------------------------------------
+    def observe(self, value: float) -> None:
+        """Count one observation (``le`` semantics: ties go low)."""
+        value = float(value)
+        self.bucket_counts[bisect_left(self.boundaries, value)] += 1
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold ``other`` into self (associative; same boundaries only)."""
+        if other.boundaries != self.boundaries:
+            raise ValueError(
+                "cannot merge histograms with different boundaries"
+            )
+        for i, tally in enumerate(other.bucket_counts):
+            self.bucket_counts[i] += tally
+        self.count += other.count
+        self.sum += other.sum
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        return self
+
+    def copy(self) -> "Histogram":
+        dup = Histogram(self.boundaries)
+        dup.bucket_counts = list(self.bucket_counts)
+        dup.count = self.count
+        dup.sum = self.sum
+        dup.min = self.min
+        dup.max = self.max
+        return dup
+
+    # ------------------------------------------------------------------
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimate the ``q``-quantile (0..1); ``None`` when empty.
+
+        Linear interpolation inside the target bucket (lower edge 0 for
+        the first bucket), clamped to the observed ``[min, max]``.  The
+        overflow bucket reports the observed maximum — there is no
+        upper edge to interpolate toward.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return None
+        target = q * self.count
+        cumulative = 0
+        for i, tally in enumerate(self.bucket_counts):
+            if tally == 0:
+                continue
+            cumulative += tally
+            if cumulative >= target:
+                if i == len(self.boundaries):
+                    return self.max
+                hi = self.boundaries[i]
+                lo = self.boundaries[i - 1] if i > 0 else 0.0
+                fraction = (target - (cumulative - tally)) / tally
+                estimate = lo + (hi - lo) * fraction
+                return min(max(estimate, self.min), self.max)
+        return self.max  # pragma: no cover - loop always hits count
+
+    def percentiles(self) -> Dict[str, Optional[float]]:
+        """The standard latency trio: p50 / p95 / p99."""
+        return {
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+    # ------------------------------------------------------------------
+    def cumulative_buckets(self) -> List[Tuple[Any, int]]:
+        """``(le, cumulative_count)`` pairs, ending with ``("+Inf", n)``."""
+        out: List[Tuple[Any, int]] = []
+        cumulative = 0
+        for boundary, tally in zip(self.boundaries, self.bucket_counts):
+            cumulative += tally
+            out.append((boundary, cumulative))
+        out.append(("+Inf", self.count))
+        return out
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-safe state: totals, quantiles, cumulative buckets."""
+        doc: Dict[str, Any] = {
+            "count": self.count,
+            "sum": round(self.sum, 9),
+        }
+        if self.count:
+            doc["min"] = self.min
+            doc["max"] = self.max
+            doc.update(
+                (k, round(v, 9))
+                for k, v in self.percentiles().items()
+                if v is not None
+            )
+        doc["buckets"] = [
+            [le, cum] for le, cum in self.cumulative_buckets()
+        ]
+        return doc
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Histogram(count={self.count}, sum={self.sum:.6g}, "
+            f"buckets={len(self.bucket_counts)})"
+        )
+
+
+LabelItems = Tuple[Tuple[str, str], ...]
+
+
+class HistogramSet:
+    """Thread-safe collection of named, labelled histograms.
+
+    One series per ``(name, labels)`` pair, created on first
+    observation.  All series in a set share the same boundaries, so any
+    two sets (or any two label slices) can be merged.
+    """
+
+    def __init__(self, boundaries: Optional[Iterable[float]] = None):
+        self.boundaries = (
+            DEFAULT_LATENCY_BUCKETS
+            if boundaries is None
+            else tuple(float(b) for b in boundaries)
+        )
+        self._lock = threading.Lock()
+        self._series: Dict[Tuple[str, LabelItems], Histogram] = {}
+
+    @staticmethod
+    def _key(name: str, labels: Dict[str, Any]) -> Tuple[str, LabelItems]:
+        return name, tuple(
+            sorted((k, str(v)) for k, v in labels.items())
+        )
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        """Record ``value`` into the ``(name, labels)`` series."""
+        key = self._key(name, labels)
+        with self._lock:
+            hist = self._series.get(key)
+            if hist is None:
+                hist = self._series[key] = Histogram(self.boundaries)
+            hist.observe(value)
+
+    def get(self, name: str, **labels: Any) -> Optional[Histogram]:
+        """A copy of one series (or ``None``) — safe to read freely."""
+        with self._lock:
+            hist = self._series.get(self._key(name, labels))
+            return None if hist is None else hist.copy()
+
+    def merged(self, name: str) -> Optional[Histogram]:
+        """All label slices of ``name`` merged into one distribution."""
+        with self._lock:
+            parts = [
+                h.copy() for (n, _), h in self._series.items() if n == name
+            ]
+        if not parts:
+            return None
+        total = parts[0]
+        for part in parts[1:]:
+            total.merge(part)
+        return total
+
+    def snapshot(self) -> Dict[str, List[Dict[str, Any]]]:
+        """JSON-safe dump: name -> [{"labels": {...}, ...series}, ...].
+
+        Series are sorted by label items so the output is deterministic
+        regardless of observation order.
+        """
+        with self._lock:
+            items = [
+                (name, labels, hist.copy())
+                for (name, labels), hist in self._series.items()
+            ]
+        doc: Dict[str, List[Dict[str, Any]]] = {}
+        for name, labels, hist in sorted(items, key=lambda t: (t[0], t[1])):
+            entry = {"labels": dict(labels)}
+            entry.update(hist.snapshot())
+            doc.setdefault(name, []).append(entry)
+        return doc
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._series)

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import contextvars
 from contextlib import contextmanager
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterator, List, Optional, Set
 
 __all__ = [
     "ObsState",
@@ -41,7 +41,10 @@ __all__ = [
 class ObsState:
     """All mutable observability state: sinks, span tree, counters."""
 
-    __slots__ = ("enabled", "sinks", "roots", "stack", "counters", "seq")
+    __slots__ = (
+        "enabled", "sinks", "roots", "stack", "counters", "gauge_names",
+        "seq",
+    )
 
     def __init__(self) -> None:
         self.enabled = False
@@ -54,6 +57,10 @@ class ObsState:
         self.stack: List[Any] = []
         #: Monotonic counters and last-write gauges, by name.
         self.counters: Dict[str, float] = {}
+        #: Names in ``counters`` that were recorded via ``gauge()``
+        #: (last-write observations, not monotonic totals) — what lets
+        #: ``obs.gauges()`` slice them out of the shared namespace.
+        self.gauge_names: Set[str] = set()
         #: Monotonically increasing event sequence number.
         self.seq = 0
 
@@ -194,4 +201,5 @@ def reset() -> None:
     state.roots = []
     state.stack = []
     state.counters = {}
+    state.gauge_names = set()
     state.seq = 0

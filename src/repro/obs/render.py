@@ -29,6 +29,7 @@ from .diff import BenchDiff, FieldDiff, REGRESSED, SLOWER
 __all__ = [
     "load_jsonl",
     "render_html",
+    "render_slow_html",
     "render_trace_html",
     "render_markdown",
     "span_tree_from_events",
@@ -440,6 +441,71 @@ def render_trace_html(
     if not body:
         body = "<p>(no events)</p>"
     return _page(title, body)
+
+
+def _flame_from_nodes(nodes: Sequence[Dict[str, Any]]) -> str:
+    """Flame view straight from span-node dicts (``seconds`` keyed),
+    the shape :class:`repro.obs.trace.TraceCapture` stores."""
+
+    def convert(node: Dict[str, Any]) -> Dict[str, Any]:
+        return {
+            "name": node.get("name", "?"),
+            "dur_s": float(node.get("seconds", 0.0)),
+            "count": int(node.get("count", 1)),
+            "attrs": dict(node.get("attrs", {})),
+            "children": [
+                convert(child) for child in node.get("children", [])
+            ],
+        }
+
+    roots = [convert(node) for node in nodes]
+    if not roots:
+        return ""
+    total = sum(node["dur_s"] for node in roots) or 1.0
+    rows: List[str] = []
+    _flame_rows(roots, 0, total, rows)
+    return '<div class="flame">' + "".join(rows) + "</div>"
+
+
+def render_slow_html(
+    exemplars: Sequence[Dict[str, Any]],
+    title: str = "repro slow requests",
+) -> str:
+    """Render ``GET /debug/slow`` exemplars as a self-contained report.
+
+    Each exemplar (see :class:`repro.service.engine.SlowLog`) gets one
+    section: the request's provenance line (trace id, algorithm, cache
+    source, duration, capture time), the full phase-tree flame view of
+    what the request actually computed, any convergence curves its
+    point events carried, and its counter totals.  Newest first, same
+    inline-CSS/SVG contract as every other obs report.
+    """
+    sections: List[str] = []
+    for entry in exemplars:
+        meta = (
+            '<p class="meta">trace <strong>'
+            f"{html.escape(str(entry.get('trace_id', '?')))}</strong>"
+            f" · algorithm {html.escape(str(entry.get('algorithm', '?')))}"
+            f" · source {html.escape(str(entry.get('source', '?')))}"
+            f" · {float(entry.get('duration_s', 0.0)):.4f}s"
+            f" · {html.escape(str(entry.get('time', '?')))}</p>"
+        )
+        flame = _flame_from_nodes(entry.get("spans", []))
+        points = [
+            e
+            for e in entry.get("events", [])
+            if e.get("type") == "point"
+        ]
+        curves = _curves_html(points)
+        counters = _counters_html(entry.get("counters", {}))
+        sections.append(
+            "<section><h2>"
+            f"{html.escape(str(entry.get('trace_id', '?')))}"
+            f"</h2>{meta}{flame}{curves}{counters}</section>"
+        )
+    if not sections:
+        sections.append("<p>(no slow requests recorded)</p>")
+    return _page(title, "".join(sections))
 
 
 # ----------------------------------------------------------------------

@@ -29,31 +29,11 @@ is preserved.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 __all__ = ["capture_fragment", "merge_fragment"]
 
 Fragment = Dict[str, Any]
-
-
-def _node_to_dict(node: Any) -> Dict[str, Any]:
-    return {
-        "name": node.name,
-        "attrs": dict(node.attrs),
-        "seconds": node.seconds,
-        "count": node.count,
-        "children": [_node_to_dict(child) for child in node.children],
-    }
-
-
-def _node_from_dict(data: Dict[str, Any]) -> Any:
-    from ..obs.span import SpanNode
-
-    node = SpanNode(data["name"], data["attrs"])
-    node.seconds = data["seconds"]
-    node.count = data["count"]
-    node.children = [_node_from_dict(child) for child in data["children"]]
-    return node
 
 
 def capture_fragment(
@@ -62,13 +42,14 @@ def capture_fragment(
     """Run ``fn`` with a private, enabled obs state; return its result
     and the serialisable trace fragment it recorded."""
     from .. import obs
+    from ..obs.trace import span_node_to_dict
 
     sink = obs.MemorySink()
     with obs.isolated() as state:
         with obs.enabled(sink=sink):
             result = fn(*args, **kwargs)
             counters = obs.counters()
-            spans = [_node_to_dict(node) for node in state.roots]
+            spans = [span_node_to_dict(node) for node in state.roots]
     # The trailing {"type": "counters"} event emitted by disable() is
     # dropped: the parent's own shutdown emits the merged totals.
     events = [e for e in sink.events if e.get("type") != "counters"]
@@ -80,27 +61,10 @@ def merge_fragment(fragment: Optional[Fragment]) -> None:
 
     No-op when ``fragment`` is ``None`` or parent instrumentation is
     off.  Must be called in task submission order for deterministic
-    sequence numbering.
+    sequence numbering.  (Thin wrapper over
+    :func:`repro.obs.trace.merge_into_current`, the one shared
+    implementation of fragment folding.)
     """
-    if fragment is None:
-        return
-    from .. import obs
-    from ..obs.events import emit_raw
+    from ..obs.trace import merge_into_current
 
-    state = obs.current_state()
-    if not state.enabled:
-        return
-    for name, value in fragment["counters"].items():
-        state.counters[name] = state.counters.get(name, 0) + value
-    parent = state.stack[-1] if state.stack else None
-    target: List[Any] = parent.children if parent is not None else state.roots
-    for data in fragment["spans"]:
-        target.append(_node_from_dict(data))
-    if state.sinks:
-        depth_offset = len(state.stack)
-        for event in fragment["events"]:
-            merged = dict(event)
-            if isinstance(merged.get("depth"), int):
-                merged["depth"] = merged["depth"] + depth_offset
-            merged["seq"] = state.next_seq()
-            emit_raw(merged)
+    merge_into_current(fragment)

@@ -38,6 +38,7 @@ from .engine import (
     PartitionEngine,
     PartitionRequest,
     ServedResult,
+    SlowLog,
     canonical_result_bytes,
     payload_to_result,
     result_to_payload,
@@ -49,11 +50,12 @@ from .fingerprint import (
     exact_fingerprint,
     request_fingerprint,
 )
-from .http import create_server, serve_main
+from .http import AccessLog, create_server, serve_main
 from .jobs import JOB_STATES, Job, JobScheduler
 
 __all__ = [
     "ALGORITHMS",
+    "AccessLog",
     "CACHE_ENTRY_SCHEMA",
     "DiskCache",
     "FINGERPRINT_SCHEMA",
@@ -66,6 +68,7 @@ __all__ = [
     "RESULT_SCHEMA",
     "ResultCache",
     "ServedResult",
+    "SlowLog",
     "canonical_fingerprint",
     "canonical_result_bytes",
     "create_server",

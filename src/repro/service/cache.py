@@ -264,6 +264,30 @@ class ResultCache:
         if self.disk is not None:
             self.disk.put(key, payload)
 
+    def check_disk_writable(self) -> Tuple[bool, str]:
+        """Probe the disk tier with a real write (for ``/readyz``).
+
+        Returns ``(True, detail)`` when the disk tier is absent (nothing
+        to fail) or a probe file round-trips; ``(False, reason)`` when
+        the cache directory cannot be created or written — the one
+        dependency that turns every miss into a recompute *and* loses
+        results across restarts.
+        """
+        if self.disk is None:
+            return True, "disk tier disabled"
+        probe_dir = self.disk.root / "objects"
+        try:
+            probe_dir.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=str(probe_dir), prefix=".readyz-", suffix=".probe"
+            )
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write("ok")
+            os.unlink(tmp)
+        except OSError as exc:
+            return False, f"cache dir not writable: {exc}"
+        return True, f"cache dir writable: {self.disk.root}"
+
     def snapshot(self) -> Dict[str, Any]:
         """Stats + sizing for ``/metrics``."""
         with self._lock:

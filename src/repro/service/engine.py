@@ -20,7 +20,15 @@ same code path — the base of the byte-identical serving contract).
 * **async jobs** — :meth:`PartitionEngine.submit` queues requests on a
   :class:`repro.service.jobs.JobScheduler` with priorities, deadlines
   and bounded retries; :meth:`PartitionEngine.submit_batch` additionally
-  deduplicates identical requests *within* the batch.
+  deduplicates identical requests *within* the batch;
+* **request-scoped telemetry** — every serve runs inside a
+  :class:`repro.obs.TraceCapture`, so the full span tree it produces
+  (down to ``spectral.lanczos`` and the matching sweeps) is stamped
+  with the request's ``trace_id``; latency lands in always-on
+  :class:`repro.obs.HistogramSet` series (request, cache lookup,
+  per-algorithm compute), and any request slower than the configured
+  threshold leaves a full-trace exemplar in a :class:`SlowLog` ring
+  buffer (served at ``GET /debug/slow``).
 
 Counters (mirrored into :mod:`repro.obs` and always tallied locally for
 ``/metrics``): ``service.requests``, ``service.cache.hit``,
@@ -31,10 +39,13 @@ Counters (mirrored into :mod:`repro.obs` and always tallied locally for
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
+from datetime import datetime, timezone
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from .. import obs
+from ..obs.trace import new_trace_id
 from ..clustering import MultilevelConfig, multilevel_partition
 from ..errors import ReproError
 from ..hypergraph import Hypergraph
@@ -67,6 +78,7 @@ __all__ = [
     "PartitionRequest",
     "RESULT_SCHEMA",
     "ServedResult",
+    "SlowLog",
     "canonical_result_bytes",
     "payload_to_result",
     "result_to_payload",
@@ -271,6 +283,8 @@ class ServedResult:
     fingerprint: str
     cached: bool
     source: str  # "computed" | "memory" | "disk" | "inflight"
+    trace_id: str = ""
+    duration_s: float = 0.0
 
     def response(self) -> Dict[str, Any]:
         """The JSON document the HTTP layer returns for a serve."""
@@ -278,8 +292,60 @@ class ServedResult:
             "fingerprint": self.fingerprint,
             "cached": self.cached,
             "source": self.source,
+            "trace_id": self.trace_id,
+            "duration_s": round(self.duration_s, 6),
             "result": result_to_payload(self.result),
         }
+
+
+class SlowLog:
+    """Ring buffer of slow-request exemplars (newest kept, oldest out).
+
+    Any request whose wall-clock meets ``threshold_s`` leaves its full
+    trace here: the span tree (with compute phases), raw events, and
+    counter totals the request produced, all stamped with its
+    ``trace_id``.  ``GET /debug/slow`` serves the buffer; the HTML form
+    is :func:`repro.obs.render_slow_html`.  Thread-safe; bounded by
+    ``capacity``, so a storm of slow requests costs memory for at most
+    ``capacity`` traces.
+    """
+
+    def __init__(self, threshold_s: float = 1.0, capacity: int = 32):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.threshold_s = float(threshold_s)
+        self.capacity = int(capacity)
+        self._lock = threading.Lock()
+        self._entries: List[Dict[str, Any]] = []
+        self._recorded = 0
+
+    def record(self, entry: Dict[str, Any]) -> None:
+        with self._lock:
+            self._entries.append(entry)
+            self._recorded += 1
+            if len(self._entries) > self.capacity:
+                del self._entries[: len(self._entries) - self.capacity]
+
+    def entries(self) -> List[Dict[str, Any]]:
+        """Recorded exemplars, newest first."""
+        with self._lock:
+            return list(reversed(self._entries))
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Sizing/threshold summary for ``/metrics``."""
+        with self._lock:
+            held = len(self._entries)
+            recorded = self._recorded
+        return {
+            "threshold_s": self.threshold_s,
+            "capacity": self.capacity,
+            "held": held,
+            "recorded": recorded,
+        }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
 
 
 class _Flight:
@@ -306,6 +372,9 @@ class PartitionEngine:
         cache: Optional[ResultCache] = None,
         parallel: Optional[ParallelConfig] = None,
         scheduler: Optional[JobScheduler] = None,
+        hists: Optional[obs.HistogramSet] = None,
+        slow_threshold_s: float = 1.0,
+        slow_capacity: int = 32,
     ):
         self.cache = cache
         self.parallel = parallel
@@ -314,6 +383,14 @@ class PartitionEngine:
         self._inflight: Dict[str, _Flight] = {}
         self._inflight_lock = threading.Lock()
         self._stats_lock = threading.Lock()
+        #: Always-on latency distributions (request / cache lookup /
+        #: compute / job queue-wait) — recorded whether or not obs
+        #: tracing is enabled, like ``stats``.
+        self.hists = hists if hists is not None else obs.HistogramSet()
+        #: Full-trace exemplars of requests over the slow threshold.
+        self.slow = SlowLog(
+            threshold_s=slow_threshold_s, capacity=slow_capacity
+        )
         self.stats: Dict[str, int] = {
             "service.requests": 0,
             "service.cache.hit": 0,
@@ -333,8 +410,16 @@ class PartitionEngine:
         """The job scheduler, created on first use."""
         with self._scheduler_lock:
             if self._scheduler is None:
-                self._scheduler = JobScheduler()
+                self._scheduler = JobScheduler(hists=self.hists)
             return self._scheduler
+
+    def queue_depth(self) -> int:
+        """Pending jobs right now (0 when no scheduler exists yet)."""
+        with self._scheduler_lock:
+            scheduler = self._scheduler
+        if scheduler is None:
+            return 0
+        return int(scheduler.snapshot().get("pending", 0))
 
     # ------------------------------------------------------------------
     def partition(
@@ -342,6 +427,7 @@ class PartitionEngine:
         h: Hypergraph,
         request: PartitionRequest,
         use_cache: bool = True,
+        trace_id: Optional[str] = None,
     ) -> ServedResult:
         """Serve one request: cache lookup, then compute-once.
 
@@ -349,58 +435,116 @@ class PartitionEngine:
         fields, see :func:`canonical_result_bytes`) to calling
         :func:`run_partitioner` directly — whether it was computed now,
         found in a cache tier, or joined onto an in-flight computation.
+
+        Every serve runs under a :class:`repro.obs.TraceCapture` keyed
+        by ``trace_id`` (minted here when the caller did not propagate
+        one from ingress): the request's spans and counters are
+        attributable to it, its latency is recorded in ``hists``, and a
+        request at or over ``slow.threshold_s`` leaves a full-trace
+        exemplar in the slow log — on errors too, with
+        ``source="error"``.
         """
         key = request_fingerprint(h, request)
         self._count("service.requests")
-        with obs.span(
-            "service.request",
-            algorithm=request.algorithm,
-            fingerprint=key[:12],
-        ) as sp:
-            if not use_cache or self.cache is None:
-                result = self._compute(h, request)
-                sp.set(source="computed", cached=False)
-                return ServedResult(result, key, False, "computed")
-
-            payload, source = self.cache.lookup(key)
-            if payload is not None:
-                self._count("service.cache.hit")
-                sp.set(source=source, cached=True)
-                return ServedResult(
-                    payload_to_result(h, payload), key, True, source
+        capture = obs.TraceCapture(trace_id)
+        served: Optional[ServedResult] = None
+        try:
+            with capture:
+                with obs.span(
+                    "service.request",
+                    algorithm=request.algorithm,
+                    fingerprint=key[:12],
+                ) as sp:
+                    served = self._serve(h, request, key, use_cache, sp)
+        finally:
+            duration = capture.duration_s
+            source = served.source if served is not None else "error"
+            self.hists.observe(
+                "service.request.duration_seconds",
+                duration,
+                algorithm=request.algorithm,
+                source=source,
+            )
+            if duration >= self.slow.threshold_s:
+                self.slow.record(
+                    {
+                        "trace_id": capture.trace_id,
+                        "time": datetime.now(timezone.utc).isoformat(
+                            timespec="milliseconds"
+                        ),
+                        "algorithm": request.algorithm,
+                        "fingerprint": key,
+                        "duration_s": round(duration, 6),
+                        "source": source,
+                        "cached": served.cached if served else False,
+                        "spans": capture.spans,
+                        "events": capture.events,
+                        "counters": capture.counters,
+                    }
                 )
+        served.trace_id = capture.trace_id
+        served.duration_s = duration
+        return served
 
-            flight, owner = self._join_flight(key)
-            if not owner:
-                flight.event.wait()
-                if flight.error is not None:
-                    raise flight.error
-                self._count("service.cache.hit")
-                self._count("service.cache.hit.inflight")
-                sp.set(source="inflight", cached=True)
-                assert flight.payload is not None
-                return ServedResult(
-                    payload_to_result(h, flight.payload),
-                    key,
-                    True,
-                    "inflight",
-                )
-
-            try:
-                self._count("service.cache.miss")
-                result = self._compute(h, request)
-                payload = result_to_payload(result)
-                self.cache.put(key, payload)
-                flight.payload = payload
-            except BaseException as exc:
-                flight.error = exc
-                raise
-            finally:
-                with self._inflight_lock:
-                    self._inflight.pop(key, None)
-                flight.event.set()
+    def _serve(
+        self,
+        h: Hypergraph,
+        request: PartitionRequest,
+        key: str,
+        use_cache: bool,
+        sp: Any,
+    ) -> ServedResult:
+        """The cache → single-flight → compute body of one serve."""
+        if not use_cache or self.cache is None:
+            result = self._compute(h, request)
             sp.set(source="computed", cached=False)
             return ServedResult(result, key, False, "computed")
+
+        lookup_start = time.perf_counter()
+        payload, source = self.cache.lookup(key)
+        self.hists.observe(
+            "service.cache.lookup.duration_seconds",
+            time.perf_counter() - lookup_start,
+            outcome="miss" if payload is None else "hit",
+        )
+        if payload is not None:
+            self._count("service.cache.hit")
+            sp.set(source=source, cached=True)
+            return ServedResult(
+                payload_to_result(h, payload), key, True, source
+            )
+
+        flight, owner = self._join_flight(key)
+        if not owner:
+            flight.event.wait()
+            if flight.error is not None:
+                raise flight.error
+            self._count("service.cache.hit")
+            self._count("service.cache.hit.inflight")
+            sp.set(source="inflight", cached=True)
+            assert flight.payload is not None
+            return ServedResult(
+                payload_to_result(h, flight.payload),
+                key,
+                True,
+                "inflight",
+            )
+
+        try:
+            self._count("service.cache.miss")
+            result = self._compute(h, request)
+            payload = result_to_payload(result)
+            self.cache.put(key, payload)
+            flight.payload = payload
+        except BaseException as exc:
+            flight.error = exc
+            raise
+        finally:
+            with self._inflight_lock:
+                self._inflight.pop(key, None)
+            flight.event.set()
+        sp.set(source="computed", cached=False)
+        return ServedResult(result, key, False, "computed")
 
     def _join_flight(self, key: str) -> Tuple[_Flight, bool]:
         """Register interest in ``key``; True when we own the compute."""
@@ -416,7 +560,14 @@ class PartitionEngine:
         self, h: Hypergraph, request: PartitionRequest
     ) -> PartitionResult:
         self._count("service.computed")
-        return run_partitioner(h, request, parallel=self.parallel)
+        start = time.perf_counter()
+        result = run_partitioner(h, request, parallel=self.parallel)
+        self.hists.observe(
+            "service.compute.duration_seconds",
+            time.perf_counter() - start,
+            algorithm=request.algorithm,
+        )
+        return result
 
     # ------------------------------------------------------------------
     def submit(
@@ -427,12 +578,21 @@ class PartitionEngine:
         max_retries: int = 0,
         deadline_s: Optional[float] = None,
         use_cache: bool = True,
+        trace_id: Optional[str] = None,
     ) -> Job:
         """Queue a request as an async job; the job result is the
-        :meth:`ServedResult.response` document."""
+        :meth:`ServedResult.response` document.
+
+        ``trace_id`` (from ingress) rides along on the job record and
+        is reused when the worker finally serves the request, so async
+        results stay attributable to the submitting HTTP request.
+        """
+        tid = trace_id or new_trace_id()
 
         def work() -> Dict[str, Any]:
-            return self.partition(h, request, use_cache=use_cache).response()
+            return self.partition(
+                h, request, use_cache=use_cache, trace_id=tid
+            ).response()
 
         return self.scheduler.submit(
             work,
@@ -440,6 +600,7 @@ class PartitionEngine:
             max_retries=max_retries,
             deadline_s=deadline_s,
             label=request.algorithm,
+            trace_id=tid,
         )
 
     def submit_batch(
@@ -472,7 +633,8 @@ class PartitionEngine:
 
     # ------------------------------------------------------------------
     def metrics(self) -> Dict[str, Any]:
-        """Counter snapshot for ``/metrics`` (engine, cache, jobs)."""
+        """Metrics snapshot for ``/metrics``: counters, histograms,
+        slow-log summary (engine, cache, jobs)."""
         with self._stats_lock:
             doc: Dict[str, Any] = {"service": dict(self.stats)}
         if self.cache is not None:
@@ -481,6 +643,8 @@ class PartitionEngine:
             scheduler = self._scheduler
         if scheduler is not None:
             doc["jobs"] = scheduler.snapshot()
+        doc["histograms"] = self.hists.snapshot()
+        doc["slow"] = self.slow.snapshot()
         if obs.is_enabled():
             doc["obs"] = obs.counters("service.")
         return doc

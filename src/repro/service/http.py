@@ -14,35 +14,65 @@ dependencies beyond the standard library) exposing:
        "priority": 0, "max_retries": 0, "deadline_s": null}
 
   Synchronous requests return ``{"fingerprint", "cached", "source",
-  "result": {...}}``; ``"async": true`` returns ``{"job": "<id>"}``
-  with status 202.
+  "trace_id", "duration_s", "result": {...}}``; ``"async": true``
+  returns ``{"job": "<id>", "trace_id": ...}`` with status 202.
 * ``GET /jobs/<id>`` — the job's status/result record (404 unknown).
 * ``DELETE /jobs/<id>`` — cancel a still-pending job.
-* ``GET /healthz`` — liveness: version, uptime, worker config.
-* ``GET /metrics`` — engine/cache/job counters as JSON.
+* ``GET /healthz`` — liveness: version, uptime, worker config.  Always
+  200 while the process can answer at all.
+* ``GET /readyz`` — readiness: 200 only when the disk cache directory
+  is writable (probed with a real write) and the job queue depth is
+  within ``--ready-queue-bound``; 503 with per-check details otherwise.
+* ``GET /metrics`` — content negotiated.  JSON by default; the
+  Prometheus text exposition (0.0.4) when the client sends
+  ``Accept: text/plain`` / ``application/openmetrics-text`` or asks
+  explicitly with ``?format=prometheus``.  ``?format=json`` always
+  wins back the JSON document.
+* ``GET /debug/slow`` — the slow-request exemplar ring buffer (full
+  span trees of every request over the engine's slow threshold), JSON
+  by default, a rendered flame view with ``?format=html``.
+
+**Request-scoped tracing**: every request gets a ``trace_id`` at
+ingress (a client-supplied ``X-Trace-Id`` header is honoured, otherwise
+one is minted), echoed back in the ``X-Trace-Id`` response header and
+threaded through the engine so spans, jobs, and slow-log exemplars are
+attributable to it.
+
+**Structured access log**: one JSON line per handled request —
+``{"type": "access", "time", "trace_id", "method", "path", "status",
+"bytes", "duration_s"}`` plus ``source``/``cached`` provenance on
+partition serves — written to stderr or ``--access-log PATH``.
+Handler errors produce ``{"type": "error", ...}`` lines which are
+**never** suppressed; ``--quiet`` silences only the access entries.
 
 Errors are always JSON: ``{"error": "<one line>"}`` with 400 for bad
-requests, 404 for unknown routes/jobs, 405 for wrong methods.  The
-``repro-serve`` console script (:func:`serve_main`) is the deployment
-entry point.
+requests, 404 for unknown routes/jobs, 405 for wrong methods, 500
+(with the trace id) for handler crashes.  The ``repro-serve`` console
+script (:func:`serve_main`) is the deployment entry point.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
+import threading
 import time
+from datetime import datetime, timezone
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Optional, Sequence, Tuple
+from typing import Any, Dict, IO, Optional, Sequence, Tuple
+from urllib.parse import parse_qs, urlsplit
 
 from ..errors import ReproError
 from ..hypergraph import Hypergraph, from_json, loads_net
+from ..obs import render_prometheus, render_slow_html
+from ..obs.trace import new_trace_id
 from ..parallel import BACKENDS, ParallelConfig, resolve_parallel
 from .cache import ResultCache
 from .engine import PartitionEngine, PartitionRequest
 
-__all__ = ["create_server", "serve_main"]
+__all__ = ["AccessLog", "create_server", "serve_main"]
 
 #: Request bodies above this size are rejected up front (64 MiB is far
 #: beyond any paper-scale netlist; it only guards the server's memory).
@@ -57,6 +87,9 @@ _BODY_FIELDS = frozenset(_REQUEST_FIELDS) | {
     "netlist", "net", "cache", "async", "priority", "max_retries",
     "deadline_s",
 }
+
+#: Inbound ``X-Trace-Id`` values must look like ids, not payloads.
+_TRACE_ID_RE = re.compile(r"[A-Za-z0-9_-]{1,64}$")
 
 
 def _version() -> str:
@@ -101,6 +134,85 @@ def _parse_body(doc: Dict[str, Any]) -> Tuple[Hypergraph, PartitionRequest]:
     return h, request
 
 
+#: Known literal routes for the ``route`` histogram label; ``/jobs/<id>``
+#: collapses to one label value so per-job ids cannot explode the series
+#: cardinality, and unknown paths share a single ``other`` bucket.
+_LITERAL_ROUTES = frozenset(
+    {"/partition", "/healthz", "/readyz", "/metrics", "/debug/slow"}
+)
+
+
+def _route_label(path: str) -> str:
+    if path in _LITERAL_ROUTES:
+        return path
+    if path.startswith("/jobs/"):
+        return "/jobs/{id}"
+    return "other"
+
+
+class AccessLog:
+    """Thread-safe JSON-lines structured log for the HTTP layer.
+
+    Two entry types share the stream: ``access`` (one line per handled
+    request) and ``error`` (handler crashes, connection faults).
+    ``quiet`` suppresses *access* entries only — errors are always
+    written, which is the whole point of replacing the old silenced
+    ``log_message`` path.
+    """
+
+    def __init__(
+        self,
+        stream: Optional[IO[str]] = None,
+        path: Optional[str] = None,
+        quiet: bool = False,
+    ):
+        self.quiet = quiet
+        self._lock = threading.Lock()
+        self._owns_stream = path is not None
+        if path is not None:
+            self._stream: IO[str] = open(path, "a", encoding="utf-8")
+        else:
+            self._stream = stream if stream is not None else sys.stderr
+
+    def _write(self, entry: Dict[str, Any]) -> None:
+        line = json.dumps(entry, sort_keys=True)
+        with self._lock:
+            try:
+                self._stream.write(line + "\n")
+                self._stream.flush()
+            except (OSError, ValueError):  # closed/broken stream
+                pass
+
+    def access(self, **fields: Any) -> None:
+        if self.quiet:
+            return
+        entry = {
+            "type": "access",
+            "time": datetime.now(timezone.utc).isoformat(
+                timespec="milliseconds"
+            ),
+        }
+        entry.update(fields)
+        self._write(entry)
+
+    def error(self, **fields: Any) -> None:
+        entry = {
+            "type": "error",
+            "time": datetime.now(timezone.utc).isoformat(
+                timespec="milliseconds"
+            ),
+        }
+        entry.update(fields)
+        self._write(entry)
+
+    def close(self) -> None:
+        if self._owns_stream:
+            try:
+                self._stream.close()
+            except OSError:  # pragma: no cover - close race
+                pass
+
+
 class _Handler(BaseHTTPRequestHandler):
     """Routes requests to the server's engine.  One instance per request."""
 
@@ -110,9 +222,17 @@ class _Handler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     def _send_json(self, status: int, doc: Dict[str, Any]) -> None:
         body = json.dumps(doc, sort_keys=True).encode("utf-8")
+        self._send_bytes(status, body, "application/json")
+
+    def _send_bytes(
+        self, status: int, body: bytes, content_type: str
+    ) -> None:
+        self._status = status
+        self._bytes_sent = len(body)
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        self.send_header("X-Trace-Id", self._trace_id)
         self.end_headers()
         self.wfile.write(body)
 
@@ -120,16 +240,91 @@ class _Handler(BaseHTTPRequestHandler):
         self._send_json(status, {"error": message})
 
     def log_message(self, format: str, *args: Any) -> None:
-        if getattr(self.server, "quiet", True):
-            return
-        sys.stderr.write(
-            "%s - %s\n" % (self.address_string(), format % args)
+        # Replaced by the structured access log written in _handle();
+        # BaseHTTPRequestHandler's per-request stderr line is redundant.
+        return
+
+    def log_error(self, format: str, *args: Any) -> None:
+        # http.server routes protocol-level errors here — keep them in
+        # the structured stream instead of dropping them (the old
+        # quiet-mode log_message swallowed these entirely).
+        self.server.access_log.error(
+            where="protocol",
+            client=self.address_string(),
+            error=format % args,
         )
 
     # ------------------------------------------------------------------
-    def do_GET(self) -> None:
+    def _handle(self, method: str, fn: Any) -> None:
+        """One request: trace ingress, dispatch, access log, histogram."""
+        header = (self.headers.get("X-Trace-Id") or "").strip()
+        self._trace_id = (
+            header if _TRACE_ID_RE.match(header) else new_trace_id()
+        )
+        self._status = 0
+        self._bytes_sent = 0
+        self._provenance: Optional[Tuple[str, bool]] = None
+        split = urlsplit(self.path)
+        self._route_path = split.path
+        self._query = {
+            k: v[-1] for k, v in parse_qs(split.query).items()
+        }
         engine: PartitionEngine = self.server.engine
-        if self.path == "/healthz":
+        start = time.perf_counter()
+        try:
+            fn()
+        except (BrokenPipeError, ConnectionResetError):
+            # Client went away mid-response; nothing left to send.
+            self._status = self._status or 499
+        except Exception as exc:  # noqa: BLE001 - last-resort 500
+            self.server.access_log.error(
+                trace_id=self._trace_id,
+                method=method,
+                path=self.path,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            try:
+                self._send_error_json(
+                    500,
+                    f"internal error ({type(exc).__name__}); "
+                    f"trace_id {self._trace_id}",
+                )
+            except OSError:  # pragma: no cover - response already dead
+                pass
+        finally:
+            duration = time.perf_counter() - start
+            engine.hists.observe(
+                "http.request.duration_seconds",
+                duration,
+                method=method,
+                route=_route_label(self._route_path),
+            )
+            entry: Dict[str, Any] = {
+                "trace_id": self._trace_id,
+                "method": method,
+                "path": self.path,
+                "status": self._status,
+                "bytes": self._bytes_sent,
+                "duration_s": round(duration, 6),
+            }
+            if self._provenance is not None:
+                entry["source"], entry["cached"] = self._provenance
+            self.server.access_log.access(**entry)
+
+    def do_GET(self) -> None:
+        self._handle("GET", self._get)
+
+    def do_POST(self) -> None:
+        self._handle("POST", self._post)
+
+    def do_DELETE(self) -> None:
+        self._handle("DELETE", self._delete)
+
+    # ------------------------------------------------------------------
+    def _get(self) -> None:
+        engine: PartitionEngine = self.server.engine
+        path = self._route_path
+        if path == "/healthz":
             parallel = engine.parallel or ParallelConfig()
             self._send_json(
                 200,
@@ -145,23 +340,91 @@ class _Handler(BaseHTTPRequestHandler):
                 },
             )
             return
-        if self.path == "/metrics":
-            self._send_json(200, engine.metrics())
+        if path == "/readyz":
+            self._readyz(engine)
             return
-        if self.path.startswith("/jobs/"):
-            job_id = self.path[len("/jobs/"):]
+        if path == "/metrics":
+            self._metrics(engine)
+            return
+        if path == "/debug/slow":
+            self._debug_slow(engine)
+            return
+        if path.startswith("/jobs/"):
+            job_id = path[len("/jobs/"):]
             job = engine.scheduler.get(job_id)
             if job is None:
                 self._send_error_json(404, f"unknown job {job_id!r}")
                 return
             self._send_json(200, job.record())
             return
-        self._send_error_json(404, f"unknown path {self.path!r}")
+        self._send_error_json(404, f"unknown path {path!r}")
 
-    def do_POST(self) -> None:
+    def _readyz(self, engine: PartitionEngine) -> None:
+        """Readiness: can this instance *usefully* take traffic now?
+
+        Liveness (``/healthz``) answers "is the process up"; this
+        answers "will a request actually succeed" — a read-only cache
+        directory or a backed-up job queue should pull the instance out
+        of rotation, not keep silently degrading.
+        """
+        checks: Dict[str, Dict[str, Any]] = {}
+        if engine.cache is not None:
+            ok, detail = engine.cache.check_disk_writable()
+            checks["cache"] = {"ok": ok, "detail": detail}
+        else:
+            checks["cache"] = {"ok": True, "detail": "no cache configured"}
+        depth = engine.queue_depth()
+        bound = self.server.ready_queue_bound
+        checks["jobs"] = {
+            "ok": depth <= bound,
+            "detail": f"{depth} pending (bound {bound})",
+        }
+        ready = all(check["ok"] for check in checks.values())
+        self._send_json(
+            200 if ready else 503,
+            {"status": "ready" if ready else "unready", "checks": checks},
+        )
+
+    def _metrics(self, engine: PartitionEngine) -> None:
+        doc = engine.metrics()
+        fmt = self._query.get("format", "").lower()
+        accept = self.headers.get("Accept", "")
+        want_prometheus = fmt in ("prometheus", "prom", "text") or (
+            not fmt
+            and ("text/plain" in accept or "openmetrics" in accept)
+        )
+        if want_prometheus:
+            self._send_bytes(
+                200,
+                render_prometheus(doc).encode("utf-8"),
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
+        else:
+            self._send_json(200, doc)
+
+    def _debug_slow(self, engine: PartitionEngine) -> None:
+        entries = engine.slow.entries()
+        if self._query.get("format", "").lower() == "html":
+            html = render_slow_html(entries)
+            self._send_bytes(
+                200, html.encode("utf-8"), "text/html; charset=utf-8"
+            )
+            return
+        self._send_json(
+            200,
+            {
+                "threshold_s": engine.slow.threshold_s,
+                "capacity": engine.slow.capacity,
+                "entries": entries,
+            },
+        )
+
+    def _post(self) -> None:
         engine: PartitionEngine = self.server.engine
-        if self.path != "/partition":
-            self._send_error_json(404, f"unknown path {self.path!r}")
+        if self._route_path != "/partition":
+            self._send_error_json(
+                404, f"unknown path {self._route_path!r}"
+            )
             return
         try:
             length = int(self.headers.get("Content-Length", "0"))
@@ -197,22 +460,34 @@ class _Handler(BaseHTTPRequestHandler):
                 max_retries=int(doc.get("max_retries", 0)),
                 deadline_s=float(deadline) if deadline is not None else None,
                 use_cache=use_cache,
+                trace_id=self._trace_id,
             )
-            self._send_json(202, {"job": job.id, "status": job.status})
+            self._send_json(
+                202,
+                {
+                    "job": job.id,
+                    "status": job.status,
+                    "trace_id": self._trace_id,
+                },
+            )
             return
         try:
-            served = engine.partition(h, request, use_cache=use_cache)
+            served = engine.partition(
+                h, request, use_cache=use_cache, trace_id=self._trace_id
+            )
         except ReproError as exc:
             self._send_error_json(400, str(exc))
             return
+        self._provenance = (served.source, served.cached)
         self._send_json(200, served.response())
 
-    def do_DELETE(self) -> None:
+    def _delete(self) -> None:
         engine: PartitionEngine = self.server.engine
-        if not self.path.startswith("/jobs/"):
-            self._send_error_json(404, f"unknown path {self.path!r}")
+        path = self._route_path
+        if not path.startswith("/jobs/"):
+            self._send_error_json(404, f"unknown path {path!r}")
             return
-        job_id = self.path[len("/jobs/"):]
+        job_id = path[len("/jobs/"):]
         if engine.scheduler.get(job_id) is None:
             self._send_error_json(404, f"unknown job {job_id!r}")
             return
@@ -224,11 +499,36 @@ class _Server(ThreadingHTTPServer):
     daemon_threads = True
     allow_reuse_address = True
 
-    def __init__(self, address, engine: PartitionEngine, quiet: bool = True):
+    def __init__(
+        self,
+        address,
+        engine: PartitionEngine,
+        access_log: Optional[AccessLog] = None,
+        ready_queue_bound: int = 64,
+    ):
         super().__init__(address, _Handler)
         self.engine = engine
-        self.quiet = quiet
+        self.access_log = (
+            access_log if access_log is not None else AccessLog(quiet=True)
+        )
+        self.ready_queue_bound = int(ready_queue_bound)
         self.started_at = time.monotonic()
+
+    def handle_error(self, request, client_address) -> None:
+        # Connection-layer failures (the per-request 500 path never
+        # reaches here).  Client disconnects are routine, not errors.
+        exc = sys.exc_info()[1]
+        if isinstance(exc, (BrokenPipeError, ConnectionResetError)):
+            return
+        self.access_log.error(
+            where="connection",
+            client=f"{client_address[0]}:{client_address[1]}",
+            error=f"{type(exc).__name__}: {exc}",
+        )
+
+    def server_close(self) -> None:
+        super().server_close()
+        self.access_log.close()
 
 
 def create_server(
@@ -236,16 +536,30 @@ def create_server(
     host: str = "127.0.0.1",
     port: int = 0,
     quiet: bool = True,
+    access_log: Optional[AccessLog] = None,
+    ready_queue_bound: int = 64,
 ) -> _Server:
     """Build a ready-to-run server (``port=0`` picks an ephemeral port).
 
     Call ``serve_forever()`` on the result (typically in a thread for
     tests) and ``shutdown()`` / ``server_close()`` to stop it.  The
     bound port is ``server.server_address[1]``.
+
+    ``quiet`` suppresses per-request *access* entries on the default
+    stderr log; error entries are always written.  Pass an
+    :class:`AccessLog` to control the destination (it overrides
+    ``quiet``).
     """
     if engine is None:
         engine = PartitionEngine(cache=ResultCache())
-    return _Server((host, port), engine, quiet=quiet)
+    if access_log is None:
+        access_log = AccessLog(quiet=quiet)
+    return _Server(
+        (host, port),
+        engine,
+        access_log=access_log,
+        ready_queue_bound=ready_queue_bound,
+    )
 
 
 def serve_main(argv: Optional[Sequence[str]] = None) -> int:
@@ -283,8 +597,24 @@ def serve_main(argv: Optional[Sequence[str]] = None) -> int:
         help="parallel backend (default: $REPRO_BACKEND)",
     )
     parser.add_argument(
-        "--verbose", action="store_true",
-        help="log one line per handled request",
+        "--access-log", metavar="PATH", default=None,
+        help="append JSON-lines access/error log entries to PATH "
+        "(default: stderr)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-request access log entries "
+        "(errors are always logged)",
+    )
+    parser.add_argument(
+        "--slow-threshold", type=float, default=1.0, metavar="SECONDS",
+        help="requests at least this slow leave a full-trace exemplar "
+        "at GET /debug/slow (default 1.0)",
+    )
+    parser.add_argument(
+        "--ready-queue-bound", type=int, default=64, metavar="N",
+        help="GET /readyz reports unready when more than N jobs are "
+        "queued (default 64)",
     )
     args = parser.parse_args(argv)
 
@@ -298,9 +628,15 @@ def serve_main(argv: Optional[Sequence[str]] = None) -> int:
         engine = PartitionEngine(
             cache=ResultCache(**cache_kwargs),
             parallel=resolve_parallel(args.workers, args.backend),
+            slow_threshold_s=args.slow_threshold,
         )
+        access_log = AccessLog(path=args.access_log, quiet=args.quiet)
         server = create_server(
-            engine, host=args.host, port=args.port, quiet=not args.verbose
+            engine,
+            host=args.host,
+            port=args.port,
+            access_log=access_log,
+            ready_queue_bound=args.ready_queue_bound,
         )
     except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -308,7 +644,8 @@ def serve_main(argv: Optional[Sequence[str]] = None) -> int:
     host, port = server.server_address[:2]
     print(
         f"repro-serve {_version()} listening on http://{host}:{port} "
-        f"(POST /partition, GET /jobs/<id>, /healthz, /metrics)",
+        f"(POST /partition, GET /jobs/<id>, /healthz, /readyz, /metrics, "
+        f"/debug/slow)",
         file=sys.stderr,
     )
     try:

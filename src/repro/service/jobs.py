@@ -22,7 +22,10 @@ Semantics worth stating precisely:
 Counters: ``service.jobs.submitted`` / ``completed`` / ``failed`` /
 ``retried`` / ``cancelled`` / ``expired`` are mirrored into
 :mod:`repro.obs` (no-ops while tracing is off) and tallied locally for
-``/metrics``.
+``/metrics``.  Queue-wait latency (dequeue minus submit) is recorded in
+the always-on ``service.job.queue_wait_seconds`` histogram, labelled by
+job label.  Jobs carry the submitting request's ``trace_id`` so async
+results stay attributable end-to-end.
 """
 
 from __future__ import annotations
@@ -62,6 +65,7 @@ class Job:
     max_retries: int = 0
     deadline_s: Optional[float] = None
     label: str = ""
+    trace_id: str = ""
     status: str = PENDING
     attempts: int = 0
     result: Any = None
@@ -80,6 +84,7 @@ class Job:
         doc: Dict[str, Any] = {
             "id": self.id,
             "label": self.label,
+            "trace_id": self.trace_id,
             "status": self.status,
             "priority": self.priority,
             "attempts": self.attempts,
@@ -107,11 +112,15 @@ class JobScheduler:
         workers: int = 2,
         backoff_s: float = 0.05,
         max_backoff_s: float = 2.0,
+        hists: Optional[obs.HistogramSet] = None,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.backoff_s = float(backoff_s)
         self.max_backoff_s = float(max_backoff_s)
+        #: Where queue-wait latency is recorded (the engine passes its
+        #: set so job and request distributions share one ``/metrics``).
+        self.hists = hists if hists is not None else obs.HistogramSet()
         self._lock = threading.Lock()
         self._wakeup = threading.Condition(self._lock)
         self._queue: List[Any] = []  # (-priority, seq, not_before, job)
@@ -145,6 +154,7 @@ class JobScheduler:
         deadline_s: Optional[float] = None,
         label: str = "",
         job_id: Optional[str] = None,
+        trace_id: str = "",
     ) -> Job:
         """Queue ``fn`` and return its :class:`Job` handle."""
         job = Job(
@@ -154,6 +164,7 @@ class JobScheduler:
             max_retries=int(max_retries),
             deadline_s=deadline_s,
             label=label,
+            trace_id=trace_id,
         )
         with self._lock:
             if self._shutdown:
@@ -236,6 +247,12 @@ class JobScheduler:
                 job.status = RUNNING
                 job.started_at = time.monotonic()
                 job.attempts += 1
+                queue_wait = job.started_at - job.submitted_at
+            self.hists.observe(
+                "service.job.queue_wait_seconds",
+                queue_wait,
+                label=job.label or "unlabelled",
+            )
             self._run_one(job)
 
     def _next_runnable_locked(self):

@@ -97,6 +97,34 @@ class TestCounters:
         assert obs.counters() == {}
         assert obs.STATE.roots  # spans survive a counter reset
 
+    def test_gauges_slices_out_gauge_subset(self):
+        obs.enable()
+        obs.incr("service.requests", 3)
+        obs.gauge("service.queue.depth", 7)
+        obs.gauge("pool.size", 2)
+        assert obs.gauges() == {"pool.size": 2, "service.queue.depth": 7}
+        assert obs.gauges(prefix="service.") == {"service.queue.depth": 7}
+        # counters() still sees everything, same as before.
+        assert obs.counters(prefix="service.") == {
+            "service.queue.depth": 7,
+            "service.requests": 3,
+        }
+
+    def test_gauges_last_write_wins_even_after_incr(self):
+        obs.enable()
+        obs.incr("x", 5)
+        obs.gauge("x", 1)  # re-recorded as a gauge
+        assert obs.gauges() == {"x": 1}
+
+    def test_gauges_cleared_by_reset_counters(self):
+        obs.enable()
+        obs.gauge("g", 1)
+        obs.reset_counters()
+        assert obs.gauges() == {}
+        obs.incr("g")  # same name, now a plain counter
+        assert obs.gauges() == {}
+        assert obs.counters() == {"g": 1}
+
 
 class TestEnabledContext:
     def test_scopes_instrumentation(self):

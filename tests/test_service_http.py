@@ -84,6 +84,19 @@ class TestHealthAndMetrics:
         status, doc = call(server, "/healthz", {"x": 1})
         assert status == 404
 
+    def test_readyz_ready(self, server):
+        status, doc = call(server, "/readyz")
+        assert status == 200
+        assert doc["status"] == "ready"
+        assert set(doc["checks"]) == {"cache", "jobs"}
+        assert all(check["ok"] for check in doc["checks"].values())
+
+    def test_readyz_unready_is_503(self, server):
+        server.ready_queue_bound = -1  # any queued work exceeds it
+        status, doc = call(server, "/readyz")
+        assert status == 503
+        assert doc["status"] == "unready"
+
 
 class TestPartitionEndpoint:
     def test_served_matches_direct_run(self, server, h):
