@@ -159,6 +159,40 @@ def _run_cache_scenario(args) -> int:
     return EXIT_OK if record["ok"] else EXIT_REGRESSED
 
 
+def _run_serving_scenario(args) -> int:
+    """Handle ``--serving-scenario``: a short gated load run against a
+    private in-process server, with the full client/server cross-check
+    and SLO verdicts (writes ``BENCH_serving.json``-shaped output)."""
+    from ..loadgen import run_serving_scenario
+    from ..loadgen.slo import parse_slo
+    from ..obs import render_serving_markdown
+
+    try:
+        slo = parse_slo(args.slo) if args.slo else None
+        payload, _result = run_serving_scenario(
+            duration_s=args.serving_duration,
+            concurrency=args.serving_concurrency,
+            mix=args.serving_mix,
+            seed=args.seed,
+            slo=slo,
+            scale=min(args.scale, 0.2),
+        )
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(render_serving_markdown(payload))
+    if args.out == "BENCH_obs.json":  # suite default; not a serving payload
+        args.out = "BENCH_serving.json"
+    out = Path(args.out)
+    out.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(f"wrote {args.out}", file=sys.stderr)
+    ok = payload["crosscheck"]["ok"] and payload["slo"]["ok"] is not False
+    return EXIT_OK if ok else EXIT_REGRESSED
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
@@ -231,6 +265,32 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "verify the warm request hit the cache and skipped every "
         "compute phase (writes the record to --out)",
     )
+    parser.add_argument(
+        "--serving-scenario", action="store_true",
+        help="run a short gated load test instead of the suite: boot a "
+        "private in-process server, drive a mixed closed-loop workload "
+        "with repro.loadgen, cross-check client records against the "
+        "server's /metrics deltas, and evaluate --slo (writes the "
+        "BENCH_serving payload to --out)",
+    )
+    parser.add_argument(
+        "--serving-duration", type=float, default=3.0, metavar="SECONDS",
+        help="with --serving-scenario: load duration (default 3)",
+    )
+    parser.add_argument(
+        "--serving-concurrency", type=int, default=4, metavar="N",
+        help="with --serving-scenario: closed-loop workers (default 4)",
+    )
+    parser.add_argument(
+        "--serving-mix", default="igmatch=0.5,fm=0.3,eig1=0.2",
+        metavar="ALG=W,...",
+        help="with --serving-scenario: algorithm traffic mix",
+    )
+    parser.add_argument(
+        "--slo", default=None, metavar="OBJ=TARGET,...",
+        help="with --serving-scenario: SLO objectives, e.g. "
+        "p99=2.0,error_rate=0.01 (failing one exits nonzero)",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -239,6 +299,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.cache_scenario:
         return _run_cache_scenario(args)
+
+    if args.serving_scenario:
+        return _run_serving_scenario(args)
 
     error = _validate_names(args.names)
     if error is not None:

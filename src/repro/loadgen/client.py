@@ -1,0 +1,411 @@
+"""Threaded stdlib HTTP client: send the schedule, record everything.
+
+:class:`LoadClient` drives a :class:`repro.loadgen.workload.Workload`
+against a running ``repro-serve`` instance using only
+``urllib.request`` and threads.  Every request records a
+:class:`RequestRecord` — latency, HTTP status, the server-echoed
+``X-Trace-Id``, and cache provenance (``source``/``cached`` from the
+response body) — and lands in client-side
+:class:`repro.obs.HistogramSet` histograms
+(``loadgen.request.duration_seconds{algorithm,outcome}``), the same
+mergeable log-bucket machinery the server keeps, so client and server
+distributions are directly comparable.
+
+Outcome vocabulary (disjoint; every request gets exactly one):
+
+``ok``
+    HTTP 200 with a parsed result body.
+``rejected``
+    HTTP 429 (ingress backpressure) or 503 (draining) — flow-control
+    shedding, **not** an error: the server answered honestly that it
+    would not take the work.  Excluded from the SLO error rate.
+``error``
+    Any other HTTP status (a 400/404/500 means the client or server is
+    actually wrong).
+``refused``
+    The TCP connection was refused, or reset/closed before any
+    response byte arrived — the request never reached the
+    application (normal once a drain closes the listener), so it
+    appears in no server-side count.
+``transport``
+    Any other network failure (timeout, malformed response): possibly
+    a lost accepted request, which the graceful-drain guarantee says
+    must never happen.  The cross-check catches losses this taxonomy
+    cannot see client-side: a request the server logged but the
+    client never counted as a response shows up as a count mismatch.
+
+:func:`scrape_metrics` fetches ``/metrics`` in both content types and
+**validates** the Prometheus exposition with
+:func:`repro.obs.parse_prometheus_text` before anyone trusts it.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import threading
+import time
+import urllib.error
+import urllib.request
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import ReproError
+from ..obs import HistogramSet, parse_prometheus_text
+from .corpus import Corpus
+from .workload import RequestSpec, Workload
+
+__all__ = ["LoadClient", "LoadResult", "RequestRecord", "scrape_metrics"]
+
+OUTCOMES = ("ok", "rejected", "error", "refused", "transport")
+
+#: Failures proving the request never reached the application: refused
+#: outright, or reset/closed before a single response byte
+#: (``RemoteDisconnected`` subclasses ``ConnectionResetError``).
+_NEVER_REACHED = (
+    ConnectionRefusedError,
+    ConnectionResetError,
+    BrokenPipeError,
+)
+
+
+@dataclass
+class RequestRecord:
+    """Everything observed about one sent request."""
+
+    index: int
+    algorithm: str
+    entry: str
+    kind: str  # corpus entry kind: "base" | "isomorph"
+    outcome: str
+    latency_s: float
+    status: Optional[int] = None
+    trace_id: str = ""
+    source: str = ""  # computed | memory | disk | inflight ("" if n/a)
+    cached: Optional[bool] = None
+    error: Optional[str] = None
+    sent_at_s: float = 0.0  # offset from run start
+
+    def row(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {
+            "index": self.index,
+            "algorithm": self.algorithm,
+            "entry": self.entry,
+            "kind": self.kind,
+            "outcome": self.outcome,
+            "latency_s": round(self.latency_s, 6),
+        }
+        if self.status is not None:
+            doc["status"] = self.status
+        if self.trace_id:
+            doc["trace_id"] = self.trace_id
+        if self.source:
+            doc["source"] = self.source
+        if self.error:
+            doc["error"] = self.error
+        return doc
+
+
+@dataclass
+class LoadResult:
+    """One finished load run: records, client histograms, wall clock."""
+
+    records: List[RequestRecord]
+    hists: HistogramSet
+    elapsed_s: float
+    model: str  # "closed" | "open"
+    concurrency: int = 0
+    rate: float = 0.0
+    behind_schedule: int = 0  # open loop: sends that missed their slot
+    metrics_before: Optional[Dict[str, Any]] = None
+    metrics_after: Optional[Dict[str, Any]] = None
+    prom_before: Dict[str, List[Any]] = field(default_factory=dict)
+    prom_after: Dict[str, List[Any]] = field(default_factory=dict)
+
+    def count(self, outcome: str) -> int:
+        return sum(1 for r in self.records if r.outcome == outcome)
+
+    def by_source(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for r in self.records:
+            if r.outcome == "ok" and r.source:
+                out[r.source] = out.get(r.source, 0) + 1
+        return out
+
+    @property
+    def responses(self) -> int:
+        """Requests that received *any* HTTP response from the server."""
+        return sum(1 for r in self.records if r.status is not None)
+
+
+def _normalise_url(url: str) -> str:
+    url = url.rstrip("/")
+    if not url.startswith(("http://", "https://")):
+        url = "http://" + url
+    return url
+
+
+def scrape_metrics(
+    base_url: str, timeout_s: float = 30.0
+) -> Tuple[Dict[str, Any], Dict[str, List[Any]]]:
+    """``(json_doc, prometheus_samples)`` from one ``/metrics`` scrape.
+
+    The Prometheus text form is validated with
+    :func:`repro.obs.parse_prometheus_text` — a malformed exposition is
+    a :class:`ReproError` here, not a silently skipped cross-check.
+    """
+    base = _normalise_url(base_url)
+    try:
+        with urllib.request.urlopen(
+            base + "/metrics", timeout=timeout_s
+        ) as response:
+            doc = json.loads(response.read())
+        with urllib.request.urlopen(
+            base + "/metrics?format=prometheus", timeout=timeout_s
+        ) as response:
+            text = response.read().decode("utf-8")
+    except (OSError, urllib.error.URLError, ValueError) as exc:
+        raise ReproError(f"cannot scrape {base}/metrics: {exc}") from None
+    try:
+        samples = parse_prometheus_text(text)
+    except ValueError as exc:
+        raise ReproError(
+            f"{base}/metrics?format=prometheus is not valid Prometheus "
+            f"exposition: {exc}"
+        ) from None
+    return doc, samples
+
+
+class LoadClient:
+    """Drives a workload at a server and records per-request telemetry."""
+
+    def __init__(
+        self,
+        base_url: str,
+        corpus: Corpus,
+        workload: Workload,
+        timeout_s: float = 120.0,
+        hists: Optional[HistogramSet] = None,
+    ):
+        if len(corpus) != workload.corpus_size:
+            raise ReproError(
+                f"workload was built for a corpus of "
+                f"{workload.corpus_size}, got {len(corpus)} entries"
+            )
+        self.base_url = _normalise_url(base_url)
+        self.corpus = corpus
+        self.workload = workload
+        self.timeout_s = float(timeout_s)
+        self.hists = hists if hists is not None else HistogramSet()
+        self._run_nonce = uuid.uuid4().hex[:8]
+        self._lock = threading.Lock()
+        self._records: List[RequestRecord] = []
+        self._stop = threading.Event()
+
+    # ------------------------------------------------------------------
+    def _trace_id(self, index: int) -> str:
+        return f"loadgen-{self._run_nonce}-{index:06d}"
+
+    def _send_one(self, spec: RequestSpec, run_start: float) -> RequestRecord:
+        entry = self.corpus[spec.entry_index]
+        body = json.dumps(
+            {
+                "netlist": entry.netlist,
+                "algorithm": spec.algorithm,
+                "seed": spec.seed,
+            }
+        ).encode("utf-8")
+        trace_id = self._trace_id(spec.index)
+        request = urllib.request.Request(
+            self.base_url + "/partition",
+            data=body,
+            headers={
+                "Content-Type": "application/json",
+                "X-Trace-Id": trace_id,
+            },
+        )
+        record = RequestRecord(
+            index=spec.index,
+            algorithm=spec.algorithm,
+            entry=entry.name,
+            kind=entry.kind,
+            outcome="transport",
+            latency_s=0.0,
+            trace_id=trace_id,
+            sent_at_s=time.perf_counter() - run_start,
+        )
+        start = time.perf_counter()
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout_s
+            ) as response:
+                payload = json.loads(response.read())
+            record.status = 200
+            record.outcome = "ok"
+            record.source = str(payload.get("source", ""))
+            cached = payload.get("cached")
+            record.cached = bool(cached) if cached is not None else None
+        except urllib.error.HTTPError as exc:
+            record.status = exc.code
+            try:
+                detail = json.loads(exc.read()).get("error", "")
+            except (ValueError, OSError):
+                detail = ""
+            record.error = detail or f"HTTP {exc.code}"
+            record.outcome = (
+                "rejected" if exc.code in (429, 503) else "error"
+            )
+        except urllib.error.URLError as exc:
+            reason = getattr(exc, "reason", exc)
+            record.outcome = (
+                "refused" if isinstance(reason, _NEVER_REACHED) else "transport"
+            )
+            record.error = f"{type(reason).__name__}: {reason}"
+        except _NEVER_REACHED as exc:
+            # Reset/closed with no response byte: the server never took
+            # the request (e.g. it sat in the listen backlog when a
+            # drain closed the socket).
+            record.outcome = "refused"
+            record.error = f"{type(exc).__name__}: {exc}"
+        except (
+            OSError, socket.timeout, ValueError, http.client.HTTPException
+        ) as exc:
+            record.outcome = "transport"
+            record.error = f"{type(exc).__name__}: {exc}"
+        record.latency_s = time.perf_counter() - start
+        self.hists.observe(
+            "loadgen.request.duration_seconds",
+            record.latency_s,
+            algorithm=record.algorithm,
+            outcome=record.outcome,
+        )
+        if record.outcome == "ok" and record.source:
+            self.hists.observe(
+                "loadgen.serve.duration_seconds",
+                record.latency_s,
+                source=record.source,
+            )
+        with self._lock:
+            self._records.append(record)
+        return record
+
+    # ------------------------------------------------------------------
+    def run_closed(
+        self, duration_s: float, concurrency: int
+    ) -> LoadResult:
+        """Closed loop: ``concurrency`` workers, back-to-back requests.
+
+        Workers share one global schedule cursor, so the *sequence* of
+        request specs is the workload's deterministic schedule even
+        though which worker sends which request is timing-dependent.
+        """
+        if concurrency < 1:
+            raise ReproError(
+                f"concurrency must be >= 1, got {concurrency}"
+            )
+        if duration_s <= 0:
+            raise ReproError(
+                f"duration must be > 0 seconds, got {duration_s}"
+            )
+        self._stop.clear()
+        cursor = iter(range(1 << 62))
+        cursor_lock = threading.Lock()
+        run_start = time.perf_counter()
+        deadline = run_start + duration_s
+
+        def worker() -> None:
+            while not self._stop.is_set():
+                if time.perf_counter() >= deadline:
+                    return
+                with cursor_lock:
+                    index = next(cursor)
+                record = self._send_one(
+                    self.workload.spec(index), run_start
+                )
+                if record.outcome == "refused":
+                    return  # listener is gone; stop offering load
+
+        threads = [
+            threading.Thread(target=worker, daemon=True, name=f"loadgen-{i}")
+            for i in range(concurrency)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(duration_s + self.timeout_s + 30.0)
+        elapsed = time.perf_counter() - run_start
+        with self._lock:
+            records = sorted(self._records, key=lambda r: r.index)
+            self._records = []
+        return LoadResult(
+            records=records,
+            hists=self.hists,
+            elapsed_s=elapsed,
+            model="closed",
+            concurrency=concurrency,
+        )
+
+    def run_open(
+        self,
+        duration_s: float,
+        rate: float,
+        max_inflight: int = 64,
+    ) -> LoadResult:
+        """Open loop: requests launch at their scheduled Poisson arrival
+        times whether or not earlier ones have finished (bounded by
+        ``max_inflight`` worker threads; a send that cannot start by
+        its slot is counted in ``behind_schedule``)."""
+        schedule = self.workload.open_loop_schedule(duration_s, rate)
+        self._stop.clear()
+        behind = [0]
+        cursor = [0]
+        cursor_lock = threading.Lock()
+        run_start = time.perf_counter()
+
+        def worker() -> None:
+            while not self._stop.is_set():
+                with cursor_lock:
+                    position = cursor[0]
+                    if position >= len(schedule):
+                        return
+                    cursor[0] = position + 1
+                spec = schedule[position]
+                assert spec.arrival_s is not None
+                slot = run_start + spec.arrival_s
+                delay = slot - time.perf_counter()
+                if delay > 0:
+                    time.sleep(delay)
+                elif delay < -0.05:
+                    with cursor_lock:
+                        behind[0] += 1
+                record = self._send_one(spec, run_start)
+                if record.outcome == "refused":
+                    return
+
+        workers = min(max_inflight, max(1, len(schedule)))
+        threads = [
+            threading.Thread(target=worker, daemon=True, name=f"loadgen-{i}")
+            for i in range(workers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(duration_s + self.timeout_s + 30.0)
+        elapsed = time.perf_counter() - run_start
+        with self._lock:
+            records = sorted(self._records, key=lambda r: r.index)
+            self._records = []
+        return LoadResult(
+            records=records,
+            hists=self.hists,
+            elapsed_s=elapsed,
+            model="open",
+            rate=rate,
+            behind_schedule=behind[0],
+        )
+
+    def stop(self) -> None:
+        """Ask workers to stop after their current request."""
+        self._stop.set()

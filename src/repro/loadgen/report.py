@@ -1,0 +1,523 @@
+"""The serving benchmark report: schema, cross-check, validation.
+
+One load run produces one ``BENCH_serving.json`` payload
+(:func:`build_payload`, schema version :data:`SERVING_SCHEMA`,
+validated by :func:`validate_payload`) holding the workload/corpus
+configuration, client-side latency summaries, per-objective SLO
+verdicts, and — the part that makes the numbers trustworthy — the
+**client/server cross-check** (:func:`crosscheck`): the server's
+``/metrics`` snapshot from before the run is subtracted from the one
+after, and the deltas must account for exactly the requests the client
+sent:
+
+* the ``http.request.duration_seconds{method=POST,route=/partition}``
+  histogram ``_count`` grew by exactly the number of HTTP responses
+  the client received (ok + rejected + error — refused/transport
+  requests never produced a server-side response);
+* ``service.rejected`` grew by exactly the client's 429 count
+  (backpressure is accounted separately from errors, and 503 draining
+  rejections are not 429 backpressure);
+* ``service.requests`` grew by exactly the requests that reached the
+  engine (the client's 200s; non-2xx errors may fail before or after
+  engine dispatch, so with errors present the check becomes a range);
+* engine-internal conservation: ``cache.hit + cache.miss ==
+  requests``, and the ``service.request.duration_seconds`` histogram
+  count matches the counter;
+* cache provenance: the client's per-``source`` tallies (computed /
+  memory / disk / inflight, read from response bodies) equal the
+  server's counter and cache-stat deltas.
+
+A cross-check row that cannot be decided (mixed errors, missing
+sections) is reported ``indeterminate`` rather than silently passed.
+
+All functions here are pure — scraping and polling live in
+:mod:`repro.loadgen.client` / :mod:`repro.loadgen.scenario`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..errors import ReproError
+from .client import LoadResult
+from .corpus import Corpus
+from .slo import SLOSpec, evaluate_slo, slo_ok
+from .workload import Workload
+
+__all__ = [
+    "SERVING_SCHEMA",
+    "build_payload",
+    "crosscheck",
+    "hist_count",
+    "validate_payload",
+]
+
+#: Version of the ``BENCH_serving.json`` payload shape.
+SERVING_SCHEMA = 1
+
+_REQUIRED_KEYS = (
+    "schema",
+    "kind",
+    "workload",
+    "corpus",
+    "client",
+    "latency",
+    "slo",
+    "crosscheck",
+    "server",
+)
+
+
+def hist_count(
+    metrics: Optional[Dict[str, Any]],
+    name: str,
+    **labels: str,
+) -> Optional[int]:
+    """Total ``count`` across a histogram's series matching ``labels``.
+
+    ``labels`` is a subset match (a series matches when every given
+    label equals).  ``None`` when the metrics doc has no histogram
+    section; 0 when the section exists but no series matches (a
+    before-scrape of a fresh server legitimately has no series yet).
+    """
+    if not metrics:
+        return None
+    series = metrics.get("histograms", {})
+    if not isinstance(series, dict):
+        return None
+    total = 0
+    for entry in series.get(name, []):
+        entry_labels = entry.get("labels", {})
+        if all(entry_labels.get(k) == v for k, v in labels.items()):
+            total += int(entry.get("count", 0))
+    return total
+
+
+def _counter(
+    metrics: Optional[Dict[str, Any]], section: str, name: str
+) -> Optional[int]:
+    if not metrics:
+        return None
+    block = metrics.get(section)
+    if not isinstance(block, dict) or name not in block:
+        return None
+    return int(block[name])
+
+
+def _delta(
+    before: Optional[int], after: Optional[int]
+) -> Optional[int]:
+    if before is None and after is None:
+        return None
+    # A fresh server's before-scrape may predate a section (no jobs
+    # scheduler yet, no histogram series): treat absent-before as 0.
+    return (after or 0) - (before or 0)
+
+
+def crosscheck(
+    before: Dict[str, Any],
+    after: Dict[str, Any],
+    result: LoadResult,
+) -> List[Dict[str, Any]]:
+    """Account for every client request in the server's metric deltas.
+
+    Returns one row per check: ``{"check", "expected", "observed",
+    "status", "detail"}`` with status ``"ok"`` / ``"mismatch"`` /
+    ``"indeterminate"``.  Callers gate on
+    ``all(r["status"] == "ok" for r in rows)``.
+    """
+    rows: List[Dict[str, Any]] = []
+
+    ok = result.count("ok")
+    errors = result.count("error")
+    rejected_429 = sum(1 for r in result.records if r.status == 429)
+    responses = result.responses
+
+    def check(
+        name: str,
+        expected: Optional[int],
+        observed: Optional[int],
+        detail: str = "",
+        lo: Optional[int] = None,
+        hi: Optional[int] = None,
+    ) -> None:
+        """One row; a (lo, hi) range overrides exact equality."""
+        if observed is None:
+            status = "indeterminate"
+            detail = detail or "metric absent from scrape"
+        elif lo is not None and hi is not None:
+            status = "ok" if lo <= observed <= hi else "mismatch"
+        else:
+            status = "ok" if observed == expected else "mismatch"
+        rows.append(
+            {
+                "check": name,
+                "expected": expected,
+                "observed": observed,
+                "status": status,
+                "detail": detail,
+            }
+        )
+
+    # 1. Every HTTP response the client got is one observation in the
+    #    server's POST /partition latency histogram — no more, no less.
+    http_delta = _delta(
+        hist_count(
+            before,
+            "http.request.duration_seconds",
+            method="POST",
+            route="/partition",
+        ),
+        hist_count(
+            after,
+            "http.request.duration_seconds",
+            method="POST",
+            route="/partition",
+        ),
+    )
+    check(
+        "http.request.duration_seconds count delta == client responses",
+        responses,
+        http_delta,
+        f"client saw {responses} responses "
+        f"(ok={ok} rejected={result.count('rejected')} errors={errors})",
+    )
+
+    # 2. Backpressure is accounted separately: the 429 counter moved by
+    #    exactly the client's 429s (503 draining is not backpressure).
+    rejected_delta = _delta(
+        _counter(before, "service", "service.rejected"),
+        _counter(after, "service", "service.rejected"),
+    )
+    check(
+        "service.rejected delta == client 429s",
+        rejected_429,
+        rejected_delta,
+    )
+
+    # 3. Requests that reached the engine.  Errors can fail either side
+    #    of engine dispatch, so with errors present the exact count is
+    #    undecidable and the check degrades to a range.
+    requests_delta = _delta(
+        _counter(before, "service", "service.requests"),
+        _counter(after, "service", "service.requests"),
+    )
+    if errors:
+        check(
+            "service.requests delta in [ok, ok + errors]",
+            ok,
+            requests_delta,
+            f"{errors} client error(s) may or may not have reached "
+            "the engine",
+            lo=ok,
+            hi=ok + errors,
+        )
+    else:
+        check(
+            "service.requests delta == client 200s",
+            ok,
+            requests_delta,
+        )
+
+    # 4. Engine conservation: every engine request is a hit or a miss.
+    hit_delta = _delta(
+        _counter(before, "service", "service.cache.hit"),
+        _counter(after, "service", "service.cache.hit"),
+    )
+    miss_delta = _delta(
+        _counter(before, "service", "service.cache.miss"),
+        _counter(after, "service", "service.cache.miss"),
+    )
+    if (
+        hit_delta is None
+        or miss_delta is None
+        or requests_delta is None
+    ):
+        check("cache.hit + cache.miss == service.requests", None, None)
+    else:
+        check(
+            "cache.hit + cache.miss == service.requests",
+            requests_delta,
+            hit_delta + miss_delta,
+        )
+
+    # 5. The engine's own request histogram agrees with its counter.
+    engine_hist_delta = _delta(
+        hist_count(before, "service.request.duration_seconds"),
+        hist_count(after, "service.request.duration_seconds"),
+    )
+    check(
+        "service.request.duration_seconds count delta == "
+        "service.requests delta",
+        requests_delta,
+        engine_hist_delta,
+    )
+
+    # 6. Cache provenance: the client's response bodies tell the same
+    #    story as the server's counters, source by source.
+    sources = result.by_source()
+    computed_delta = _delta(
+        _counter(before, "service", "service.computed"),
+        _counter(after, "service", "service.computed"),
+    )
+    check(
+        "service.computed delta == client source=computed",
+        sources.get("computed", 0),
+        computed_delta,
+    )
+    check(
+        "service.cache.hit delta == client cached sources",
+        sources.get("memory", 0)
+        + sources.get("disk", 0)
+        + sources.get("inflight", 0),
+        hit_delta,
+    )
+    inflight_delta = _delta(
+        _counter(before, "service", "service.cache.hit.inflight"),
+        _counter(after, "service", "service.cache.hit.inflight"),
+    )
+    check(
+        "service.cache.hit.inflight delta == client source=inflight",
+        sources.get("inflight", 0),
+        inflight_delta,
+    )
+    memory_delta = _delta(
+        _counter(before, "cache", "memory_hits"),
+        _counter(after, "cache", "memory_hits"),
+    )
+    check(
+        "cache memory_hits delta == client source=memory",
+        sources.get("memory", 0),
+        memory_delta,
+        "cache section absent (server running without a cache)"
+        if memory_delta is None
+        else "",
+    )
+    disk_delta = _delta(
+        _counter(before, "cache", "disk_hits"),
+        _counter(after, "cache", "disk_hits"),
+    )
+    check(
+        "cache disk_hits delta == client source=disk",
+        sources.get("disk", 0),
+        disk_delta,
+        "cache section absent (server running without a cache)"
+        if disk_delta is None
+        else "",
+    )
+    return rows
+
+
+def _latency_summary(result: LoadResult) -> Dict[str, Any]:
+    """Client-observed latency: overall + ok-only quantiles, by source."""
+    doc: Dict[str, Any] = {}
+    overall = result.hists.merged("loadgen.request.duration_seconds")
+    if overall is not None and overall.count:
+        doc["all"] = overall.snapshot()
+    ok_only: Dict[str, Any] = {}
+    merged_ok = None
+    for record_algorithm in sorted(
+        {r.algorithm for r in result.records}
+    ):
+        hist = result.hists.get(
+            "loadgen.request.duration_seconds",
+            algorithm=record_algorithm,
+            outcome="ok",
+        )
+        if hist is None or not hist.count:
+            continue
+        ok_only[record_algorithm] = hist.snapshot()
+        merged_ok = hist if merged_ok is None else merged_ok.merge(hist)
+    if merged_ok is not None:
+        doc["ok"] = merged_ok.snapshot()
+    if ok_only:
+        doc["ok_by_algorithm"] = ok_only
+    by_source = result.hists.snapshot().get(
+        "loadgen.serve.duration_seconds", []
+    )
+    if by_source:
+        doc["ok_by_source"] = by_source
+    return doc
+
+
+def ok_quantiles(result: LoadResult) -> Dict[str, Optional[float]]:
+    """p50/p95/p99 of successful requests (``None`` s when no 200s)."""
+    merged = None
+    for algorithm in {r.algorithm for r in result.records}:
+        hist = result.hists.get(
+            "loadgen.request.duration_seconds",
+            algorithm=algorithm,
+            outcome="ok",
+        )
+        if hist is None:
+            continue
+        merged = hist if merged is None else merged.merge(hist)
+    if merged is None or not merged.count:
+        return {"p50": None, "p95": None, "p99": None}
+    return merged.percentiles()
+
+
+def build_payload(
+    result: LoadResult,
+    workload: Workload,
+    corpus: Corpus,
+    slo: Optional[SLOSpec],
+    checks: List[Dict[str, Any]],
+    extra: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Assemble the full ``BENCH_serving.json`` document."""
+    ok = result.count("ok")
+    rejected = result.count("rejected")
+    errors = result.count("error")
+    non_rejected = ok + errors
+    error_rate = (errors / non_rejected) if non_rejected else None
+    rps = ok / result.elapsed_s if result.elapsed_s > 0 else None
+    quantiles = ok_quantiles(result)
+
+    slo_rows: List[Dict[str, Any]] = []
+    if slo is not None:
+        slo_rows = evaluate_slo(slo, quantiles, error_rate, rps)
+
+    # Isomorph traffic that missed the exact-fingerprint cache is the
+    # measured win a canonical-fingerprint tier (ROADMAP item 2) would
+    # capture: same canonical fingerprint as a base, different exact key.
+    iso_requests = sum(
+        1 for r in result.records if r.kind == "isomorph"
+    )
+    iso_computed = sum(
+        1
+        for r in result.records
+        if r.kind == "isomorph"
+        and r.outcome == "ok"
+        and r.source == "computed"
+    )
+
+    payload: Dict[str, Any] = {
+        "schema": SERVING_SCHEMA,
+        "kind": "serving",
+        "workload": dict(workload.describe(), model=result.model),
+        "corpus": corpus.describe(),
+        "client": {
+            "requests": len(result.records),
+            "elapsed_s": round(result.elapsed_s, 6),
+            "outcomes": {
+                outcome: result.count(outcome)
+                for outcome in (
+                    "ok",
+                    "rejected",
+                    "error",
+                    "refused",
+                    "transport",
+                )
+            },
+            "rejected_429": sum(
+                1 for r in result.records if r.status == 429
+            ),
+            "by_source": result.by_source(),
+            "error_rate": error_rate,
+            "rps": round(rps, 6) if rps is not None else None,
+            "concurrency": result.concurrency,
+            "rate": result.rate,
+            "behind_schedule": result.behind_schedule,
+        },
+        "latency": _latency_summary(result),
+        "slo": {
+            "spec": slo.describe() if slo is not None else None,
+            "verdicts": slo_rows,
+            "ok": slo_ok(slo_rows) if slo is not None else None,
+        },
+        "crosscheck": {
+            "checks": checks,
+            "ok": all(c["status"] == "ok" for c in checks),
+        },
+        "canonical_tier_opportunity": {
+            "isomorph_requests": iso_requests,
+            "isomorph_computed": iso_computed,
+        },
+        "server": {
+            "before": _server_summary(result.metrics_before),
+            "after": _server_summary(result.metrics_after),
+        },
+    }
+    if result.model == "closed":
+        payload["workload"]["concurrency"] = result.concurrency
+    else:
+        payload["workload"]["rate"] = result.rate
+    if extra:
+        payload.update(extra)
+    return payload
+
+
+def _server_summary(
+    metrics: Optional[Dict[str, Any]]
+) -> Optional[Dict[str, Any]]:
+    """Compact slice of one ``/metrics`` scrape for the report."""
+    if not metrics:
+        return None
+    doc: Dict[str, Any] = {}
+    for section in ("service", "cache", "jobs", "process"):
+        block = metrics.get(section)
+        if isinstance(block, dict):
+            doc[section] = {
+                k: v
+                for k, v in block.items()
+                if isinstance(v, (int, float, bool))
+            }
+    doc["http_partition_count"] = hist_count(
+        metrics,
+        "http.request.duration_seconds",
+        method="POST",
+        route="/partition",
+    )
+    return doc
+
+
+def validate_payload(payload: Dict[str, Any]) -> None:
+    """Raise :class:`ReproError` unless ``payload`` is a well-formed
+    schema-:data:`SERVING_SCHEMA` serving benchmark document."""
+    if not isinstance(payload, dict):
+        raise ReproError("serving payload must be a JSON object")
+    if payload.get("schema") != SERVING_SCHEMA:
+        raise ReproError(
+            f"unknown serving payload schema {payload.get('schema')!r} "
+            f"(expected {SERVING_SCHEMA})"
+        )
+    if payload.get("kind") != "serving":
+        raise ReproError(
+            f"payload kind {payload.get('kind')!r} is not 'serving'"
+        )
+    missing = [k for k in _REQUIRED_KEYS if k not in payload]
+    if missing:
+        raise ReproError(
+            f"serving payload missing key(s): {', '.join(missing)}"
+        )
+    client = payload["client"]
+    if not isinstance(client, dict) or "outcomes" not in client:
+        raise ReproError("serving payload client block malformed")
+    outcomes = client["outcomes"]
+    if not isinstance(outcomes, dict) or not all(
+        isinstance(v, int) and v >= 0 for v in outcomes.values()
+    ):
+        raise ReproError(
+            "client outcomes must map outcome -> non-negative int"
+        )
+    if sum(outcomes.values()) != client.get("requests"):
+        raise ReproError(
+            "client outcome counts do not sum to client requests"
+        )
+    slo = payload["slo"]
+    if not isinstance(slo, dict) or "verdicts" not in slo:
+        raise ReproError("serving payload slo block malformed")
+    for row in slo["verdicts"]:
+        if not {"objective", "target", "observed", "verdict"} <= set(row):
+            raise ReproError(f"malformed SLO verdict row: {row!r}")
+    cross = payload["crosscheck"]
+    if not isinstance(cross, dict) or "checks" not in cross:
+        raise ReproError("serving payload crosscheck block malformed")
+    for row in cross["checks"]:
+        if not {"check", "expected", "observed", "status"} <= set(row):
+            raise ReproError(f"malformed crosscheck row: {row!r}")
+        if row["status"] not in ("ok", "mismatch", "indeterminate"):
+            raise ReproError(
+                f"unknown crosscheck status {row['status']!r}"
+            )

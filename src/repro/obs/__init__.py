@@ -51,6 +51,7 @@ from .hist import (
     HistogramSet,
     log_buckets,
 )
+from .proc import process_metrics
 from .prom import parse_prometheus_text, render_prometheus
 from .registry import (
     STATE,
@@ -66,6 +67,8 @@ from .render import (
     load_jsonl,
     render_html,
     render_markdown,
+    render_serving_html,
+    render_serving_markdown,
     render_slow_html,
     render_trace_html,
     span_tree_from_events,
@@ -108,9 +111,12 @@ __all__ = [
     "new_trace_id",
     "parse_prometheus_text",
     "phase_report",
+    "process_metrics",
     "render_html",
     "render_markdown",
     "render_prometheus",
+    "render_serving_html",
+    "render_serving_markdown",
     "render_slow_html",
     "render_trace_html",
     "reset",

@@ -42,6 +42,9 @@ _GAUGE_KEYS = {
         "disk_enabled",
     },
     "jobs": {"pending", "running"},
+    # cpu_*_seconds are lifetime totals (counters); the RSS fields are
+    # point-in-time observations.
+    "process": {"rss_bytes", "max_rss_bytes"},
 }
 
 
@@ -157,6 +160,9 @@ def render_prometheus(doc: Dict[str, Any]) -> str:
     jobs = doc.get("jobs")
     if isinstance(jobs, dict):
         _render_flat_section(writer, "jobs", jobs)
+    process = doc.get("process")
+    if isinstance(process, dict):
+        _render_flat_section(writer, "process", process)
     slow = doc.get("slow")
     if isinstance(slow, dict):
         for key in sorted(slow):

@@ -29,6 +29,8 @@ from .diff import BenchDiff, FieldDiff, REGRESSED, SLOWER
 __all__ = [
     "load_jsonl",
     "render_html",
+    "render_serving_html",
+    "render_serving_markdown",
     "render_slow_html",
     "render_trace_html",
     "render_markdown",
@@ -555,6 +557,259 @@ def render_markdown(diff: BenchDiff) -> str:
                 f"{b} → {c} ({f.status})"
             )
     return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Serving benchmark reports (BENCH_serving.json)
+
+_SLO_VERDICT_CLASS = {
+    "pass": "good",
+    "pass-within-noise": "warn",
+    "fail": "bad",
+    "skipped": "info",
+}
+
+_CHECK_STATUS_CLASS = {
+    "ok": "good",
+    "mismatch": "bad",
+    "indeterminate": "warn",
+}
+
+_SLO_VERDICT_MARK = {
+    "pass": "✓",
+    "pass-within-noise": "~",
+    "fail": "✗",
+    "skipped": "·",
+}
+
+
+def _serving_overview(payload: Dict[str, Any]) -> List[str]:
+    """The headline facts of one serving run, as plain strings."""
+    client = payload.get("client", {})
+    workload = payload.get("workload", {})
+    outcomes = client.get("outcomes", {})
+    mix = ", ".join(
+        f"{name}={weight:.2f}"
+        for name, weight in sorted(workload.get("mix", {}).items())
+    )
+    model = workload.get("model", "?")
+    shape = (
+        f"concurrency {client.get('concurrency')}"
+        if model == "closed"
+        else f"rate {client.get('rate')}/s"
+    )
+    lines = [
+        f"model {model} ({shape}) · mix {mix} · "
+        f"zipf s={workload.get('zipf_s')} · seed {workload.get('seed')}",
+        f"{client.get('requests', 0)} requests in "
+        f"{float(client.get('elapsed_s', 0.0)):.2f}s — "
+        + ", ".join(
+            f"{outcomes.get(k, 0)} {k}"
+            for k in ("ok", "rejected", "error", "refused", "transport")
+            if outcomes.get(k)
+        ),
+    ]
+    rps = client.get("rps")
+    error_rate = client.get("error_rate")
+    facts = []
+    if rps is not None:
+        facts.append(f"throughput {float(rps):.2f} ok/s")
+    if error_rate is not None:
+        facts.append(f"error rate {float(error_rate):.4f}")
+    sources = client.get("by_source", {})
+    if sources:
+        facts.append(
+            "sources "
+            + ", ".join(
+                f"{name}={sources[name]}" for name in sorted(sources)
+            )
+        )
+    if facts:
+        lines.append(" · ".join(facts))
+    opportunity = payload.get("canonical_tier_opportunity", {})
+    if opportunity.get("isomorph_requests"):
+        lines.append(
+            f"canonical-tier opportunity: "
+            f"{opportunity.get('isomorph_computed', 0)} of "
+            f"{opportunity['isomorph_requests']} isomorph requests "
+            "recomputed (same canonical fingerprint as a cached base)"
+        )
+    return lines
+
+
+def render_serving_markdown(payload: Dict[str, Any]) -> str:
+    """Compact summary of a ``BENCH_serving.json`` payload for CI logs."""
+    lines: List[str] = list(_serving_overview(payload))
+    latency = payload.get("latency", {}).get("ok", {})
+    if latency:
+        lines.append(
+            "ok latency: "
+            + " · ".join(
+                f"{q}={_fmt(float(latency[q]))}s"
+                for q in ("p50", "p95", "p99")
+                if latency.get(q) is not None
+            )
+        )
+    slo = payload.get("slo", {})
+    for row in slo.get("verdicts", []):
+        mark = _SLO_VERDICT_MARK.get(row.get("verdict", ""), "·")
+        observed = row.get("observed")
+        shown = "—" if observed is None else _fmt(float(observed))
+        lines.append(
+            f"- {mark} SLO {row.get('objective')}: observed {shown} "
+            f"vs target {_fmt(float(row.get('target', 0.0)))} "
+            f"({row.get('verdict')})"
+        )
+    if slo.get("ok") is True:
+        lines.append("✓ SLO: all objectives met")
+    elif slo.get("ok") is False:
+        lines.append("✗ SLO: objective(s) failed")
+    cross = payload.get("crosscheck", {})
+    mismatches = [
+        row
+        for row in cross.get("checks", [])
+        if row.get("status") != "ok"
+    ]
+    if cross.get("ok"):
+        lines.append(
+            f"✓ cross-check: {len(cross.get('checks', []))} "
+            "client/server accounting checks passed"
+        )
+    else:
+        lines.append("✗ cross-check: client/server accounting disagrees")
+        for row in mismatches:
+            lines.append(
+                f"- ✗ {row.get('check')}: expected "
+                f"{row.get('expected')!r}, observed "
+                f"{row.get('observed')!r} ({row.get('status')})"
+            )
+    return "\n".join(lines)
+
+
+def render_serving_html(
+    payload: Dict[str, Any],
+    title: str = "repro serving benchmark",
+) -> str:
+    """Render a ``BENCH_serving.json`` payload as self-contained HTML."""
+    overview = "".join(
+        f'<p class="meta">{html.escape(line)}</p>'
+        for line in _serving_overview(payload)
+    )
+
+    slo = payload.get("slo", {})
+    slo_rows = []
+    for row in slo.get("verdicts", []):
+        cls = _SLO_VERDICT_CLASS.get(row.get("verdict", ""), "")
+        observed = row.get("observed")
+        shown = "—" if observed is None else _fmt(float(observed))
+        slo_rows.append(
+            f'<tr class="{cls}">'
+            f"<td>{html.escape(str(row.get('objective')))}</td>"
+            f'<td class="num">{_fmt(float(row.get("target", 0.0)))}</td>'
+            f'<td class="num">{shown}</td>'
+            f"<td>{html.escape(str(row.get('verdict')))}</td></tr>"
+        )
+    if slo_rows:
+        headline = (
+            '<p class="good"><strong>✓ all SLO objectives met</strong></p>'
+            if slo.get("ok")
+            else '<p class="bad"><strong>✗ SLO objective(s) failed'
+            "</strong></p>"
+        )
+        slo_html = (
+            "<section><h2>SLO verdicts</h2>" + headline +
+            "<table><tr><th>objective</th><th>target</th>"
+            "<th>observed</th><th>verdict</th></tr>"
+            + "".join(slo_rows)
+            + "</table></section>"
+        )
+    else:
+        slo_html = (
+            "<section><h2>SLO verdicts</h2>"
+            "<p>(no SLO asserted)</p></section>"
+        )
+
+    cross = payload.get("crosscheck", {})
+    check_rows = []
+    for row in cross.get("checks", []):
+        cls = _CHECK_STATUS_CLASS.get(row.get("status", ""), "")
+        detail = row.get("detail", "")
+        check_rows.append(
+            f'<tr class="{cls}">'
+            f"<td>{html.escape(str(row.get('check')))}</td>"
+            f'<td class="num">{html.escape(str(row.get("expected")))}</td>'
+            f'<td class="num">{html.escape(str(row.get("observed")))}</td>'
+            f"<td>{html.escape(str(row.get('status')))}</td>"
+            f"<td>{html.escape(str(detail))}</td></tr>"
+        )
+    cross_headline = (
+        '<p class="good"><strong>✓ server metrics account for every '
+        "client request</strong></p>"
+        if cross.get("ok")
+        else '<p class="bad"><strong>✗ client/server accounting '
+        "disagrees</strong></p>"
+    )
+    cross_html = (
+        "<section><h2>Client/server cross-check</h2>" + cross_headline +
+        "<table><tr><th>check</th><th>expected</th><th>observed</th>"
+        "<th>status</th><th>detail</th></tr>"
+        + "".join(check_rows)
+        + "</table></section>"
+    )
+
+    latency = payload.get("latency", {})
+    latency_rows = []
+    for label, block in (
+        ("all requests", latency.get("all")),
+        ("ok only", latency.get("ok")),
+    ):
+        if not block:
+            continue
+        latency_rows.append(
+            f"<tr><td>{html.escape(label)}</td>"
+            f'<td class="num">{block.get("count", 0)}</td>'
+            + "".join(
+                f'<td class="num">'
+                f"{_fmt(float(block[q])) if block.get(q) is not None else '—'}"
+                "</td>"
+                for q in ("p50", "p95", "p99", "max")
+            )
+            + "</tr>"
+        )
+    for block in latency.get("ok_by_source", []):
+        labels = block.get("labels", {})
+        latency_rows.append(
+            f"<tr><td>ok · source={html.escape(str(labels.get('source')))}"
+            f'</td><td class="num">{block.get("count", 0)}</td>'
+            + "".join(
+                f'<td class="num">'
+                f"{_fmt(float(block[q])) if block.get(q) is not None else '—'}"
+                "</td>"
+                for q in ("p50", "p95", "p99", "max")
+            )
+            + "</tr>"
+        )
+    latency_html = (
+        "<section><h2>Client-observed latency</h2>"
+        "<table><tr><th>slice</th><th>count</th><th>p50</th>"
+        "<th>p95</th><th>p99</th><th>max</th></tr>"
+        + ("".join(latency_rows) or '<tr><td colspan="6">(none)</td></tr>')
+        + "</table></section>"
+    )
+
+    corpus = payload.get("corpus", {})
+    corpus_html = (
+        "<section><h2>Corpus</h2><p class='meta'>"
+        f"{corpus.get('entries', 0)} entries "
+        f"({corpus.get('bases', 0)} base, "
+        f"{corpus.get('isomorphs', 0)} relabeled isomorph) · "
+        f"{corpus.get('modules', 0)} modules, "
+        f"{corpus.get('nets', 0)} nets total</p></section>"
+    )
+
+    return _page(
+        title, overview + slo_html + cross_html + latency_html + corpus_html
+    )
 
 
 def load_jsonl(path: Any) -> List[Dict[str, Any]]:

@@ -33,7 +33,8 @@ same code path — the base of the byte-identical serving contract).
 Counters (mirrored into :mod:`repro.obs` and always tallied locally for
 ``/metrics``): ``service.requests``, ``service.cache.hit``,
 ``service.cache.miss``, ``service.cache.hit.inflight``,
-``service.computed``.
+``service.computed``, ``service.rejected`` (ingress backpressure
+429s, tallied by the HTTP layer via :meth:`PartitionEngine.reject`).
 """
 
 from __future__ import annotations
@@ -397,6 +398,7 @@ class PartitionEngine:
             "service.cache.miss": 0,
             "service.cache.hit.inflight": 0,
             "service.computed": 0,
+            "service.rejected": 0,
         }
 
     # ------------------------------------------------------------------
@@ -404,6 +406,10 @@ class PartitionEngine:
         with self._stats_lock:
             self.stats[name] = self.stats.get(name, 0) + value
         obs.incr(name, value)
+
+    def reject(self) -> None:
+        """Tally one backpressure rejection (an ingress 429)."""
+        self._count("service.rejected")
 
     @property
     def scheduler(self) -> JobScheduler:
@@ -420,6 +426,21 @@ class PartitionEngine:
         if scheduler is None:
             return 0
         return int(scheduler.snapshot().get("pending", 0))
+
+    def jobs_outstanding(self) -> int:
+        """Pending plus running jobs (0 when no scheduler exists yet).
+
+        The graceful-drain path polls this — unlike :attr:`scheduler`
+        it never creates a scheduler as a side effect.
+        """
+        with self._scheduler_lock:
+            scheduler = self._scheduler
+        if scheduler is None:
+            return 0
+        snapshot = scheduler.snapshot()
+        return int(snapshot.get("pending", 0)) + int(
+            snapshot.get("running", 0)
+        )
 
     # ------------------------------------------------------------------
     def partition(
@@ -645,6 +666,7 @@ class PartitionEngine:
             doc["jobs"] = scheduler.snapshot()
         doc["histograms"] = self.hists.snapshot()
         doc["slow"] = self.slow.snapshot()
+        doc["process"] = obs.process_metrics()
         if obs.is_enabled():
             doc["obs"] = obs.counters("service.")
         return doc

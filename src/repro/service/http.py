@@ -45,10 +45,24 @@ partition serves — written to stderr or ``--access-log PATH``.
 Handler errors produce ``{"type": "error", ...}`` lines which are
 **never** suppressed; ``--quiet`` silences only the access entries.
 
+**Backpressure**: ``POST /partition`` answers ``429`` with a
+``Retry-After`` header (and a ``service.rejected`` counter increment
+plus an access-log line with ``rejected: true``) whenever the job
+queue depth exceeds ``--ready-queue-bound`` — the same bound that
+flips ``/readyz`` to 503 — instead of accepting work unboundedly.
+
+**Graceful drain**: ``repro-serve`` handles SIGTERM/SIGINT by closing
+the listener, answering requests that race in on open connections
+with ``503 draining``, waiting (bounded by ``--drain-timeout``) for
+every in-flight request and queued job to finish, then flushing and
+closing the access log.  :meth:`_Server.drain` is the programmatic
+form.
+
 Errors are always JSON: ``{"error": "<one line>"}`` with 400 for bad
-requests, 404 for unknown routes/jobs, 405 for wrong methods, 500
-(with the trace id) for handler crashes.  The ``repro-serve`` console
-script (:func:`serve_main`) is the deployment entry point.
+requests, 404 for unknown routes/jobs, 405 for wrong methods, 429 for
+backpressure rejections, 500 (with the trace id) for handler crashes.
+The ``repro-serve`` console script (:func:`serve_main`) is the
+deployment entry point.
 """
 
 from __future__ import annotations
@@ -220,12 +234,23 @@ class _Handler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
 
     # ------------------------------------------------------------------
-    def _send_json(self, status: int, doc: Dict[str, Any]) -> None:
+    def _send_json(
+        self,
+        status: int,
+        doc: Dict[str, Any],
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         body = json.dumps(doc, sort_keys=True).encode("utf-8")
-        self._send_bytes(status, body, "application/json")
+        self._send_bytes(
+            status, body, "application/json", extra_headers=extra_headers
+        )
 
     def _send_bytes(
-        self, status: int, body: bytes, content_type: str
+        self,
+        status: int,
+        body: bytes,
+        content_type: str,
+        extra_headers: Optional[Dict[str, str]] = None,
     ) -> None:
         self._status = status
         self._bytes_sent = len(body)
@@ -233,6 +258,9 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.send_header("X-Trace-Id", self._trace_id)
+        if extra_headers:
+            for header, value in extra_headers.items():
+                self.send_header(header, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -271,8 +299,20 @@ class _Handler(BaseHTTPRequestHandler):
         }
         engine: PartitionEngine = self.server.engine
         start = time.perf_counter()
+        self.server.request_started()
         try:
-            fn()
+            if self.server.draining:
+                # The listener is closed; this request arrived on an
+                # already-open (keep-alive) connection after drain
+                # started, so it was never accepted work.
+                self.close_connection = True
+                self._send_json(
+                    503,
+                    {"error": "server is draining"},
+                    extra_headers={"Retry-After": "1"},
+                )
+            else:
+                fn()
         except (BrokenPipeError, ConnectionResetError):
             # Client went away mid-response; nothing left to send.
             self._status = self._status or 499
@@ -309,7 +349,10 @@ class _Handler(BaseHTTPRequestHandler):
             }
             if self._provenance is not None:
                 entry["source"], entry["cached"] = self._provenance
+            if self._status == 429:
+                entry["rejected"] = True
             self.server.access_log.access(**entry)
+            self.server.request_finished()
 
     def do_GET(self) -> None:
         self._handle("GET", self._get)
@@ -440,6 +483,25 @@ class _Handler(BaseHTTPRequestHandler):
             )
             return
         raw = self.rfile.read(length)
+        depth = engine.queue_depth()
+        if depth > self.server.ready_queue_bound:
+            # Backpressure: the job queue is past the same bound that
+            # already flips /readyz to 503 — shed the request now with
+            # an honest retry hint instead of accepting unboundedly.
+            # (The body was read above so the connection stays clean.)
+            engine.reject()
+            self._send_json(
+                429,
+                {
+                    "error": (
+                        f"job queue depth {depth} exceeds bound "
+                        f"{self.server.ready_queue_bound}; retry later"
+                    ),
+                    "queue_depth": depth,
+                },
+                extra_headers={"Retry-After": "1"},
+            )
+            return
         try:
             doc = json.loads(raw.decode("utf-8"))
         except (UnicodeDecodeError, ValueError) as exc:
@@ -498,6 +560,9 @@ class _Handler(BaseHTTPRequestHandler):
 class _Server(ThreadingHTTPServer):
     daemon_threads = True
     allow_reuse_address = True
+    #: Drain does its own bounded in-flight accounting; joining handler
+    #: threads in server_close() would make shutdown unbounded again.
+    block_on_close = False
 
     def __init__(
         self,
@@ -513,6 +578,89 @@ class _Server(ThreadingHTTPServer):
         )
         self.ready_queue_bound = int(ready_queue_bound)
         self.started_at = time.monotonic()
+        self.draining = False
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        self._idle = threading.Condition(self._inflight_lock)
+
+    # -- in-flight request accounting (drives graceful drain) ----------
+    def request_started(self) -> None:
+        with self._inflight_lock:
+            self._inflight += 1
+
+    def request_finished(self) -> None:
+        with self._inflight_lock:
+            self._inflight -= 1
+            if self._inflight <= 0:
+                self._idle.notify_all()
+
+    @property
+    def inflight(self) -> int:
+        with self._inflight_lock:
+            return self._inflight
+
+    def drain(self, timeout_s: float = 10.0) -> bool:
+        """Graceful shutdown: stop accepts, finish in-flight work, close.
+
+        Stops the accept loop (new connections are refused; requests on
+        already-open connections get 503), then waits — bounded by
+        ``timeout_s`` — for every in-flight HTTP request to complete
+        and the job scheduler to finish pending/running jobs.  Finally
+        closes the listener and flushes/closes the access log.
+
+        Returns ``True`` when everything finished inside the budget,
+        ``False`` when the timeout expired with work still running
+        (the work is abandoned to daemon threads, as before).
+        """
+        self.draining = True
+        self.shutdown()  # blocks until the serve_forever loop exits
+        self._drain_backlog()
+        deadline = time.monotonic() + max(0.0, float(timeout_s))
+        clean = True
+        with self._inflight_lock:
+            while self._inflight > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    clean = False
+                    break
+                self._idle.wait(remaining)
+        while clean and self.engine.jobs_outstanding() > 0:
+            if time.monotonic() >= deadline:
+                clean = False
+                break
+            time.sleep(0.02)
+        self.server_close()  # closes the socket and the access log
+        return clean
+
+    def _drain_backlog(self) -> int:
+        """Answer connections the kernel had already completed into the
+        listen backlog when the accept loop stopped.
+
+        Those clients connected successfully before the listener closed,
+        so they deserve an honest ``503 Retry-After`` (``draining`` is
+        already set) rather than the TCP reset ``server_close()`` would
+        hand them.  Served synchronously — no handler threads to race
+        the in-flight accounting — with a one-second socket timeout so a
+        connected-but-silent peer cannot stall the drain."""
+        served = 0
+        try:
+            self.socket.setblocking(False)
+        except OSError:
+            return served
+        while True:
+            try:
+                request, client_address = self.socket.accept()
+            except (BlockingIOError, OSError):
+                break
+            served += 1
+            try:
+                request.settimeout(1.0)
+                self.finish_request(request, client_address)
+            except Exception:
+                self.handle_error(request, client_address)
+            finally:
+                self.shutdown_request(request)
+        return served
 
     def handle_error(self, request, client_address) -> None:
         # Connection-layer failures (the per-request 500 path never
@@ -613,8 +761,15 @@ def serve_main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument(
         "--ready-queue-bound", type=int, default=64, metavar="N",
-        help="GET /readyz reports unready when more than N jobs are "
+        help="GET /readyz reports unready — and POST /partition starts "
+        "returning 429 with Retry-After — when more than N jobs are "
         "queued (default 64)",
+    )
+    parser.add_argument(
+        "--drain-timeout", type=float, default=10.0, metavar="SECONDS",
+        help="on SIGTERM/SIGINT: stop accepting, wait up to this long "
+        "for in-flight requests and queued jobs to finish, then close "
+        "(default 10.0)",
     )
     args = parser.parse_args(argv)
 
@@ -648,12 +803,45 @@ def serve_main(argv: Optional[Sequence[str]] = None) -> int:
         f"/debug/slow)",
         file=sys.stderr,
     )
+
+    # Graceful drain: SIGTERM/SIGINT stop the accept loop, let in-flight
+    # requests and queued jobs finish (bounded by --drain-timeout), then
+    # flush and close the access log.  serve_forever runs in a worker
+    # thread so the main thread stays free to receive signals.
+    stop = threading.Event()
+
+    def _on_signal(signum: int, frame: Any) -> None:  # pragma: no cover
+        stop.set()
+
+    import signal
+
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(signum, _on_signal)
+        except (ValueError, OSError):  # pragma: no cover - exotic host
+            pass
+    serve_thread = threading.Thread(
+        target=server.serve_forever, name="repro-serve", daemon=True
+    )
+    serve_thread.start()
     try:
-        server.serve_forever()
+        while not stop.wait(0.2):
+            pass
     except KeyboardInterrupt:
-        print("shutting down", file=sys.stderr)
-    finally:
-        server.server_close()
+        pass
+    print(
+        f"draining (up to {args.drain_timeout:g}s for in-flight work)",
+        file=sys.stderr,
+    )
+    clean = server.drain(args.drain_timeout)
+    serve_thread.join(5.0)
+    if not clean:
+        print(
+            "drain timeout expired with work still in flight",
+            file=sys.stderr,
+        )
+        return 1
+    print("drained cleanly", file=sys.stderr)
     return 0
 
 

@@ -168,6 +168,138 @@ class TestMerge:
         a.merge(Histogram(DEFAULT_LATENCY_BUCKETS))
         assert a.bucket_counts == before
 
+    def test_merge_associative_at_high_counts(self):
+        # The load client merges per-outcome shards holding tens of
+        # thousands of observations; bucket counts must agree exactly
+        # under any fold order (float sums only approximately).
+        shards = [self._filled(seed, n=20_000) for seed in range(8)]
+
+        def fold(hists):
+            out = Histogram(DEFAULT_LATENCY_BUCKETS)
+            for h in hists:
+                out.merge(h)
+            return out
+
+        left = fold(shards)
+        right = fold(list(reversed(shards)))
+        interleaved = fold(shards[::2] + shards[1::2])
+        assert left.count == right.count == interleaved.count == 160_000
+        assert (
+            left.bucket_counts
+            == right.bucket_counts
+            == interleaved.bucket_counts
+        )
+        assert left.min == right.min == interleaved.min
+        assert left.max == right.max == interleaved.max
+        assert left.sum == pytest.approx(right.sum, rel=1e-9)
+        assert left.sum == pytest.approx(interleaved.sum, rel=1e-9)
+        for q in (0.5, 0.95, 0.99):
+            assert left.quantile(q) == right.quantile(q)
+            assert left.quantile(q) == interleaved.quantile(q)
+
+
+class TestSingleBucketQuantiles:
+    def test_all_mass_in_one_interior_bucket(self):
+        # Every observation lands in (1, 10]: all quantiles must come
+        # from that bucket and stay clamped to the observed min/max.
+        hist = Histogram([1.0, 10.0, 100.0])
+        for value in (2.0, 3.0, 5.0, 7.0):
+            hist.observe(value)
+        for q in (0.01, 0.5, 0.99):
+            estimate = hist.quantile(q)
+            assert 2.0 <= estimate <= 7.0
+
+    def test_single_boundary_histogram(self):
+        # A degenerate two-bucket histogram [<=1, >1] still answers
+        # quantiles sanely from either side.
+        low = Histogram([1.0])
+        for value in (0.2, 0.4, 0.9):
+            low.observe(value)
+        assert 0.2 <= low.quantile(0.5) <= 0.9
+        assert low.quantile(0.99) <= 0.9
+
+        high = Histogram([1.0])
+        for value in (3.0, 4.0):
+            high.observe(value)
+        # Overflow bucket has no upper boundary: the observed max is
+        # the only honest answer.
+        assert high.quantile(0.5) == pytest.approx(4.0)
+        assert high.quantile(0.99) == pytest.approx(4.0)
+
+    def test_repeated_identical_value_is_exact(self):
+        hist = Histogram(DEFAULT_LATENCY_BUCKETS)
+        for _ in range(1000):
+            hist.observe(0.125)
+        for q in (0.01, 0.5, 0.99, 0.999):
+            assert hist.quantile(q) == pytest.approx(0.125)
+
+
+class TestReplayAgreement:
+    def test_client_and_server_views_agree_on_replayed_log(self):
+        # Replay one request log into two independently-sharded
+        # HistogramSets: the "client" keys series by algorithm+outcome
+        # and observes sequentially; the "server" shards the same
+        # latencies across 4 worker histograms in arrival order and
+        # merges.  Identical buckets in, identical distributions out —
+        # this is the invariant that makes the client-vs-server
+        # latency comparison in BENCH_serving.json meaningful.
+        rng = random.Random(42)
+        log = [
+            {
+                "latency_s": rng.lognormvariate(-4, 1.5),
+                "algorithm": rng.choice(["fm", "kl", "eig1"]),
+            }
+            for _ in range(5000)
+        ]
+
+        client = HistogramSet()
+        for entry in log:
+            client.observe(
+                "request.duration_seconds",
+                entry["latency_s"],
+                algorithm=entry["algorithm"],
+                outcome="ok",
+            )
+
+        workers = [HistogramSet() for _ in range(4)]
+        for i, entry in enumerate(log):
+            workers[i % 4].observe(
+                "request.duration_seconds",
+                entry["latency_s"],
+                algorithm=entry["algorithm"],
+            )
+        server = Histogram(DEFAULT_LATENCY_BUCKETS)
+        for worker in workers:
+            merged = worker.merged("request.duration_seconds")
+            if merged is not None:
+                server.merge(merged)
+
+        client_view = client.merged("request.duration_seconds")
+        assert client_view.count == server.count == len(log)
+        assert client_view.bucket_counts == server.bucket_counts
+        assert client_view.min == server.min
+        assert client_view.max == server.max
+        assert client_view.sum == pytest.approx(server.sum, rel=1e-9)
+        for q in (0.5, 0.95, 0.99):
+            assert client_view.quantile(q) == server.quantile(q)
+
+    def test_per_algorithm_slices_agree(self):
+        rng = random.Random(7)
+        log = [
+            (rng.choice(["fm", "kl"]), rng.lognormvariate(-3, 1))
+            for _ in range(2000)
+        ]
+        a, b = HistogramSet(), HistogramSet()
+        for algorithm, latency in log:
+            a.observe("d", latency, algorithm=algorithm)
+        for algorithm, latency in reversed(log):
+            b.observe("d", latency, algorithm=algorithm)
+        for algorithm in ("fm", "kl"):
+            assert (
+                a.get("d", algorithm=algorithm).bucket_counts
+                == b.get("d", algorithm=algorithm).bucket_counts
+            )
+
 
 class TestHistogramSet:
     def test_labels_key_distinct_series(self):

@@ -236,3 +236,209 @@ class TestAsyncJobs:
         status, outcome = call(server, f"/jobs/{job_id}", method="DELETE")
         assert status == 200
         assert outcome["cancelled"] is False
+
+
+def _call_with_headers(srv, path, body=None, method=None):
+    """Like :func:`call` but also returns the response headers."""
+    host, port = srv.server_address[:2]
+    url = f"http://{host}:{port}{path}"
+    data = json.dumps(body).encode("utf-8") if body is not None else None
+    request = urllib.request.Request(url, data=data, method=method)
+    if data is not None:
+        request.add_header("Content-Type", "application/json")
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return (
+                response.status,
+                json.loads(response.read()),
+                dict(response.headers),
+            )
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read()), dict(exc.headers)
+
+
+class TestBackpressure429:
+    @pytest.fixture
+    def shed_server(self, tmp_path):
+        from repro.service.http import AccessLog
+
+        log_path = tmp_path / "access.jsonl"
+        srv = create_server(
+            engine=PartitionEngine(cache=ResultCache(use_disk=False)),
+            ready_queue_bound=-1,  # any queue depth exceeds it
+            access_log=AccessLog(path=str(log_path)),
+        )
+        thread = threading.Thread(target=srv.serve_forever, daemon=True)
+        thread.start()
+        yield srv, log_path
+        srv.shutdown()
+        srv.server_close()
+        thread.join(5)
+
+    def test_429_retry_after_counter_and_access_log(self, shed_server, h):
+        srv, log_path = shed_server
+        body = {"netlist": to_json(h), "algorithm": "fm", "seed": 0}
+        status, doc, headers = _call_with_headers(srv, "/partition", body)
+        assert status == 429
+        assert headers.get("Retry-After") == "1"
+        assert "queue depth" in doc["error"]
+        assert doc["queue_depth"] >= 0
+
+        status, metrics = call(srv, "/metrics")
+        assert metrics["service"]["service.rejected"] == 1
+        # The shed request never became accepted work.
+        assert metrics["service"].get("service.requests", 0) == 0
+
+        entries = [
+            json.loads(line)
+            for line in log_path.read_text().splitlines()
+        ]
+        shed = [e for e in entries if e.get("status") == 429]
+        assert len(shed) == 1
+        assert shed[0]["rejected"] is True
+        assert shed[0]["path"] == "/partition"
+
+    def test_rejected_counter_in_prometheus(self, shed_server, h):
+        from repro.obs import parse_prometheus_text
+
+        srv, _ = shed_server
+        body = {"netlist": to_json(h), "algorithm": "fm", "seed": 0}
+        call(srv, "/partition", body)
+        host, port = srv.server_address[:2]
+        with urllib.request.urlopen(
+            f"http://{host}:{port}/metrics?format=prometheus", timeout=30
+        ) as response:
+            text = response.read().decode("utf-8")
+        samples = parse_prometheus_text(text)
+        values = [v for _, v in samples["repro_service_rejected_total"]]
+        assert values == [1.0]
+        assert "# TYPE repro_service_rejected_total counter" in text
+
+    def test_health_paths_not_shed(self, shed_server):
+        # Backpressure sheds work submissions, not health/metrics reads.
+        srv, _ = shed_server
+        assert call(srv, "/healthz")[0] == 200
+        assert call(srv, "/metrics")[0] == 200
+        assert call(srv, "/readyz")[0] == 503  # honest: queue over bound
+
+    def test_normal_bound_accepts(self, server, h):
+        body = {"netlist": to_json(h), "algorithm": "fm", "seed": 0}
+        status, _ = call(server, "/partition", body)
+        assert status == 200
+        _, metrics = call(server, "/metrics")
+        assert metrics["service"].get("service.rejected", 0) == 0
+
+
+class TestGracefulDrain:
+    def _server(self, tmp_path):
+        from repro.service.http import AccessLog
+
+        log_path = tmp_path / "access.jsonl"
+        srv = create_server(
+            engine=PartitionEngine(cache=ResultCache(use_disk=False)),
+            access_log=AccessLog(path=str(log_path)),
+        )
+        thread = threading.Thread(
+            target=srv.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            daemon=True,
+        )
+        thread.start()
+        return srv, thread, log_path
+
+    def test_drain_idle_server_is_clean_and_closes_port(self, tmp_path, h):
+        srv, thread, log_path = self._server(tmp_path)
+        body = {"netlist": to_json(h), "algorithm": "fm", "seed": 0}
+        assert call(srv, "/partition", body)[0] == 200
+        assert srv.drain(timeout_s=5.0) is True
+        thread.join(5)
+        host, port = srv.server_address[:2]
+        with pytest.raises(OSError):
+            urllib.request.urlopen(
+                f"http://{host}:{port}/healthz", timeout=2
+            )
+        # The access log was flushed and contains the served request.
+        entries = [
+            json.loads(line)
+            for line in log_path.read_text().splitlines()
+        ]
+        assert any(
+            e.get("path") == "/partition" and e.get("status") == 200
+            for e in entries
+        )
+
+    def test_keepalive_request_during_drain_gets_503(self, tmp_path, h):
+        import http.client
+
+        srv, thread, _ = self._server(tmp_path)
+        host, port = srv.server_address[:2]
+        conn = http.client.HTTPConnection(host, port, timeout=10)
+        body = json.dumps(
+            {"netlist": to_json(h), "algorithm": "fm", "seed": 0}
+        )
+        headers = {"Content-Type": "application/json"}
+        try:
+            # First request establishes a keep-alive connection.
+            conn.request("POST", "/partition", body, headers)
+            assert conn.getresponse().read() and True
+            # A request racing in on the open connection after drain
+            # starts was never accepted work: honest 503 + Retry-After.
+            srv.draining = True
+            conn.request("POST", "/partition", body, headers)
+            response = conn.getresponse()
+            doc = json.loads(response.read())
+            assert response.status == 503
+            assert response.headers.get("Retry-After") == "1"
+            assert "draining" in doc["error"]
+        finally:
+            conn.close()
+            srv.shutdown()
+            srv.server_close()
+            thread.join(5)
+
+    def test_drain_timeout_reports_unclean(self, tmp_path):
+        srv, thread, _ = self._server(tmp_path)
+        # Fake a stuck in-flight request: drain must give up at the
+        # deadline and say so rather than hanging.
+        srv.request_started()
+        try:
+            assert srv.drain(timeout_s=0.2) is False
+        finally:
+            srv.request_finished()
+            thread.join(5)
+
+
+class TestProcessGauges:
+    def test_process_metrics_sampled(self):
+        from repro.obs import process_metrics
+
+        sample = process_metrics()
+        assert sample["max_rss_bytes"] > 0
+        assert sample["cpu_seconds"] > 0
+        assert sample["cpu_seconds"] == pytest.approx(
+            sample["cpu_user_seconds"] + sample["cpu_system_seconds"]
+        )
+        # Linux: point-in-time RSS from /proc, bounded by the peak.
+        if "rss_bytes" in sample:
+            assert 0 < sample["rss_bytes"]
+
+    def test_process_section_in_metrics_json(self, server):
+        _, doc = call(server, "/metrics")
+        process = doc["process"]
+        assert process["max_rss_bytes"] > 0
+        assert process["cpu_seconds"] > 0
+
+    def test_process_gauges_in_prometheus(self, server):
+        from repro.obs import parse_prometheus_text
+
+        host, port = server.server_address[:2]
+        with urllib.request.urlopen(
+            f"http://{host}:{port}/metrics?format=prometheus", timeout=30
+        ) as response:
+            text = response.read().decode("utf-8")
+        samples = parse_prometheus_text(text)
+        # Point-in-time values are gauges; consumed CPU is a counter.
+        assert "# TYPE repro_process_max_rss_bytes gauge" in text
+        assert "# TYPE repro_process_cpu_seconds_total counter" in text
+        assert samples["repro_process_max_rss_bytes"][0][1] > 0
+        assert samples["repro_process_cpu_seconds_total"][0][1] > 0
