@@ -15,6 +15,11 @@ from .primary2_histogram import (
     PRIMARY2_NET_SIZE_HISTOGRAM,
     PRIMARY2_NUM_NETS,
 )
+from .scale_curve import (
+    fit_power_law,
+    run_scale_curve,
+    validate_scale_payload,
+)
 from .specs import BENCHMARKS, BenchmarkSpec, PaperRow, get_spec, spec_names
 from .suite import (
     build_circuit,
@@ -32,6 +37,7 @@ __all__ = [
     "PaperRow",
     "build_circuit",
     "build_suite",
+    "fit_power_law",
     "generate_from_spec",
     "generate_hierarchical",
     "generate_logic_circuit",
@@ -39,6 +45,8 @@ __all__ = [
     "get_spec",
     "planted_sides",
     "run_observed_suite",
+    "run_scale_curve",
     "sample_net_sizes",
     "spec_names",
+    "validate_scale_payload",
 ]

@@ -22,6 +22,15 @@ Examples
     python -m repro.bench --scale 0.2 \\
         --compare benchmarks/results/BENCH_baseline.json \\
         --fail-on-regress --report bench-report.html
+    python -m repro.bench --scale-curve \\
+        --compare benchmarks/results/BENCH_scale.json \\
+        --fail-on-regress --report scale-report.html
+
+``--scale-curve`` switches to the complexity-exponent mode: one circuit
+is swept over a geometric size ladder, wall time and peak heap are
+fitted as power laws of the module count, and ``--fail-on-regress``
+gates on *exponent* drift (machine-speed independent) rather than raw
+seconds.  See :mod:`repro.bench.scale_curve` and ``docs/scaling.md``.
 """
 
 from __future__ import annotations
@@ -159,6 +168,106 @@ def _run_cache_scenario(args) -> int:
     return EXIT_OK if record["ok"] else EXIT_REGRESSED
 
 
+def _load_scale_baseline(path: str):
+    """Read and validate a ``--compare`` BENCH_scale baseline.
+
+    Same contract as :func:`_load_baseline`, but for the scale-curve
+    payload shape (``kind: "scale"``)."""
+    from .scale_curve import validate_scale_payload
+
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        return None, f"cannot read baseline {path}: {exc}"
+    problems = validate_scale_payload(payload)
+    if problems:
+        return None, (
+            f"baseline {path} is not a scale-curve payload: "
+            + "; ".join(problems[:3])
+        )
+    return payload, None
+
+
+def _run_scale_curve(args) -> int:
+    """Handle ``--scale-curve``: sweep the size ladder, fit complexity
+    exponents, and (with ``--compare``) gate on exponent drift."""
+    from ..obs import render_scale_html, render_scale_markdown
+    from .scale_curve import run_scale_curve
+
+    if args.names:
+        print(
+            "error: --scale-curve sweeps one circuit; use "
+            "--curve-circuit NAME instead of positional names",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+    error = _validate_names([args.curve_circuit])
+    if error is not None:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_USAGE
+    try:
+        scales = [float(s) for s in args.curve_scales.split(",") if s]
+    except ValueError:
+        print(
+            f"error: --curve-scales must be comma-separated floats "
+            f"(got {args.curve_scales!r})",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+    algorithms = [a for a in args.curve_algorithms.split(",") if a]
+
+    baseline = None
+    if args.compare:
+        baseline, error = _load_scale_baseline(args.compare)
+        if error is not None:
+            print(f"error: {error}", file=sys.stderr)
+            return EXIT_USAGE
+
+    if args.out == "BENCH_obs.json":  # suite default; not a suite payload
+        args.out = "BENCH_scale.json"
+    try:
+        payload = run_scale_curve(
+            circuit=args.curve_circuit,
+            seed=args.seed,
+            scales=scales,
+            algorithms=algorithms,
+            repeats=args.curve_repeats,
+            out_path=args.out,
+        )
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    diff = None
+    if baseline is not None:
+        from ..obs import diff_scale_payloads
+
+        diff = diff_scale_payloads(
+            baseline, payload, exponent_tol=args.exponent_tolerance
+        )
+    print(render_scale_markdown(payload, diff=diff))
+    print(f"wrote {args.out}", file=sys.stderr)
+
+    if args.report:
+        try:
+            Path(args.report).write_text(
+                render_scale_html(payload, diff=diff), encoding="utf-8"
+            )
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print(f"wrote report to {args.report}", file=sys.stderr)
+
+    if diff is not None and args.fail_on_regress and diff.has_regressions:
+        print(
+            f"FAIL: {len(diff.regressions)} complexity-exponent "
+            f"regression(s)",
+            file=sys.stderr,
+        )
+        return EXIT_REGRESSED
+    return EXIT_OK
+
+
 def _run_serving_scenario(args) -> int:
     """Handle ``--serving-scenario``: a short gated load run against a
     private in-process server, with the full client/server cross-check
@@ -229,6 +338,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "when --workers > 1)",
     )
     parser.add_argument(
+        "--memprof", action="store_true",
+        help="attribute Python-heap memory to each phase: phase entries "
+        "gain mem_alloc_bytes/mem_peak_bytes and circuits gain a mem "
+        "snapshot (RSS + tracemalloc watermarks).  Memory fields diff "
+        "noise-aware and never trip --fail-on-regress",
+    )
+    parser.add_argument(
         "--out", metavar="PATH", default="BENCH_obs.json",
         help="output JSON path (default BENCH_obs.json)",
     )
@@ -266,6 +382,38 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "compute phase (writes the record to --out)",
     )
     parser.add_argument(
+        "--scale-curve", action="store_true",
+        help="sweep one circuit over a geometric size ladder instead of "
+        "running the suite: fit log-log complexity exponents for wall "
+        "time and peak heap per algorithm, write BENCH_scale.json, and "
+        "(with --compare/--fail-on-regress) gate on exponent drift",
+    )
+    parser.add_argument(
+        "--curve-circuit", default="Prim2", metavar="NAME",
+        help="with --scale-curve: circuit spec to sweep (default Prim2)",
+    )
+    parser.add_argument(
+        "--curve-scales", default="0.05,0.1,0.2,0.4", metavar="S,S,...",
+        help="with --scale-curve: size ladder as comma-separated scale "
+        "factors (default 0.05,0.1,0.2,0.4)",
+    )
+    parser.add_argument(
+        "--curve-algorithms", default="ig-match,fm", metavar="ALG,...",
+        help="with --scale-curve: algorithms to sweep "
+        "(default ig-match,fm)",
+    )
+    parser.add_argument(
+        "--curve-repeats", type=int, default=1, metavar="K",
+        help="with --scale-curve: runs per rung; keeps min wall time "
+        "and max heap peak (default 1)",
+    )
+    parser.add_argument(
+        "--exponent-tolerance", type=float, default=0.2, metavar="TOL",
+        help="with --scale-curve --compare: allowed complexity-exponent "
+        "growth before the gate trips; widened automatically by the "
+        "fits' standard errors (default 0.2)",
+    )
+    parser.add_argument(
         "--serving-scenario", action="store_true",
         help="run a short gated load test instead of the suite: boot a "
         "private in-process server, drive a mixed closed-loop workload "
@@ -300,6 +448,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.cache_scenario:
         return _run_cache_scenario(args)
 
+    if args.scale_curve:
+        return _run_scale_curve(args)
+
     if args.serving_scenario:
         return _run_serving_scenario(args)
 
@@ -323,6 +474,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             algorithm=args.algorithm,
             out_path=args.out,
             parallel=resolve_parallel(args.workers, args.backend),
+            memprof=args.memprof,
         )
     except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)

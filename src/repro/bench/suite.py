@@ -99,7 +99,8 @@ def _downsample_curve(
 
 
 def _circuit_task(
-    name: str, seed: int, scale: float, algorithm: str
+    name: str, seed: int, scale: float, algorithm: str,
+    memprof: bool = False,
 ) -> Dict[str, Any]:
     """Partition one benchmark circuit under an isolated obs session.
 
@@ -115,8 +116,11 @@ def _circuit_task(
 
     h = build_circuit(name, seed=seed, scale=scale)
     sink = obs.MemorySink()
+    mem: Optional[Dict[str, Any]] = None
     with obs.isolated():
         with obs.enabled(sink=sink):
+            if memprof:
+                obs.enable_memprof()
             result = _run_algorithm(
                 h, algorithm, seed=seed, restarts=10, stride=1
             )
@@ -126,6 +130,12 @@ def _circuit_task(
                     obs.flatten_totals().items()
                 )
             }
+            if memprof:
+                for span_name, (alloc, peak) in obs.flatten_memory().items():
+                    if span_name in phases:
+                        phases[span_name]["mem_alloc_bytes"] = alloc
+                        phases[span_name]["mem_peak_bytes"] = peak
+                mem = obs.memory_snapshot()
             counters = obs.counters()
     spans = [e for e in sink.events if e.get("type") == "span"]
     curves = [
@@ -133,7 +143,7 @@ def _circuit_task(
         for e in sink.events
         if e.get("type") == "point" and _is_curve_event(e)
     ]
-    return {
+    record = {
         "name": name,
         "modules": h.num_modules,
         "nets": h.num_nets,
@@ -145,6 +155,9 @@ def _circuit_task(
         "spans": spans,
         "curves": curves,
     }
+    if mem is not None:
+        record["mem"] = mem
+    return record
 
 
 def run_observed_suite(
@@ -154,6 +167,7 @@ def run_observed_suite(
     algorithm: str = "ig-match",
     out_path: Optional[Union[str, Path]] = None,
     parallel: Optional[ParallelConfig] = None,
+    memprof: bool = False,
 ) -> Dict[str, Any]:
     """Run ``algorithm`` over the suite with observability enabled.
 
@@ -183,12 +197,18 @@ def run_observed_suite(
     environment).  The payload's deterministic fields (``nets_cut``,
     ``ratio_cut``, ``counters``, phase counts, circuit order) are
     byte-identical to a serial run; only wall-clock fields vary.
+
+    ``memprof`` turns on per-span memory attribution: each phase entry
+    gains ``mem_alloc_bytes`` / ``mem_peak_bytes``, every circuit gains
+    a ``mem`` snapshot (RSS + tracemalloc watermarks), and the payload
+    carries ``"memprof": true``.  Memory fields diff noise-aware and
+    never gate (see :mod:`repro.obs.diff`).
     """
     if names is None:
         names = [spec.name for spec in BENCHMARKS]
     circuits: List[Dict[str, Any]] = pstarmap(
         _circuit_task,
-        [(name, seed, scale, algorithm) for name in names],
+        [(name, seed, scale, algorithm, memprof) for name in names],
         parallel,
         label="bench.circuits",
     )
@@ -199,6 +219,8 @@ def run_observed_suite(
         "scale": scale,
         "circuits": circuits,
     }
+    if memprof:
+        payload["memprof"] = True
     if out_path is not None:
         Path(out_path).write_text(
             json.dumps(payload, indent=2, sort_keys=True) + "\n",

@@ -277,6 +277,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "tree to stderr after the run",
     )
     parser.add_argument(
+        "--profile-mem", action="store_true",
+        help="also attribute Python-heap memory to each phase "
+        "(tracemalloc): the --profile tree gains Δ net-alloc / ^ peak "
+        "columns, span events in --trace-json carry mem_alloc_bytes / "
+        "mem_peak_bytes, and a final mem.profile event records the RSS "
+        "high-water mark.  Implies --profile when no trace output is "
+        "requested",
+    )
+    parser.add_argument(
         "--trace-json", metavar="PATH",
         help="write structured JSON-lines trace events (spans, points, "
         "counters) to PATH",
@@ -293,8 +302,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
 
+    if args.profile_mem and not (args.trace_json or args.trace_html):
+        # Memory attribution with no trace output means the user wants
+        # the annotated phase tree.
+        args.profile = True
     profiling = bool(args.profile or args.trace_json or args.trace_html)
     html_sink = None
+    sampler = None
     if profiling:
         sink = None
         if args.trace_json:
@@ -304,6 +318,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 print(f"error: {exc}", file=sys.stderr)
                 return 1
         obs.enable(sink=sink)
+        if args.profile_mem:
+            obs.enable_memprof()
+            sampler = obs.RssSampler()
+            sampler.start()
         if args.trace_html:
             html_sink = obs.MemorySink()
             obs.STATE.sinks.append(html_sink)
@@ -317,8 +335,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _execute(args, parser)
     finally:
         if profiling:
+            if sampler is not None:
+                sampler.stop()
+                obs.emit("mem.profile", **obs.memory_snapshot(),
+                         rss_high_water_bytes=sampler.high_water_bytes)
             if args.profile:
                 print(obs.phase_report(), file=sys.stderr)
+                if args.profile_mem and sampler is not None:
+                    print(
+                        "rss high water: "
+                        + obs.human_bytes(sampler.high_water_bytes),
+                        file=sys.stderr,
+                    )
             obs.disable()
             if args.trace_json:
                 print(

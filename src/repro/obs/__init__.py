@@ -42,7 +42,9 @@ from .diff import (
     CircuitDiff,
     DiffThresholds,
     FieldDiff,
+    ScaleDiff,
     diff_payloads,
+    diff_scale_payloads,
 )
 from .events import JsonLinesSink, MemorySink, emit
 from .hist import (
@@ -51,7 +53,16 @@ from .hist import (
     HistogramSet,
     log_buckets,
 )
-from .proc import process_metrics
+from .memprof import (
+    RssSampler,
+    disable_memprof,
+    enable_memprof,
+    memory_snapshot,
+    memprof_active,
+    memprof_enabled,
+    rss_sampling,
+)
+from .proc import build_info, process_metrics
 from .prom import parse_prometheus_text, render_prometheus
 from .registry import (
     STATE,
@@ -67,13 +78,15 @@ from .render import (
     load_jsonl,
     render_html,
     render_markdown,
+    render_scale_html,
+    render_scale_markdown,
     render_serving_html,
     render_serving_markdown,
     render_slow_html,
     render_trace_html,
     span_tree_from_events,
 )
-from .report import flatten_totals, phase_report
+from .report import flatten_memory, flatten_totals, human_bytes, phase_report
 from .span import Span, SpanNode, add_timing, span
 from .trace import TraceCapture, current_trace_id, new_trace_id
 
@@ -87,27 +100,38 @@ __all__ = [
     "HistogramSet",
     "JsonLinesSink",
     "MemorySink",
+    "RssSampler",
     "STATE",
+    "ScaleDiff",
     "Span",
     "SpanNode",
     "TraceCapture",
     "add_timing",
+    "build_info",
     "counters",
     "current_state",
     "current_trace_id",
     "diff_payloads",
+    "diff_scale_payloads",
     "disable",
+    "disable_memprof",
     "emit",
     "enable",
+    "enable_memprof",
     "enabled",
+    "flatten_memory",
     "flatten_totals",
     "gauge",
     "gauges",
+    "human_bytes",
     "incr",
     "is_enabled",
     "isolated",
     "load_jsonl",
     "log_buckets",
+    "memory_snapshot",
+    "memprof_active",
+    "memprof_enabled",
     "new_trace_id",
     "parse_prometheus_text",
     "phase_report",
@@ -115,12 +139,15 @@ __all__ = [
     "render_html",
     "render_markdown",
     "render_prometheus",
+    "render_scale_html",
+    "render_scale_markdown",
     "render_serving_html",
     "render_serving_markdown",
     "render_slow_html",
     "render_trace_html",
     "reset",
     "reset_counters",
+    "rss_sampling",
     "span",
     "span_tree_from_events",
 ]

@@ -16,10 +16,26 @@ produces a structured verdict per circuit, per field:
   :data:`FASTER` and are advisory by default — only deterministic
   regressions fail CI (wall clocks differ across machines; work
   counters do not).
+* **Memory fields** — any ``*_bytes`` name (``process.rss_bytes``
+  gauges, memprof's ``mem_alloc_bytes`` / ``mem_peak_bytes`` phase
+  attributes) — are likewise noise-aware: resident-set size jitters
+  with allocator arena reuse and OS page accounting, so exact-comparing
+  it hard-fails healthy runs.  Memory verdicts are :data:`GREW` /
+  :data:`SHRANK` under a relative band plus an absolute byte floor,
+  and are advisory like time.
+
+:func:`diff_scale_payloads` compares two ``BENCH_scale.json`` payloads
+(:mod:`repro.bench.scale_curve`): the fitted log-log complexity
+*exponents* for time and memory are the gating quantities — an
+exponent is machine-independent in a way absolute seconds are not, so
+exponent drift beyond the tolerance (widened by the fits' own standard
+errors, the same noise-model philosophy as :class:`DiffThresholds`)
+**does** fail CI.  Largest-instance wall time and peak memory are
+compared as advisory extras.
 
 The exit-code gate (`python -m repro.bench --compare BASELINE
 --fail-on-regress`) and the renderers in :mod:`repro.obs.render`
-consume the same :class:`BenchDiff` object.
+consume the same :class:`BenchDiff` / :class:`ScaleDiff` objects.
 """
 
 from __future__ import annotations
@@ -32,24 +48,31 @@ __all__ = [
     "FieldDiff",
     "CircuitDiff",
     "BenchDiff",
+    "ScaleDiff",
     "diff_payloads",
+    "diff_scale_payloads",
     "UNCHANGED",
     "REGRESSED",
     "IMPROVED",
     "SLOWER",
     "FASTER",
+    "GREW",
+    "SHRANK",
     "NEW",
     "MISSING",
 ]
 
 #: Verdict vocabulary.  Deterministic fields use UNCHANGED / REGRESSED /
 #: IMPROVED / NEW / MISSING; wall-clock fields use UNCHANGED / SLOWER /
-#: FASTER / NEW / MISSING.
+#: FASTER / NEW / MISSING; memory fields use UNCHANGED / GREW / SHRANK /
+#: NEW / MISSING.
 UNCHANGED = "unchanged"
 REGRESSED = "regressed"
 IMPROVED = "improved"
 SLOWER = "slower"
 FASTER = "faster"
+GREW = "grew"
+SHRANK = "shrank"
 NEW = "new"
 MISSING = "missing"
 
@@ -67,10 +90,17 @@ class DiffThresholds:
     ``rel_tol`` (fraction of the baseline) **and** by more than
     ``abs_floor_s`` seconds.  The floor dominates for micro-phases
     (including zero-second baselines), the relative band for long ones.
+
+    Memory fields get the same two-sided model with their own knobs:
+    ``mem_rel_tol`` (RSS and heap watermarks jitter less than wall
+    clock, but allocator arena reuse still moves them run to run) and
+    ``abs_floor_bytes`` (1 MiB — below that, page-accounting noise).
     """
 
     rel_tol: float = 0.25
     abs_floor_s: float = 0.02
+    mem_rel_tol: float = 0.15
+    abs_floor_bytes: float = float(1 << 20)
 
     def verdict(self, baseline_s: float, current_s: float) -> str:
         delta = current_s - baseline_s
@@ -80,14 +110,23 @@ class DiffThresholds:
             return UNCHANGED
         return SLOWER if delta > 0 else FASTER
 
+    def mem_verdict(self, baseline_b: float, current_b: float) -> str:
+        delta = current_b - baseline_b
+        if abs(delta) <= self.abs_floor_bytes:
+            return UNCHANGED
+        if abs(delta) <= self.mem_rel_tol * abs(baseline_b):
+            return UNCHANGED
+        return GREW if delta > 0 else SHRANK
+
 
 @dataclass(frozen=True)
 class FieldDiff:
     """One compared field of one circuit.
 
     ``kind`` names the field family (``"metric"``, ``"counter"``,
-    ``"phase.seconds"``, ``"phase.count"``, ``"time"``);
-    ``deterministic`` marks fields whose verdicts gate the exit code.
+    ``"phase.seconds"``, ``"phase.count"``, ``"phase.mem"``,
+    ``"time"``, ``"mem"``, ``"exponent"``); ``deterministic`` marks
+    fields whose verdicts gate the exit code.
     """
 
     kind: str
@@ -130,6 +169,10 @@ class CircuitDiff:
     def time_regressions(self) -> List[FieldDiff]:
         return [f for f in self.fields if f.status == SLOWER]
 
+    @property
+    def memory_growths(self) -> List[FieldDiff]:
+        return [f for f in self.fields if f.status == GREW]
+
     def by_status(self, status: str) -> List[FieldDiff]:
         return [f for f in self.fields if f.status == status]
 
@@ -150,6 +193,10 @@ class BenchDiff:
     @property
     def time_regressions(self) -> List[FieldDiff]:
         return [f for c in self.circuits for f in c.time_regressions]
+
+    @property
+    def memory_growths(self) -> List[FieldDiff]:
+        return [f for c in self.circuits for f in c.memory_growths]
 
     @property
     def improvements(self) -> List[FieldDiff]:
@@ -188,6 +235,13 @@ def _deterministic_verdict(baseline: float, current: float) -> str:
     return REGRESSED if current > baseline else IMPROVED
 
 
+def _is_memory_field(name: str) -> bool:
+    """Byte-sized observations: RSS gauges, heap watermarks, cache
+    sizes.  Memory numbers jitter run to run, so they are compared
+    through the noise model, never exactly."""
+    return name.endswith("_bytes")
+
+
 def _diff_mapping(
     kind: str,
     baseline: Dict[str, float],
@@ -195,15 +249,24 @@ def _diff_mapping(
     deterministic: bool,
     thresholds: DiffThresholds,
 ) -> List[FieldDiff]:
-    """Per-key verdicts over two flat name->number mappings."""
+    """Per-key verdicts over two flat name->number mappings.
+
+    ``*_bytes`` names override ``deterministic``: they are classified
+    through :meth:`DiffThresholds.mem_verdict` and never gate — an RSS
+    gauge that moved 2% is jitter, not a regression.
+    """
     diffs: List[FieldDiff] = []
     for name in sorted(set(baseline) | set(current)):
         b = baseline.get(name)
         c = current.get(name)
+        gates = deterministic
         if b is None:
             status = NEW
         elif c is None:
             status = MISSING
+        elif _is_memory_field(name):
+            status = thresholds.mem_verdict(b, c)
+            gates = False
         elif deterministic:
             status = _deterministic_verdict(b, c)
         else:
@@ -215,7 +278,7 @@ def _diff_mapping(
                 baseline=b,
                 current=c,
                 status=status,
-                deterministic=deterministic,
+                deterministic=gates,
             )
         )
     return diffs
@@ -289,6 +352,35 @@ def _diff_circuit(
             thresholds=thresholds,
         )
     )
+
+    # Per-phase memory attribution (present when the run was memory-
+    # profiled) and the circuit-level memory rollup: noise-aware.
+    def _phase_mem(phases: Dict[str, Any]) -> Dict[str, float]:
+        flat: Dict[str, float] = {}
+        for name, data in phases.items():
+            for key in ("mem_alloc_bytes", "mem_peak_bytes"):
+                if key in data:
+                    flat[f"{name}.{key}"] = data[key]
+        return flat
+
+    fields.extend(
+        _diff_mapping(
+            "phase.mem",
+            _phase_mem(b_phases),
+            _phase_mem(c_phases),
+            deterministic=False,
+            thresholds=thresholds,
+        )
+    )
+    fields.extend(
+        _diff_mapping(
+            "mem",
+            baseline.get("mem", {}),
+            current.get("mem", {}),
+            deterministic=False,
+            thresholds=thresholds,
+        )
+    )
     return circuit
 
 
@@ -329,4 +421,159 @@ def diff_payloads(
         diff.circuits.append(
             _diff_circuit(b_circuits[name], circuit, thresholds)
         )
+    return diff
+
+
+# ----------------------------------------------------------------------
+# Scale-curve payloads (BENCH_scale.json): exponent-drift gating.
+
+
+@dataclass
+class ScaleDiff:
+    """The verdict of one scale-curve baseline-vs-current comparison.
+
+    Fitted complexity exponents gate (kind ``"exponent"``,
+    ``deterministic=True``): a time exponent moving from 1.1 to 1.5
+    means the algorithm's growth *law* changed, which no amount of
+    machine variance explains away once the fit tolerance (widened by
+    the fits' standard errors) is exceeded.  Largest-instance wall
+    time and peak memory ride along as advisory ``"time"`` / ``"mem"``
+    fields using the ordinary noise model.
+    """
+
+    baseline_meta: Dict[str, Any]
+    current_meta: Dict[str, Any]
+    fields: List[FieldDiff] = field(default_factory=list)
+    mismatched_config: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[FieldDiff]:
+        return [f for f in self.fields if f.is_regression]
+
+    @property
+    def has_regressions(self) -> bool:
+        """True when any fitted exponent regressed (the CI gate)."""
+        return bool(self.regressions)
+
+    def counts(self) -> Dict[str, int]:
+        tally: Dict[str, int] = {}
+        for f in self.fields:
+            tally[f.status] = tally.get(f.status, 0) + 1
+        return tally
+
+
+def _exponent_tolerance(
+    base_fit: Dict[str, Any],
+    cur_fit: Dict[str, Any],
+    exponent_tol: float,
+) -> float:
+    """The drift band for one exponent pair.
+
+    ``exponent_tol`` is the floor; when the least-squares fits carry a
+    ``stderr``, the band widens to two combined standard errors — the
+    same philosophy as :class:`DiffThresholds` (never flag what the
+    measurement's own uncertainty can explain).
+    """
+    stderr = float(base_fit.get("stderr") or 0.0) + float(
+        cur_fit.get("stderr") or 0.0
+    )
+    return max(exponent_tol, 2.0 * stderr)
+
+
+def diff_scale_payloads(
+    baseline: Dict[str, Any],
+    current: Dict[str, Any],
+    exponent_tol: float = 0.2,
+    thresholds: DiffThresholds = DiffThresholds(),
+) -> ScaleDiff:
+    """Compare two ``BENCH_scale.json`` payloads; see :class:`ScaleDiff`.
+
+    Field names are ``<algorithm>.<metric>_exponent`` for the gating
+    exponents and ``<algorithm>.max_wall_s`` /
+    ``<algorithm>.max_peak_mem_bytes`` for the advisory
+    largest-instance comparisons.  Algorithms present on only one side
+    are classified ``new`` / ``missing`` and do not gate.
+    """
+    meta_keys = ("schema", "kind", "circuit", "seed", "scales")
+    diff = ScaleDiff(
+        baseline_meta={k: baseline.get(k) for k in meta_keys},
+        current_meta={k: current.get(k) for k in meta_keys},
+        mismatched_config=[
+            k
+            for k in ("circuit", "seed", "scales")
+            if baseline.get(k) != current.get(k)
+        ],
+    )
+    b_algs = {a["algorithm"]: a for a in baseline.get("algorithms", [])}
+    c_algs = {a["algorithm"]: a for a in current.get("algorithms", [])}
+    for name in sorted(set(b_algs) | set(c_algs)):
+        if name not in c_algs:
+            diff.fields.append(
+                FieldDiff("exponent", name, None, None, MISSING, False)
+            )
+            continue
+        if name not in b_algs:
+            diff.fields.append(
+                FieldDiff("exponent", name, None, None, NEW, False)
+            )
+            continue
+        b_alg, c_alg = b_algs[name], c_algs[name]
+        for metric in ("time", "memory"):
+            b_fit = b_alg.get("fits", {}).get(metric)
+            c_fit = c_alg.get("fits", {}).get(metric)
+            if not b_fit or not c_fit:
+                continue
+            b_exp = float(b_fit["exponent"])
+            c_exp = float(c_fit["exponent"])
+            tol = _exponent_tolerance(b_fit, c_fit, exponent_tol)
+            if c_exp - b_exp > tol:
+                status = REGRESSED
+            elif b_exp - c_exp > tol:
+                status = IMPROVED
+            else:
+                status = UNCHANGED
+            diff.fields.append(
+                FieldDiff(
+                    kind="exponent",
+                    name=f"{name}.{metric}_exponent",
+                    baseline=b_exp,
+                    current=c_exp,
+                    status=status,
+                    deterministic=True,
+                )
+            )
+        b_points = b_alg.get("points", [])
+        c_points = c_alg.get("points", [])
+        if b_points and c_points:
+            b_last, c_last = b_points[-1], c_points[-1]
+            diff.fields.append(
+                FieldDiff(
+                    kind="time",
+                    name=f"{name}.max_wall_s",
+                    baseline=b_last.get("wall_s"),
+                    current=c_last.get("wall_s"),
+                    status=thresholds.verdict(
+                        float(b_last.get("wall_s", 0.0)),
+                        float(c_last.get("wall_s", 0.0)),
+                    ),
+                    deterministic=False,
+                )
+            )
+            if (
+                b_last.get("peak_mem_bytes") is not None
+                and c_last.get("peak_mem_bytes") is not None
+            ):
+                diff.fields.append(
+                    FieldDiff(
+                        kind="mem",
+                        name=f"{name}.max_peak_mem_bytes",
+                        baseline=b_last["peak_mem_bytes"],
+                        current=c_last["peak_mem_bytes"],
+                        status=thresholds.mem_verdict(
+                            float(b_last["peak_mem_bytes"]),
+                            float(c_last["peak_mem_bytes"]),
+                        ),
+                        deterministic=False,
+                    )
+                )
     return diff

@@ -1,0 +1,255 @@
+"""Opt-in per-span memory attribution and RSS high-water sampling.
+
+Two complementary views of where bytes go:
+
+* **tracemalloc attribution** — :func:`enable_memprof` flips a per-state
+  flag that makes every subsequent :func:`repro.obs.span` record two
+  extra attributes at close:
+
+  ``mem_alloc_bytes``
+      Net Python-heap growth across the span (allocations minus frees,
+      from ``tracemalloc.get_traced_memory()`` deltas).  Negative when a
+      span frees more than it allocates.
+  ``mem_peak_bytes``
+      High-water mark of heap growth *above the span's starting point*
+      while the span (or any descendant) was open.
+
+  Attribution uses a peak-watermark stack: at each span boundary the
+  interval peak since the last boundary is folded into the innermost
+  open frame and ``tracemalloc.reset_peak()`` starts a fresh interval,
+  so a child's peak is charged to the child *and* propagated to every
+  ancestor — parents always report a peak at least as high as any
+  child.  Frames carry their span node so spans opened before memprof
+  was enabled are simply skipped.
+
+  The flag rides the same :class:`~repro.obs.registry.ObsState` the rest
+  of the package uses: when it is off (the default), spans pay one
+  attribute load and a false branch — no tracemalloc import, no clock,
+  no allocation.  Fully disabled instrumentation keeps the shared
+  null-span path untouched.
+
+* **RSS high-water sampling** — :class:`RssSampler` runs a daemon
+  thread sampling resident-set size at a fixed interval and remembers
+  the high-water mark.  tracemalloc only sees the Python heap; the
+  sampler catches numpy buffers, arena overhead, and anything else the
+  OS charges to the process.
+
+Because the attribution lands in ordinary span *attributes*, it flows
+through the existing machinery for free: span events (``--trace-json``),
+fragment serialisation and cross-worker merges
+(:func:`repro.obs.trace.merge_into_current`), ``/debug/slow``
+exemplars, and ``BENCH_obs.json``.
+
+tracemalloc ownership is reference-counted across nested enables
+(e.g. a :class:`~repro.obs.trace.TraceCapture` inheriting the flag from
+an enclosing profiled run): tracing stops only when the last enabler
+disables, and never if something outside this module started it.
+"""
+
+from __future__ import annotations
+
+import threading
+import tracemalloc
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Optional
+
+from .proc import _current_rss_bytes, process_metrics
+from .registry import current_state
+
+__all__ = [
+    "RssSampler",
+    "disable_memprof",
+    "enable_memprof",
+    "memory_snapshot",
+    "memprof_active",
+    "memprof_enabled",
+    "rss_sampling",
+]
+
+#: Span attribute names written by the attribution hooks.  ``ALLOC`` is
+#: additive across merged siblings; ``PEAK`` is a watermark and merges
+#: by ``max`` (see :mod:`repro.obs.report`).
+MEM_ALLOC_ATTR = "mem_alloc_bytes"
+MEM_PEAK_ATTR = "mem_peak_bytes"
+
+_LOCK = threading.Lock()
+_REFS = 0
+_WE_STARTED_TRACING = False
+
+
+def memprof_active() -> bool:
+    """True when the calling context records per-span memory attrs."""
+    return current_state().memprof
+
+
+def enable_memprof() -> None:
+    """Turn on per-span memory attribution for the current obs state.
+
+    Starts ``tracemalloc`` if nothing else has (remembered, so the
+    matching :func:`disable_memprof` stops it again).  Idempotent per
+    state.  Cheap relative to the partitioner phases it measures, but
+    tracemalloc itself slows allocation-heavy code noticeably — hence
+    opt-in.
+    """
+    global _REFS, _WE_STARTED_TRACING
+    state = current_state()
+    if state.memprof:
+        return
+    with _LOCK:
+        if _REFS == 0 and not tracemalloc.is_tracing():
+            tracemalloc.start()
+            _WE_STARTED_TRACING = True
+        _REFS += 1
+    state.memframes = []
+    state.memprof = True
+
+
+def disable_memprof() -> None:
+    """Turn attribution off for the current state; settle open frames.
+
+    Spans still open keep whatever was attributed so far: their frames
+    are dropped, so they close without memory attrs rather than with
+    garbage.  Stops ``tracemalloc`` when this was the last enabler and
+    :func:`enable_memprof` originally started it.
+    """
+    global _REFS, _WE_STARTED_TRACING
+    state = current_state()
+    if not state.memprof:
+        return
+    state.memprof = False
+    state.memframes = []
+    with _LOCK:
+        if _REFS > 0:
+            _REFS -= 1
+        if _REFS == 0 and _WE_STARTED_TRACING:
+            if tracemalloc.is_tracing():
+                tracemalloc.stop()
+            _WE_STARTED_TRACING = False
+
+
+@contextmanager
+def memprof_enabled() -> Iterator[None]:
+    """Scope :func:`enable_memprof` to a ``with`` block, exception-safe."""
+    enable_memprof()
+    try:
+        yield
+    finally:
+        disable_memprof()
+
+
+def on_span_enter(state: Any, node: Any) -> None:
+    """Open a memory frame for ``node`` (called only when memprof is on).
+
+    Folds the interval peak since the previous boundary into the
+    innermost open frame, then starts a fresh interval for this span.
+    """
+    if not tracemalloc.is_tracing():  # stopped externally; degrade
+        return
+    current, peak = tracemalloc.get_traced_memory()
+    frames = state.memframes
+    if frames and peak > frames[-1][2]:
+        frames[-1][2] = peak
+    tracemalloc.reset_peak()
+    frames.append([node, current, current])
+
+
+def on_span_exit(state: Any, node: Any) -> None:
+    """Close ``node``'s frame and write its memory attrs.
+
+    Pops only when the top frame belongs to ``node`` — a span opened
+    before memprof was enabled has no frame and is left untouched.
+    """
+    frames = state.memframes
+    if not frames or frames[-1][0] is not node:
+        return
+    if not tracemalloc.is_tracing():
+        frames.pop()
+        return
+    current, peak = tracemalloc.get_traced_memory()
+    _, start, peak_abs = frames.pop()
+    peak_abs = max(peak_abs, peak, current)
+    node.attrs[MEM_ALLOC_ATTR] = int(current - start)
+    node.attrs[MEM_PEAK_ATTR] = max(0, int(peak_abs - start))
+    if frames and peak_abs > frames[-1][2]:
+        frames[-1][2] = peak_abs
+    tracemalloc.reset_peak()
+
+
+def memory_snapshot() -> Dict[str, float]:
+    """Point-in-time memory sample: process RSS plus tracemalloc, if on.
+
+    Keys mirror the ``process.*`` gauge family: ``rss_bytes`` and
+    ``max_rss_bytes`` always (platform permitting), plus
+    ``traced_bytes`` / ``traced_peak_bytes`` while tracemalloc runs.
+    """
+    proc = process_metrics()
+    out: Dict[str, float] = {}
+    for key in ("rss_bytes", "max_rss_bytes"):
+        if key in proc:
+            out[key] = proc[key]
+    if tracemalloc.is_tracing():
+        current, peak = tracemalloc.get_traced_memory()
+        out["traced_bytes"] = float(current)
+        out["traced_peak_bytes"] = float(peak)
+    return out
+
+
+class RssSampler:
+    """Background resident-set-size sampler with a high-water mark.
+
+    tracemalloc attributes Python-heap bytes to spans but is blind to
+    numpy buffers and allocator overhead; the OS view of the process is
+    what capacity planning cares about.  ``start()`` spawns a daemon
+    thread reading RSS every ``interval_s``; ``stop()`` joins it and
+    returns the high-water mark in bytes (also kept in
+    ``high_water_bytes``).  Sample count is in ``samples``.  Zero when
+    the platform exposes no RSS reading.
+    """
+
+    def __init__(self, interval_s: float = 0.05):
+        self.interval_s = float(interval_s)
+        self.high_water_bytes = 0.0
+        self.samples = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def _sample_once(self) -> None:
+        rss = _current_rss_bytes()
+        if rss is not None:
+            self.samples += 1
+            if rss > self.high_water_bytes:
+                self.high_water_bytes = rss
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self._sample_once()
+
+    def start(self) -> "RssSampler":
+        if self._thread is not None:
+            return self
+        self._sample_once()
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-rss-sampler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> float:
+        thread = self._thread
+        if thread is not None:
+            self._stop.set()
+            thread.join(timeout=5.0)
+            self._thread = None
+        self._sample_once()
+        return self.high_water_bytes
+
+
+@contextmanager
+def rss_sampling(interval_s: float = 0.05) -> Iterator[RssSampler]:
+    """Sample RSS for the duration of a ``with`` block."""
+    sampler = RssSampler(interval_s=interval_s).start()
+    try:
+        yield sampler
+    finally:
+        sampler.stop()

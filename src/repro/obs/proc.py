@@ -23,15 +23,26 @@ provide it rather than reported as a guess):
     counter — rendered as ``repro_process_cpu_seconds_total``.
 ``process.cpu_user_seconds`` / ``process.cpu_system_seconds``
     The split behind ``cpu_seconds``.
+``process.tracemalloc_bytes`` / ``process.tracemalloc_peak_bytes``
+    Python-heap bytes currently traced / the traced high-water mark —
+    present only while :mod:`tracemalloc` is running (i.e. during a
+    memory-profiled run; see :mod:`repro.obs.memprof`).
+
+:func:`build_info` is the constant companion: identifying facts about
+the running build (version, python, platform) that the serving layer
+exposes as a ``service.info`` section and as a Prometheus
+``repro_build_info`` gauge with the values as labels.
 """
 
 from __future__ import annotations
 
 import os
+import platform as _platform
 import sys
+import tracemalloc
 from typing import Dict
 
-__all__ = ["process_metrics"]
+__all__ = ["build_info", "process_metrics"]
 
 
 def _max_rss_bytes(ru_maxrss: int) -> float:
@@ -63,7 +74,32 @@ def process_metrics() -> Dict[str, float]:
         out["rss_bytes"] = rss
     elif "max_rss_bytes" in out:
         out["rss_bytes"] = out["max_rss_bytes"]
+    if tracemalloc.is_tracing():
+        current, peak = tracemalloc.get_traced_memory()
+        out["tracemalloc_bytes"] = float(current)
+        out["tracemalloc_peak_bytes"] = float(peak)
     return out
+
+
+def build_info() -> Dict[str, str]:
+    """Identifying facts about this build, for ``/metrics`` info gauges.
+
+    All values are strings (they become Prometheus label values on a
+    constant ``repro_build_info 1`` sample): the package version, the
+    Python version and implementation, and the platform.
+    """
+    try:
+        from importlib.metadata import version
+
+        pkg_version = version("repro")
+    except Exception:
+        from .. import __version__ as pkg_version
+    return {
+        "version": pkg_version,
+        "python": _platform.python_version(),
+        "implementation": _platform.python_implementation(),
+        "platform": sys.platform,
+    }
 
 
 def _current_rss_bytes() -> "float | None":

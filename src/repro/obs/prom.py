@@ -42,9 +42,14 @@ _GAUGE_KEYS = {
         "disk_enabled",
     },
     "jobs": {"pending", "running"},
-    # cpu_*_seconds are lifetime totals (counters); the RSS fields are
-    # point-in-time observations.
-    "process": {"rss_bytes", "max_rss_bytes"},
+    # cpu_*_seconds are lifetime totals (counters); the RSS and
+    # tracemalloc fields are point-in-time observations.
+    "process": {
+        "rss_bytes",
+        "max_rss_bytes",
+        "tracemalloc_bytes",
+        "tracemalloc_peak_bytes",
+    },
 }
 
 
@@ -143,7 +148,9 @@ def _render_histograms(
 def render_prometheus(doc: Dict[str, Any]) -> str:
     """The engine's JSON metrics document as Prometheus text format.
 
-    Sections: ``service`` (dotted counters), ``cache`` and ``jobs``
+    Sections: ``info`` (constant ``repro_build_info`` gauge carrying
+    the build identity as labels), ``service`` (dotted counters),
+    ``cache`` and ``jobs``
     (counters with a few gauges, see ``_GAUGE_KEYS``), ``slow``
     (gauges), and ``histograms``
     (:meth:`~repro.obs.hist.HistogramSet.snapshot` form).  Unknown or
@@ -151,6 +158,19 @@ def render_prometheus(doc: Dict[str, Any]) -> str:
     keep working against a newer server.
     """
     writer = _Writer()
+    info = doc.get("info")
+    if isinstance(info, dict):
+        # The conventional "constant 1 with identifying labels" gauge:
+        # joinable onto any other series in PromQL, never aggregated.
+        labels = {
+            k: v for k, v in sorted(info.items()) if isinstance(v, str)
+        }
+        writer.family(
+            "repro_build_info",
+            "gauge",
+            "Constant 1; build identity in the labels.",
+        )
+        writer.sample("repro_build_info", labels, 1)
     service = doc.get("service")
     if isinstance(service, dict):
         _render_flat_section(writer, "service", service)

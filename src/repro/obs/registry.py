@@ -43,7 +43,7 @@ class ObsState:
 
     __slots__ = (
         "enabled", "sinks", "roots", "stack", "counters", "gauge_names",
-        "seq",
+        "seq", "memprof", "memframes",
     )
 
     def __init__(self) -> None:
@@ -63,6 +63,15 @@ class ObsState:
         self.gauge_names: Set[str] = set()
         #: Monotonically increasing event sequence number.
         self.seq = 0
+        #: Per-span memory attribution switch (see
+        #: :mod:`repro.obs.memprof`).  Off by default: spans check this
+        #: flag once and skip every tracemalloc call while it is False.
+        self.memprof = False
+        #: Stack of open memory frames, parallel to ``stack`` while
+        #: memprof is on.  Each frame is ``[node, start_bytes,
+        #: peak_abs_bytes]``; the node reference pairs frames with spans
+        #: so spans opened before memprof was enabled are skipped.
+        self.memframes: List[Any] = []
 
     def next_seq(self) -> int:
         self.seq += 1
@@ -155,6 +164,10 @@ def disable() -> None:
     :func:`enable`.
     """
     state = _CURRENT.get()
+    if state.memprof:
+        from .memprof import disable_memprof
+
+        disable_memprof()
     if state.enabled and state.counters and state.sinks:
         from .events import emit_raw
 
@@ -193,6 +206,10 @@ def enabled(sink: Optional[Any] = None):
 def reset() -> None:
     """Drop all collected spans, counters, and sinks (keeps on/off state)."""
     state = _CURRENT.get()
+    if state.memprof:
+        from .memprof import disable_memprof
+
+        disable_memprof()
     for sink in state.sinks:
         close = getattr(sink, "close", None)
         if close is not None:
@@ -203,3 +220,5 @@ def reset() -> None:
     state.counters = {}
     state.gauge_names = set()
     state.seq = 0
+    state.memprof = False
+    state.memframes = []

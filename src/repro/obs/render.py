@@ -24,11 +24,13 @@ import json
 import math
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from .diff import BenchDiff, FieldDiff, REGRESSED, SLOWER
+from .diff import BenchDiff, FieldDiff, GREW, REGRESSED, SLOWER, ScaleDiff
 
 __all__ = [
     "load_jsonl",
     "render_html",
+    "render_scale_html",
+    "render_scale_markdown",
     "render_serving_html",
     "render_serving_markdown",
     "render_slow_html",
@@ -256,8 +258,10 @@ def _counters_html(counters: Dict[str, float]) -> str:
 _STATUS_CLASS = {
     REGRESSED: "bad",
     SLOWER: "warn",
+    GREW: "warn",
     "improved": "good",
     "faster": "good",
+    "shrank": "good",
     "new": "info",
     "missing": "info",
 }
@@ -361,6 +365,9 @@ th{background:#f4f4f8}.num{text-align:right;
 .pf{fill:#fafafc;stroke:#e2e2ea}
 .pl{fill:none;stroke:#5b7fd4;stroke-width:1.5}
 .pb{fill:#d4605b}
+.pp{fill:#5b7fd4}
+.pfit{fill:none;stroke:#d4605b;stroke-width:1.2;
+  stroke-dasharray:5 3}
 .bad{color:#b02a2a}.bad td{background:#fdeaea}
 .warn{color:#9a6b00}.warn td{background:#fdf6e3}
 .good{color:#1d7a3d}.good td:last-child{background:#e8f7ee}
@@ -549,8 +556,10 @@ def render_markdown(diff: BenchDiff) -> str:
             marker = {
                 REGRESSED: "✗",
                 SLOWER: "~",
+                GREW: "~",
                 "improved": "✓",
                 "faster": "~",
+                "shrank": "~",
             }.get(f.status, "·")
             lines.append(
                 f"- {marker} {circuit.name} {f.kind} {f.name}: "
@@ -810,6 +819,276 @@ def render_serving_html(
     return _page(
         title, overview + slo_html + cross_html + latency_html + corpus_html
     )
+
+
+# ----------------------------------------------------------------------
+# Scale-curve reports (BENCH_scale.json)
+
+
+def _svg_loglog(
+    title: str,
+    xs: List[float],
+    ys: List[float],
+    exponent: Optional[float] = None,
+    coeff: Optional[float] = None,
+) -> str:
+    """A log-log scatter of measured points with the fitted power law.
+
+    ``exponent`` / ``coeff`` describe the least-squares fit
+    ``y = coeff * x**exponent``; when given, it is drawn as a dashed
+    line across the measured x range, so curvature away from the fit —
+    the thing a single exponent number hides — is visible at a glance.
+    """
+    width, height = 340, 180
+    left, right, top, bottom = 52, 10, 22, 22
+    plot_w = width - left - right
+    plot_h = height - top - bottom
+
+    pairs = [(x, y) for x, y in zip(xs, ys) if x > 0 and y > 0]
+    if len(pairs) < 2:
+        return ""
+    lx = [math.log10(x) for x, _ in pairs]
+    ly = [math.log10(y) for _, y in pairs]
+    x_min, x_max = min(lx), max(lx)
+    y_min, y_max = min(ly), max(ly)
+    if exponent is not None and coeff is not None and coeff > 0:
+        fit_lo = math.log10(coeff) + exponent * x_min
+        fit_hi = math.log10(coeff) + exponent * x_max
+        y_min = min(y_min, fit_lo, fit_hi)
+        y_max = max(y_max, fit_lo, fit_hi)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+    if y_max == y_min:
+        y_max = y_min + 1.0
+
+    def px(x: float) -> float:
+        return left + (x - x_min) / (x_max - x_min) * plot_w
+
+    def py(y: float) -> float:
+        return top + (y_max - y) / (y_max - y_min) * plot_h
+
+    points = " ".join(f"{px(x):.1f},{py(y):.1f}" for x, y in zip(lx, ly))
+    dots = "".join(
+        f'<circle cx="{px(x):.1f}" cy="{py(y):.1f}" r="2.5" class="pp"/>'
+        for x, y in zip(lx, ly)
+    )
+    fit_line = ""
+    label = title
+    if exponent is not None and coeff is not None and coeff > 0:
+        fit_lo = math.log10(coeff) + exponent * x_min
+        fit_hi = math.log10(coeff) + exponent * x_max
+        fit_line = (
+            f'<polyline points="{px(x_min):.1f},{py(fit_lo):.1f} '
+            f'{px(x_max):.1f},{py(fit_hi):.1f}" class="pfit"/>'
+        )
+        label = f"{title} ~ n^{exponent:.2f}"
+    return (
+        f'<svg class="curve" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" role="img">'
+        f'<text x="{left}" y="13" class="ct">{html.escape(label)} '
+        f"(log-log)</text>"
+        f'<rect x="{left}" y="{top}" width="{plot_w}" '
+        f'height="{plot_h}" class="pf"/>'
+        f"{fit_line}"
+        f'<polyline points="{points}" class="pl"/>'
+        f"{dots}"
+        f'<text x="{left - 4}" y="{top + 8}" class="al" '
+        f'text-anchor="end">{_fmt(10 ** y_max)}</text>'
+        f'<text x="{left - 4}" y="{top + plot_h}" class="al" '
+        f'text-anchor="end">{_fmt(10 ** y_min)}</text>'
+        f'<text x="{left}" y="{height - 6}" class="al">'
+        f"{_fmt(10 ** x_min)}</text>"
+        f'<text x="{width - right}" y="{height - 6}" class="al" '
+        f'text-anchor="end">{_fmt(10 ** x_max)}</text>'
+        f"</svg>"
+    )
+
+
+def _fit_label(fit: Optional[Dict[str, Any]]) -> str:
+    if not fit or fit.get("exponent") is None:
+        return "—"
+    text = f"n^{float(fit['exponent']):.3f}"
+    stderr = fit.get("stderr")
+    if stderr is not None:
+        text += f" ±{float(stderr):.3f}"
+    r2 = fit.get("r2")
+    if r2 is not None:
+        text += f" (R²={float(r2):.3f})"
+    return text
+
+
+def _scale_meta_line(payload: Dict[str, Any]) -> str:
+    scales = payload.get("scales", [])
+    ladder = ", ".join(_fmt(float(s)) for s in scales)
+    return (
+        f"circuit {payload.get('circuit', '?')} · seed "
+        f"{payload.get('seed', '?')} · ladder ×[{ladder}] · schema "
+        f"{payload.get('schema', '?')}"
+    )
+
+
+def _scale_diff_section(diff: ScaleDiff) -> str:
+    counts = diff.counts()
+    badges = " ".join(
+        f'<span class="badge {_STATUS_CLASS.get(status, "")}">'
+        f"{counts[status]} {status}</span>"
+        for status in sorted(counts)
+    )
+    warning = ""
+    if diff.mismatched_config:
+        pairs = ", ".join(
+            f"{k}: {diff.baseline_meta.get(k)!r} → "
+            f"{diff.current_meta.get(k)!r}"
+            for k in diff.mismatched_config
+        )
+        warning = (
+            f'<p class="bad">⚠ config mismatch between payloads '
+            f"({html.escape(pairs)}) — exponents below compare different "
+            "ladders.</p>"
+        )
+    verdict = (
+        '<p class="bad"><strong>✗ complexity-exponent regression</strong>'
+        f" — {len(diff.regressions)} fit(s) drifted beyond tolerance</p>"
+        if diff.has_regressions
+        else '<p class="good"><strong>✓ no exponent regressions'
+        "</strong></p>"
+    )
+    rows = []
+    for f in diff.fields:
+        if f.status == "unchanged":
+            continue
+        cls = _STATUS_CLASS.get(f.status, "")
+        b = "—" if f.baseline is None else _fmt(float(f.baseline))
+        c = "—" if f.current is None else _fmt(float(f.current))
+        rows.append(
+            f'<tr class="{cls}"><td>{html.escape(f.kind)}</td>'
+            f"<td>{html.escape(f.name)}</td>"
+            f'<td class="num">{b}</td><td class="num">{c}</td>'
+            f"<td>{f.status}</td></tr>"
+        )
+    body = "".join(rows) or (
+        '<tr><td colspan="5">every fitted exponent is within '
+        "tolerance of the baseline</td></tr>"
+    )
+    return (
+        "<section><h2>Baseline comparison</h2>"
+        f"{warning}{verdict}<p>{badges}</p>"
+        "<table><tr><th>kind</th><th>field</th><th>baseline</th>"
+        "<th>current</th><th>verdict</th></tr>"
+        f"{body}</table></section>"
+    )
+
+
+def render_scale_html(
+    payload: Dict[str, Any],
+    diff: Optional[ScaleDiff] = None,
+    title: str = "repro scale curves",
+) -> str:
+    """Render a ``BENCH_scale.json`` payload (and optional diff) as
+    self-contained HTML: per-algorithm log-log plots of wall time and
+    peak memory against instance size, the fitted power laws, and the
+    raw measurement table."""
+    sections = [
+        f'<p class="meta">{html.escape(_scale_meta_line(payload))}</p>'
+    ]
+    if diff is not None:
+        sections.append(_scale_diff_section(diff))
+    for alg in payload.get("algorithms", []):
+        points = alg.get("points", [])
+        sizes = [float(p.get("modules", 0)) for p in points]
+        walls = [float(p.get("wall_s", 0.0)) for p in points]
+        peaks = [float(p.get("peak_mem_bytes") or 0) for p in points]
+        fits = alg.get("fits", {})
+        time_fit = fits.get("time") or {}
+        mem_fit = fits.get("memory") or {}
+        charts = _svg_loglog(
+            "wall_s vs modules",
+            sizes,
+            walls,
+            time_fit.get("exponent"),
+            time_fit.get("coeff"),
+        )
+        if any(peaks):
+            charts += _svg_loglog(
+                "peak_mem vs modules",
+                sizes,
+                peaks,
+                mem_fit.get("exponent"),
+                mem_fit.get("coeff"),
+            )
+        fit_meta = (
+            f'<p class="meta">time {_fit_label(time_fit)} · '
+            f"memory {_fit_label(mem_fit)}</p>"
+        )
+        rows = "".join(
+            f'<tr><td class="num">{_fmt(float(p.get("scale", 0)))}</td>'
+            f'<td class="num">{p.get("modules", "—")}</td>'
+            f'<td class="num">{p.get("nets", "—")}</td>'
+            f'<td class="num">{float(p.get("wall_s", 0.0)):.4f}</td>'
+            f'<td class="num">'
+            f"{_fmt(float(p.get('peak_mem_bytes') or 0))}</td>"
+            f'<td class="num">{p.get("nets_cut", "—")}</td></tr>'
+            for p in points
+        )
+        table = (
+            "<table><tr><th>scale</th><th>modules</th><th>nets</th>"
+            "<th>wall_s</th><th>peak_mem_bytes</th><th>nets_cut</th></tr>"
+            f"{rows}</table>"
+        )
+        sections.append(
+            f"<section><h2>{html.escape(str(alg.get('algorithm', '?')))}"
+            f"</h2>{fit_meta}"
+            f'<div class="curves">{charts}</div>{table}</section>'
+        )
+    return _page(title, "".join(sections))
+
+
+def render_scale_markdown(
+    payload: Dict[str, Any], diff: Optional[ScaleDiff] = None
+) -> str:
+    """Compact summary of a scale-curve run (and optional diff) for CI
+    logs: one line per algorithm with both fitted exponents, then the
+    baseline verdicts."""
+    lines = [_scale_meta_line(payload)]
+    for alg in payload.get("algorithms", []):
+        fits = alg.get("fits", {})
+        points = alg.get("points", [])
+        largest = points[-1] if points else {}
+        lines.append(
+            f"- {alg.get('algorithm', '?')}: time {_fit_label(fits.get('time'))}"
+            f" · memory {_fit_label(fits.get('memory'))}"
+            f" · largest {largest.get('modules', '—')} modules in "
+            f"{float(largest.get('wall_s', 0.0)):.3f}s"
+        )
+    if diff is not None:
+        counts = diff.counts()
+        tally = ", ".join(
+            f"{counts[status]} {status}" for status in sorted(counts)
+        )
+        if diff.mismatched_config:
+            pairs = ", ".join(
+                f"{k}={diff.baseline_meta.get(k)!r}→"
+                f"{diff.current_meta.get(k)!r}"
+                for k in diff.mismatched_config
+            )
+            lines.append(f"⚠ config mismatch: {pairs}")
+        if diff.has_regressions:
+            lines.append(
+                f"✗ REGRESSED: {len(diff.regressions)} complexity "
+                f"exponent(s) drifted ({tally})"
+            )
+        else:
+            lines.append(f"✓ no exponent regressions ({tally})")
+        for f in diff.fields:
+            if f.status == "unchanged":
+                continue
+            b = "—" if f.baseline is None else _fmt(float(f.baseline))
+            c = "—" if f.current is None else _fmt(float(f.current))
+            marker = "✗" if f.is_regression else "~"
+            lines.append(
+                f"- {marker} {f.kind} {f.name}: {b} → {c} ({f.status})"
+            )
+    return "\n".join(lines)
 
 
 def load_jsonl(path: Any) -> List[Dict[str, Any]]:

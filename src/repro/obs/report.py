@@ -8,7 +8,14 @@ when every occurrence agrees.
 
 :func:`flatten_totals` gives the same data as a flat ``name ->
 (seconds, count)`` mapping — the machine-readable form the benchmark
-suite stores in ``BENCH_obs.json``.
+suite stores in ``BENCH_obs.json``.  :func:`flatten_memory` does the
+same for the ``mem_alloc_bytes`` / ``mem_peak_bytes`` attributes that
+:mod:`repro.obs.memprof` attaches to spans.
+
+Memory attributes are rendered as dedicated columns (``Δ`` net
+allocation, ``^`` peak) rather than generic attrs, and merged siblings
+combine them correctly: net allocation is additive, peak is a
+watermark and merges by ``max``.
 """
 
 from __future__ import annotations
@@ -18,7 +25,12 @@ from typing import Any, Dict, List, Optional, Tuple
 from .registry import STATE
 from .span import SpanNode
 
-__all__ = ["flatten_totals", "phase_report"]
+__all__ = ["flatten_memory", "flatten_totals", "human_bytes", "phase_report"]
+
+#: Watermark attributes: summing them over merged siblings would
+#: overstate the high-water mark, so they merge by ``max`` instead.
+_MAX_MERGED_ATTRS = frozenset({"mem_peak_bytes"})
+_MEM_ATTRS = ("mem_alloc_bytes", "mem_peak_bytes")
 
 
 def _merge_siblings(nodes: List[SpanNode]) -> List[SpanNode]:
@@ -44,7 +56,10 @@ def _merge_siblings(nodes: List[SpanNode]) -> List[SpanNode]:
             elif isinstance(value, (int, float)) and not isinstance(
                 value, bool
             ) and isinstance(agg.attrs[key], (int, float)):
-                agg.attrs[key] = agg.attrs[key] + value
+                if key in _MAX_MERGED_ATTRS:
+                    agg.attrs[key] = max(agg.attrs[key], value)
+                else:
+                    agg.attrs[key] = agg.attrs[key] + value
             elif agg.attrs[key] != value:
                 del agg.attrs[key]
     return [merged[name] for name in order]
@@ -55,11 +70,41 @@ def _format_attrs(attrs: Dict[str, Any]) -> str:
         return ""
     parts = []
     for key in sorted(attrs):
+        if key in _MEM_ATTRS:
+            continue
         value = attrs[key]
         if isinstance(value, float):
             value = f"{value:.4g}"
         parts.append(f"{key}={value}")
+    if not parts:
+        return ""
     return "  [" + " ".join(parts) + "]"
+
+
+def human_bytes(value: float) -> str:
+    """``1536`` → ``'1.5KiB'``; negatives keep their sign."""
+    sign = "-" if value < 0 else ""
+    magnitude = abs(float(value))
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if magnitude < 1024.0 or unit == "TiB":
+            if unit == "B":
+                return f"{sign}{int(magnitude)}B"
+            return f"{sign}{magnitude:.1f}{unit}"
+        magnitude /= 1024.0
+    return f"{sign}{magnitude:.1f}TiB"  # pragma: no cover - unreachable
+
+
+def _format_mem(attrs: Dict[str, Any]) -> str:
+    if "mem_alloc_bytes" not in attrs and "mem_peak_bytes" not in attrs:
+        return ""
+    alloc = attrs.get("mem_alloc_bytes")
+    peak = attrs.get("mem_peak_bytes")
+    parts = []
+    if alloc is not None:
+        parts.append(f"Δ{human_bytes(alloc)}")
+    if peak is not None:
+        parts.append(f"^{human_bytes(peak)}")
+    return "  " + " ".join(f"{p:>10}" for p in parts)
 
 
 def _render(
@@ -70,6 +115,7 @@ def _render(
         tally = f" ×{node.count}" if node.count > 1 else ""
         lines.append(
             f"{label:<{width}} {node.seconds:9.4f}s{tally}"
+            f"{_format_mem(node.attrs)}"
             f"{_format_attrs(node.attrs)}"
         )
         _render(node.children, depth + 1, lines, width)
@@ -91,7 +137,10 @@ def phase_report() -> str:
     lines: List[str] = []
     roots = STATE.roots
     if roots:
-        lines.append("phase tree (seconds):")
+        if _has_mem_attrs(roots):
+            lines.append("phase tree (seconds; Δ net alloc, ^ peak):")
+        else:
+            lines.append("phase tree (seconds):")
         width = max(24, _max_label(roots, 1) + 2)
         _render(roots, 1, lines, width)
     if STATE.counters:
@@ -107,6 +156,45 @@ def phase_report() -> str:
     if not lines:
         return "(no observability data collected)"
     return "\n".join(lines)
+
+
+def _has_mem_attrs(nodes: List[SpanNode]) -> bool:
+    stack = list(nodes)
+    while stack:
+        node = stack.pop()
+        if "mem_alloc_bytes" in node.attrs or "mem_peak_bytes" in node.attrs:
+            return True
+        stack.extend(node.children)
+    return False
+
+
+def flatten_memory(
+    nodes: Optional[List[SpanNode]] = None,
+) -> Dict[str, Tuple[int, int]]:
+    """Total ``(alloc_bytes, peak_bytes)`` per span name over the tree.
+
+    Net allocation sums across occurrences; peak takes the maximum
+    (it is a per-occurrence watermark).  Spans recorded without memory
+    attribution are omitted — an empty mapping means memprof was off.
+    """
+    if nodes is None:
+        nodes = STATE.roots
+    totals: Dict[str, Tuple[int, int]] = {}
+    stack = list(nodes)
+    while stack:
+        node = stack.pop()
+        stack.extend(node.children)
+        if (
+            "mem_alloc_bytes" not in node.attrs
+            and "mem_peak_bytes" not in node.attrs
+        ):
+            continue
+        alloc, peak = totals.get(node.name, (0, 0))
+        totals[node.name] = (
+            alloc + int(node.attrs.get("mem_alloc_bytes", 0)),
+            max(peak, int(node.attrs.get("mem_peak_bytes", 0))),
+        )
+    return totals
 
 
 def flatten_totals(

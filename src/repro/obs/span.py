@@ -18,7 +18,7 @@ import time
 from typing import Any, Dict, List, Optional
 
 from .events import emit_raw
-from .registry import STATE
+from .registry import STATE, current_state as _current_state
 
 __all__ = ["Span", "SpanNode", "add_timing", "span"]
 
@@ -74,24 +74,34 @@ class Span:
         return self
 
     def __enter__(self) -> "Span":
+        state = _current_state()
         _attach(self._node)
-        STATE.stack.append(self._node)
+        state.stack.append(self._node)
+        if state.memprof:
+            from .memprof import on_span_enter
+
+            on_span_enter(state, self._node)
         self._start = time.perf_counter()
         return self
 
     def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
         node = self._node
         node.seconds = time.perf_counter() - self._start
-        if STATE.stack and STATE.stack[-1] is node:
-            STATE.stack.pop()
+        state = _current_state()
+        if state.memprof:
+            from .memprof import on_span_exit
+
+            on_span_exit(state, node)
+        if state.stack and state.stack[-1] is node:
+            state.stack.pop()
         if exc_type is not None:
             node.attrs.setdefault("error", exc_type.__name__)
-        if STATE.sinks:
+        if state.sinks:
             event: Dict[str, Any] = {"type": "span", "name": node.name}
             event.update(node.attrs)
             event["dur_s"] = round(node.seconds, 6)
-            event["depth"] = len(STATE.stack)
-            event["seq"] = STATE.next_seq()
+            event["depth"] = len(state.stack)
+            event["seq"] = state.next_seq()
             emit_raw(event)
         return False
 

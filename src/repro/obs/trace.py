@@ -146,18 +146,38 @@ class TraceCapture:
     every span and event.
     """
 
-    def __init__(self, trace_id: Optional[str] = None):
+    def __init__(
+        self,
+        trace_id: Optional[str] = None,
+        memprof: Optional[bool] = None,
+    ):
         self.trace_id = trace_id or new_trace_id()
         self.duration_s = 0.0
         self.spans: List[Dict[str, Any]] = []
         self.events: List[Dict[str, Any]] = []
         self.counters: Dict[str, float] = {}
+        #: ``True``/``False`` force per-span memory attribution on/off
+        #: for the capture; ``None`` (default) inherits the enclosing
+        #: state's memprof flag, so a memory-profiled session sees
+        #: served requests with memory attribution too.
+        self.memprof = memprof
+        #: Memory snapshot taken at capture exit, while the capture's
+        #: tracemalloc session (if any) is still live — so it carries
+        #: ``traced_peak_bytes`` for the request.  ``None`` until exit.
+        self.mem: Optional[Dict[str, float]] = None
 
     def __enter__(self) -> "TraceCapture":
+        want_memprof = self.memprof
+        if want_memprof is None:
+            want_memprof = current_state().memprof
         self._iso = isolated()
         self._state = self._iso.__enter__()
         self._sink = MemorySink()
         enable(sink=self._sink)
+        if want_memprof:
+            from .memprof import enable_memprof
+
+            enable_memprof()
         self._trace_token = _TRACE_ID.set(self.trace_id)
         self._start = time.perf_counter()
         return self
@@ -166,6 +186,9 @@ class TraceCapture:
         self.duration_s = time.perf_counter() - self._start
         state = self._state
         try:
+            from .memprof import memory_snapshot
+
+            self.mem = memory_snapshot()
             self.counters = dict(state.counters)
             self.spans = [span_node_to_dict(node) for node in state.roots]
             disable()

@@ -216,12 +216,13 @@ def _invoke(payload: Tuple[Any, ...]) -> Tuple[Any, ...]:
 
     Returns ``("ok", result, fragment)`` or ``("error", exc, tb_text)``.
     ``needs_pickle`` marks process-backend tasks, whose outcome must
-    survive pickling back to the parent.
+    survive pickling back to the parent.  ``memprof`` carries the
+    submitting context's memory-attribution flag into the worker.
     """
-    fn, args, capture, needs_pickle = payload
+    fn, args, capture, needs_pickle, memprof = payload
     try:
         if capture:
-            result, fragment = capture_fragment(fn, *args)
+            result, fragment = capture_fragment(fn, *args, memprof=memprof)
         else:
             result, fragment = fn(*args), None
         return ("ok", result, fragment)
@@ -278,10 +279,11 @@ def _run(
     from .. import obs
 
     capture = obs.is_enabled()
+    memprof = capture and obs.STATE.memprof
     needs_pickle = config.backend == "process"
     executor = _get_executor(config.backend, config.effective_workers())
     futures = [
-        executor.submit(_invoke, (fn, args, capture, needs_pickle))
+        executor.submit(_invoke, (fn, args, capture, needs_pickle, memprof))
         for args in tasks
     ]
     # Reduce strictly in submission order — both results and trace

@@ -37,16 +37,27 @@ Fragment = Dict[str, Any]
 
 
 def capture_fragment(
-    fn: Callable[..., Any], *args: Any, **kwargs: Any
+    fn: Callable[..., Any], *args: Any, memprof: bool = False, **kwargs: Any
 ) -> Tuple[Any, Fragment]:
     """Run ``fn`` with a private, enabled obs state; return its result
-    and the serialisable trace fragment it recorded."""
+    and the serialisable trace fragment it recorded.
+
+    ``memprof=True`` (keyword-only, not forwarded to ``fn``) turns on
+    per-span memory attribution inside the capture, so worker fragments
+    carry ``mem_alloc_bytes`` / ``mem_peak_bytes`` span attributes when
+    the submitting context was memory-profiling.  The flag tears down
+    with the capture's obs state, stopping tracemalloc in the worker.
+    """
     from .. import obs
     from ..obs.trace import span_node_to_dict
 
     sink = obs.MemorySink()
     with obs.isolated() as state:
         with obs.enabled(sink=sink):
+            if memprof:
+                from ..obs.memprof import enable_memprof
+
+                enable_memprof()
             result = fn(*args, **kwargs)
             counters = obs.counters()
             spans = [span_node_to_dict(node) for node in state.roots]

@@ -376,9 +376,16 @@ class PartitionEngine:
         hists: Optional[obs.HistogramSet] = None,
         slow_threshold_s: float = 1.0,
         slow_capacity: int = 32,
+        memprof: bool = False,
     ):
         self.cache = cache
         self.parallel = parallel
+        #: ``True`` forces per-span memory attribution on for every
+        #: request's :class:`~repro.obs.TraceCapture` (``repro-serve
+        #: --memprof``); ``False`` inherits whatever the surrounding
+        #: context has, so a memory-profiled bench session still sees
+        #: request memory.
+        self.memprof = bool(memprof)
         self._scheduler = scheduler
         self._scheduler_lock = threading.Lock()
         self._inflight: Dict[str, _Flight] = {}
@@ -467,7 +474,9 @@ class PartitionEngine:
         """
         key = request_fingerprint(h, request)
         self._count("service.requests")
-        capture = obs.TraceCapture(trace_id)
+        capture = obs.TraceCapture(
+            trace_id, memprof=True if self.memprof else None
+        )
         served: Optional[ServedResult] = None
         try:
             with capture:
@@ -501,6 +510,10 @@ class PartitionEngine:
                         "spans": capture.spans,
                         "events": capture.events,
                         "counters": capture.counters,
+                        # Request memory footprint: RSS always; traced
+                        # heap peak when the capture ran memprof (the
+                        # capture snapshots while tracing is still on).
+                        "mem": capture.mem or obs.memory_snapshot(),
                     }
                 )
         served.trace_id = capture.trace_id
@@ -667,6 +680,7 @@ class PartitionEngine:
         doc["histograms"] = self.hists.snapshot()
         doc["slow"] = self.slow.snapshot()
         doc["process"] = obs.process_metrics()
+        doc["info"] = obs.build_info()
         if obs.is_enabled():
             doc["obs"] = obs.counters("service.")
         return doc

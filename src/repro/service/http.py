@@ -760,6 +760,12 @@ def serve_main(argv: Optional[Sequence[str]] = None) -> int:
         "at GET /debug/slow (default 1.0)",
     )
     parser.add_argument(
+        "--memprof", action="store_true",
+        help="attribute Python-heap memory to every request's span tree "
+        "(tracemalloc; measurably slows allocation-heavy compute) — "
+        "slow-log exemplars and /metrics gain memory detail",
+    )
+    parser.add_argument(
         "--ready-queue-bound", type=int, default=64, metavar="N",
         help="GET /readyz reports unready — and POST /partition starts "
         "returning 429 with Retry-After — when more than N jobs are "
@@ -784,6 +790,7 @@ def serve_main(argv: Optional[Sequence[str]] = None) -> int:
             cache=ResultCache(**cache_kwargs),
             parallel=resolve_parallel(args.workers, args.backend),
             slow_threshold_s=args.slow_threshold,
+            memprof=args.memprof,
         )
         access_log = AccessLog(path=args.access_log, quiet=args.quiet)
         server = create_server(

@@ -8,10 +8,12 @@ import pytest
 
 from repro.obs.diff import (
     FASTER,
+    GREW,
     IMPROVED,
     MISSING,
     NEW,
     REGRESSED,
+    SHRANK,
     SLOWER,
     UNCHANGED,
     DiffThresholds,
@@ -405,3 +407,63 @@ class TestBenchCacheScenarioCli:
 
         assert main(["NoSuch", "--cache-scenario"]) == 2
         assert "unknown circuit" in capsys.readouterr().err
+
+
+class TestMemoryFields:
+    """Memory quantities (``*_bytes``) diff noise-aware and never gate:
+    an RSS or heap watermark is machine state, not algorithm work."""
+
+    def test_process_gauge_growth_never_gates(self):
+        base = make_payload(make_circuit(
+            mem={"rss_bytes": 50e6, "max_rss_bytes": 60e6},
+        ))
+        cur = make_payload(make_circuit(
+            mem={"rss_bytes": 90e6, "max_rss_bytes": 95e6},
+        ))
+        diff = diff_payloads(base, cur)
+        f = field(diff, "rss_bytes")
+        assert f.status == GREW
+        assert not f.deterministic
+        assert not diff.has_regressions
+        assert f in diff.memory_growths
+
+    def test_small_memory_jitter_is_unchanged(self):
+        base = make_payload(make_circuit(mem={"rss_bytes": 50e6}))
+        cur = make_payload(make_circuit(mem={"rss_bytes": 52e6}))
+        diff = diff_payloads(base, cur)
+        assert field(diff, "rss_bytes").status == UNCHANGED
+
+    def test_below_absolute_floor_is_always_noise(self):
+        # +400KiB is a huge relative change on a 100KiB baseline, but
+        # under the 1MiB floor it is indistinguishable from allocator
+        # jitter.
+        base = make_payload(make_circuit(mem={"rss_bytes": 100e3}))
+        cur = make_payload(make_circuit(mem={"rss_bytes": 500e3}))
+        diff = diff_payloads(base, cur)
+        assert field(diff, "rss_bytes").status == UNCHANGED
+
+    def test_memory_shrink_is_reported(self):
+        base = make_payload(make_circuit(mem={"rss_bytes": 90e6}))
+        cur = make_payload(make_circuit(mem={"rss_bytes": 50e6}))
+        diff = diff_payloads(base, cur)
+        assert field(diff, "rss_bytes").status == SHRANK
+        assert diff.memory_growths == []
+
+    def test_phase_mem_attribution_diffs_noise_aware(self):
+        def with_phase_mem(peak):
+            return make_circuit(phases={
+                "igmatch.sweep": {
+                    "seconds": 0.6, "count": 1,
+                    "mem_alloc_bytes": 1_000_000,
+                    "mem_peak_bytes": peak,
+                },
+            })
+
+        diff = diff_payloads(
+            make_payload(with_phase_mem(10_000_000)),
+            make_payload(with_phase_mem(30_000_000)),
+        )
+        f = field(diff, "igmatch.sweep.mem_peak_bytes")
+        assert f.kind == "phase.mem"
+        assert f.status == GREW
+        assert not diff.has_regressions

@@ -1,0 +1,277 @@
+"""Tests for scale-curve benchmarking (:mod:`repro.bench.scale_curve`),
+the exponent-drift diff, and the ``--scale-curve`` CLI mode."""
+
+import json
+
+import pytest
+
+from repro.bench import fit_power_law, run_scale_curve, validate_scale_payload
+from repro.bench.__main__ import main as bench_main
+from repro.errors import ReproError
+from repro.obs import (
+    diff_scale_payloads,
+    render_scale_html,
+    render_scale_markdown,
+)
+
+#: A tiny, fast ladder shared by the tests that need a real sweep.
+_LADDER = dict(
+    circuit="Test02",
+    seed=0,
+    scales=(0.1, 0.2, 0.4),
+    algorithms=("fm",),
+)
+
+
+@pytest.fixture(scope="module")
+def payload():
+    return run_scale_curve(**_LADDER)
+
+
+class TestFit:
+    def test_recovers_exact_power_law(self):
+        sizes = [10, 100, 1000, 10_000]
+        values = [3.0 * n ** 2 for n in sizes]
+        fit = fit_power_law(sizes, values)
+        assert fit["exponent"] == pytest.approx(2.0, abs=1e-6)
+        assert fit["coeff"] == pytest.approx(3.0, rel=1e-6)
+        assert fit["stderr"] == pytest.approx(0.0, abs=1e-6)
+        assert fit["r2"] == pytest.approx(1.0, abs=1e-6)
+
+    def test_noisy_fit_reports_uncertainty(self):
+        sizes = [10, 100, 1000, 10_000]
+        values = [n ** 1.5 * f for n, f in zip(sizes, (1.3, 0.8, 1.2, 0.9))]
+        fit = fit_power_law(sizes, values)
+        assert fit["exponent"] == pytest.approx(1.5, abs=0.2)
+        assert fit["stderr"] > 0
+        assert 0 < fit["r2"] < 1
+
+    def test_rejects_degenerate_ladders(self):
+        with pytest.raises(ReproError):
+            fit_power_law([100], [1.0])
+        with pytest.raises(ReproError):
+            fit_power_law([100, 100], [1.0, 2.0])
+        with pytest.raises(ReproError):
+            fit_power_law([100, 200], [1.0])
+
+
+class TestRunScaleCurve:
+    def test_payload_is_schema_valid(self, payload):
+        assert validate_scale_payload(payload) == []
+        assert payload["kind"] == "scale"
+        assert payload["circuit"] == "Test02"
+
+    def test_points_grow_along_the_ladder(self, payload):
+        points = payload["algorithms"][0]["points"]
+        assert len(points) == 3
+        modules = [p["modules"] for p in points]
+        assert modules == sorted(modules) and modules[0] < modules[-1]
+        for p in points:
+            assert p["wall_s"] > 0
+            assert p["peak_mem_bytes"] > 0
+            assert p["nets_cut"] >= 0
+
+    def test_fits_present_for_both_metrics(self, payload):
+        fits = payload["algorithms"][0]["fits"]
+        for metric in ("time", "memory"):
+            assert set(fits[metric]) == {"exponent", "coeff", "stderr", "r2"}
+        # Memory of any sane implementation grows at least linearly-ish
+        # and far slower than n^3.
+        assert 0.1 < fits["memory"]["exponent"] < 3.0
+
+    def test_rejects_single_rung(self):
+        with pytest.raises(ReproError):
+            run_scale_curve(circuit="Test02", scales=(0.2,))
+
+    def test_writes_out_path(self, tmp_path):
+        out = tmp_path / "BENCH_scale.json"
+        run_scale_curve(
+            circuit="Test02", scales=(0.1, 0.2), algorithms=("fm",),
+            out_path=out,
+        )
+        assert validate_scale_payload(json.loads(out.read_text())) == []
+
+
+class TestValidate:
+    def test_flags_structural_problems(self, payload):
+        assert validate_scale_payload([]) != []
+        assert any(
+            "kind" in p for p in validate_scale_payload({"schema": 1})
+        )
+        broken = json.loads(json.dumps(payload))
+        del broken["algorithms"][0]["fits"]["time"]["exponent"]
+        broken["algorithms"][0]["points"][0].pop("wall_s")
+        problems = validate_scale_payload(broken)
+        assert any("fits.time" in p for p in problems)
+        assert any("point 0" in p for p in problems)
+
+
+def _with_exponents(payload, delta):
+    """Copy of ``payload`` with every fitted exponent shifted by
+    ``delta`` and tight stderr, so the drift band stays at the floor."""
+    copy = json.loads(json.dumps(payload))
+    for alg in copy["algorithms"]:
+        for metric in ("time", "memory"):
+            alg["fits"][metric]["exponent"] += delta
+            alg["fits"][metric]["stderr"] = 0.0
+    return copy
+
+
+class TestDiff:
+    def test_self_diff_is_unchanged_and_passes(self, payload):
+        diff = diff_scale_payloads(payload, payload)
+        assert not diff.has_regressions
+        exponents = [f for f in diff.fields if f.kind == "exponent"]
+        assert len(exponents) == 2  # time + memory for one algorithm
+        assert all(f.status == "unchanged" for f in exponents)
+
+    def test_grown_exponent_regresses_and_gates(self, payload):
+        current = _with_exponents(payload, +1.0)
+        baseline = _with_exponents(payload, 0.0)
+        diff = diff_scale_payloads(baseline, current)
+        assert diff.has_regressions
+        assert {f.name for f in diff.regressions} == {
+            "fm.time_exponent", "fm.memory_exponent",
+        }
+        assert all(f.deterministic for f in diff.regressions)
+
+    def test_shrunk_exponent_improves(self, payload):
+        diff = diff_scale_payloads(
+            _with_exponents(payload, 0.0), _with_exponents(payload, -1.0)
+        )
+        assert not diff.has_regressions
+        assert any(f.status == "improved" for f in diff.fields)
+
+    def test_stderr_widens_the_band(self, payload):
+        baseline = _with_exponents(payload, 0.0)
+        current = _with_exponents(payload, +0.5)
+        # 0.5 drift > 0.2 floor: regresses with exact fits...
+        assert diff_scale_payloads(baseline, current).has_regressions
+        # ...but not when the fits themselves are that uncertain.
+        for alg in current["algorithms"]:
+            for metric in ("time", "memory"):
+                alg["fits"][metric]["stderr"] = 0.3
+        assert not diff_scale_payloads(baseline, current).has_regressions
+
+    def test_wall_and_mem_fields_never_gate(self, payload):
+        current = json.loads(json.dumps(payload))
+        last = current["algorithms"][0]["points"][-1]
+        last["wall_s"] = last["wall_s"] * 100
+        last["peak_mem_bytes"] = int(last["peak_mem_bytes"] * 100)
+        diff = diff_scale_payloads(payload, current)
+        assert not diff.has_regressions  # advisory only
+        by_name = {f.name: f for f in diff.fields}
+        assert by_name["fm.max_wall_s"].status == "slower"
+        assert by_name["fm.max_peak_mem_bytes"].status == "grew"
+
+    def test_mismatched_config_is_surfaced(self, payload):
+        other = json.loads(json.dumps(payload))
+        other["circuit"] = "Prim1"
+        other["seed"] = 7
+        diff = diff_scale_payloads(payload, other)
+        assert set(diff.mismatched_config) == {"circuit", "seed"}
+
+    def test_one_sided_algorithms_do_not_gate(self, payload):
+        current = json.loads(json.dumps(payload))
+        current["algorithms"][0]["algorithm"] = "kl"
+        diff = diff_scale_payloads(payload, current)
+        statuses = {f.name: f.status for f in diff.fields}
+        assert statuses["fm"] == "missing"
+        assert statuses["kl"] == "new"
+        assert not diff.has_regressions
+
+
+class TestRender:
+    def test_html_report_has_loglog_charts(self, payload):
+        html = render_scale_html(payload)
+        assert html.count("<svg") == 2  # time + memory for one algorithm
+        assert "log-log" in html
+        assert "fm" in html
+
+    def test_html_includes_diff_verdict(self, payload):
+        diff = diff_scale_payloads(
+            _with_exponents(payload, 0.0), _with_exponents(payload, +1.0)
+        )
+        html = render_scale_html(payload, diff=diff)
+        assert "regressed" in html.lower()
+
+    def test_markdown_summarises_fits_and_diff(self, payload):
+        md = render_scale_markdown(payload)
+        assert "Test02" in md and "fm" in md and "n^" in md
+        diff = diff_scale_payloads(payload, payload)
+        md = render_scale_markdown(payload, diff=diff)
+        assert "no exponent regressions" in md
+
+
+class TestCli:
+    def _run(self, *extra, tmp_path):
+        out = tmp_path / "BENCH_scale.json"
+        argv = [
+            "--scale-curve", "--curve-circuit", "Test02",
+            "--curve-scales", "0.1,0.2", "--curve-algorithms", "fm",
+            "--out", str(out), *extra,
+        ]
+        return bench_main(argv), out
+
+    def test_writes_valid_payload(self, tmp_path, capsys):
+        rc, out = self._run(tmp_path=tmp_path)
+        assert rc == 0
+        assert validate_scale_payload(json.loads(out.read_text())) == []
+        assert "n^" in capsys.readouterr().out
+
+    def test_compare_gates_on_drift(self, tmp_path, capsys):
+        rc, out = self._run(tmp_path=tmp_path)
+        assert rc == 0
+        baseline = json.loads(out.read_text())
+        low = tmp_path / "low.json"
+        low.write_text(json.dumps(_with_exponents(baseline, -2.0)))
+        rc, _ = self._run(
+            "--compare", str(low), "--fail-on-regress", tmp_path=tmp_path
+        )
+        assert rc == 1
+        assert "FAIL" in capsys.readouterr().err
+        # Same baseline without --fail-on-regress reports but passes.
+        rc, _ = self._run("--compare", str(low), tmp_path=tmp_path)
+        assert rc == 0
+
+    def test_bad_baseline_is_usage_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": 99}))
+        rc, _ = self._run("--compare", str(bad), tmp_path=tmp_path)
+        assert rc == 2
+        assert "not a scale-curve payload" in capsys.readouterr().err
+
+    def test_unknown_circuit_is_usage_error(self, tmp_path, capsys):
+        rc = bench_main([
+            "--scale-curve", "--curve-circuit", "nope",
+            "--out", str(tmp_path / "x.json"),
+        ])
+        assert rc == 2
+        assert "unknown circuit" in capsys.readouterr().err
+
+    def test_positional_names_rejected(self, tmp_path, capsys):
+        rc = bench_main([
+            "Test02", "--scale-curve", "--out", str(tmp_path / "x.json"),
+        ])
+        assert rc == 2
+        assert "--curve-circuit" in capsys.readouterr().err
+
+    def test_report_written(self, tmp_path):
+        report = tmp_path / "scale.html"
+        rc, _ = self._run("--report", str(report), tmp_path=tmp_path)
+        assert rc == 0
+        assert "<svg" in report.read_text()
+
+    def test_checked_in_baseline_is_valid(self):
+        from pathlib import Path
+
+        path = (
+            Path(__file__).resolve().parents[1]
+            / "benchmarks" / "results" / "BENCH_scale.json"
+        )
+        baseline = json.loads(path.read_text())
+        assert validate_scale_payload(baseline) == []
+        assert baseline["circuit"] == "Prim2"
+        assert {a["algorithm"] for a in baseline["algorithms"]} == {
+            "ig-match", "fm",
+        }

@@ -332,6 +332,40 @@ class TestSlowLog:
         merged = engine.hists.merged("service.request.duration_seconds")
         assert merged.count == 1
 
+    def test_exemplar_carries_memory_snapshot(self, h):
+        engine = PartitionEngine(
+            cache=ResultCache(use_disk=False), slow_threshold_s=0.0
+        )
+        engine.partition(h, PartitionRequest("fm", seed=0))
+        mem = engine.slow.entries()[0]["mem"]
+        assert mem["rss_bytes"] > 0 and mem["max_rss_bytes"] > 0
+        assert "traced_peak_bytes" not in mem  # engine not memory-profiled
+
+    def test_memprof_engine_attributes_spans_and_peak(self, h):
+        import tracemalloc
+
+        engine = PartitionEngine(
+            cache=ResultCache(use_disk=False),
+            slow_threshold_s=0.0,
+            memprof=True,
+        )
+        engine.partition(h, PartitionRequest("fm", seed=0))
+        entry = engine.slow.entries()[0]
+        # The exit-time snapshot ran while tracemalloc was still live.
+        assert entry["mem"]["traced_peak_bytes"] > 0
+
+        def walk(nodes):
+            for node in nodes:
+                yield node
+                yield from walk(node["children"])
+
+        assert all(
+            "mem_alloc_bytes" in node["attrs"]
+            for node in walk(entry["spans"])
+        )
+        # Tracemalloc tore down with the request's capture.
+        assert not tracemalloc.is_tracing()
+
 
 class TestReadyz:
     def test_ready_when_cache_writable_and_queue_short(self, server):
