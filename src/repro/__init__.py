@@ -29,6 +29,7 @@ from .bench import (
 )
 from . import obs
 from .clustering import MultilevelConfig, multilevel_partition
+from .core import CORES, get_core, resolve_core, set_core, use_core
 from .errors import (
     BenchmarkError,
     GraphError,
@@ -42,6 +43,7 @@ from .errors import (
 )
 from .graph import Graph, laplacian_matrix
 from .hypergraph import (
+    CsrHypergraph,
     Hypergraph,
     HypergraphBuilder,
     describe,

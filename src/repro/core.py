@@ -1,0 +1,108 @@
+"""Runtime selection of the hypergraph core representation.
+
+Two cores exist:
+
+* ``"dict"`` — the original object representation: :class:`Hypergraph`
+  tuples-of-tuples, dict-of-dict :class:`repro.graph.Graph`, Python
+  loops in the hot paths.  The reference implementation.
+* ``"csr"`` — the same algorithms fed from flat CSR incidence arrays
+  (:class:`repro.hypergraph.CsrHypergraph`): vectorised
+  intersection-graph construction, Laplacian assembly from cached CSR
+  arrays, numpy König classification, and bincount-based FM gain
+  initialisation.
+
+The two are **bit-identical by contract** — every partitioner returns
+the same assignment, ``nets_cut``, ``ratio_cut``, details, and
+``canonical_result_bytes`` under either core, enforced by
+``tests/test_core_equivalence.py``.  The switch therefore only selects
+a performance profile, never a result, and cache entries are shared
+across cores.
+
+Resolution precedence (first match wins):
+
+1. an explicit argument (``run_partitioner(..., core=...)``,
+   ``PartitionEngine(core=...)``);
+2. a process-wide override installed with :func:`set_core` /
+   :func:`use_core` (what ``--core`` sets);
+3. the ``REPRO_CORE`` environment variable;
+4. the default, ``"dict"``.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from .errors import ReproError
+
+__all__ = [
+    "CORES",
+    "DEFAULT_CORE",
+    "csr_active",
+    "get_core",
+    "resolve_core",
+    "set_core",
+    "use_core",
+]
+
+CORES = ("dict", "csr")
+DEFAULT_CORE = "dict"
+_ENV_VAR = "REPRO_CORE"
+
+# The process-wide override (None = fall through to the environment).
+_active: Optional[str] = None
+
+
+def _normalise(value: object, origin: str) -> str:
+    name = str(value).strip().lower()
+    if name not in CORES:
+        raise ReproError(
+            f"unknown core {value!r} from {origin}; "
+            f"choose one of: {', '.join(CORES)}"
+        )
+    return name
+
+
+def resolve_core(explicit: Optional[str] = None) -> str:
+    """The active core name, honouring the precedence chain above."""
+    if explicit is not None:
+        return _normalise(explicit, "explicit argument")
+    if _active is not None:
+        return _active
+    env = os.environ.get(_ENV_VAR, "").strip()
+    if env:
+        return _normalise(env, f"${_ENV_VAR}")
+    return DEFAULT_CORE
+
+
+def get_core() -> str:
+    """The core currently in effect (no explicit argument)."""
+    return resolve_core()
+
+
+def csr_active() -> bool:
+    """True when the CSR core is in effect."""
+    return resolve_core() == "csr"
+
+
+def set_core(core: Optional[str]) -> Optional[str]:
+    """Install (or with ``None``, clear) the process-wide override.
+
+    Returns the previous override so callers can restore it.
+    """
+    global _active
+    previous = _active
+    _active = None if core is None else _normalise(core, "set_core()")
+    return previous
+
+
+@contextmanager
+def use_core(core: Optional[str]) -> Iterator[str]:
+    """Scope a core override to a ``with`` block (restores on exit)."""
+    previous = set_core(core)
+    try:
+        yield get_core()
+    finally:
+        global _active
+        _active = previous

@@ -33,7 +33,7 @@ class Graph:
     0.75
     """
 
-    __slots__ = ("_adj", "_num_edges", "_total_weight")
+    __slots__ = ("_adj", "_num_edges", "_total_weight", "_csr_cache")
 
     def __init__(self, num_vertices: int):
         if num_vertices < 0:
@@ -43,6 +43,12 @@ class Graph:
         ]
         self._num_edges = 0
         self._total_weight = 0.0
+        # Optional (indptr, indices, data) numpy triple describing the
+        # symmetric adjacency in canonical CSR form (rows complete,
+        # columns sorted).  Populated by bulk builders (the CSR-core
+        # intersection build) or lazily by repro.graph.laplacian;
+        # invalidated by any mutation.
+        self._csr_cache = None
 
     # ------------------------------------------------------------------
     # Mutation
@@ -64,6 +70,7 @@ class Graph:
         self._adj[u][v] += weight
         self._adj[v][u] += weight
         self._total_weight += weight
+        self._csr_cache = None
 
     # ------------------------------------------------------------------
     # Accessors
@@ -132,6 +139,50 @@ class Graph:
             for v, w in nbrs.items():
                 if u < v:
                     yield (u, v, w)
+
+    # ------------------------------------------------------------------
+    # CSR adjacency cache
+    # ------------------------------------------------------------------
+    def set_csr_arrays(self, indptr, indices, data) -> None:
+        """Install canonical CSR adjacency arrays built elsewhere.
+
+        The caller guarantees the triple describes exactly this graph's
+        symmetric adjacency with sorted column indices per row.  Bulk
+        builders use this to hand downstream consumers (Laplacian
+        assembly, vectorised König classification) zero-copy arrays.
+        """
+        self._csr_cache = (indptr, indices, data)
+
+    def csr_arrays(self):
+        """The cached ``(indptr, indices, data)`` triple, building it
+        from the adjacency lists on first use.
+
+        Requires numpy; rows are complete and columns sorted, so the
+        triple is a canonical scipy CSR pattern.  Invalidated by
+        :meth:`add_edge`.
+        """
+        if self._csr_cache is None:
+            import numpy as np
+
+            n = self.num_vertices
+            counts = np.fromiter(
+                (len(nbrs) for nbrs in self._adj),
+                dtype=np.int64,
+                count=n,
+            )
+            indptr = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(counts, out=indptr[1:])
+            nnz = int(indptr[-1])
+            indices = np.empty(nnz, dtype=np.int64)
+            data = np.empty(nnz, dtype=np.float64)
+            pos = 0
+            for nbrs in self._adj:
+                for v in sorted(nbrs):
+                    indices[pos] = v
+                    data[pos] = nbrs[v]
+                    pos += 1
+            self._csr_cache = (indptr, indices, data)
+        return self._csr_cache
 
     # ------------------------------------------------------------------
     # Subgraphs

@@ -12,6 +12,8 @@ from typing import TYPE_CHECKING
 import numpy as np
 import scipy.sparse as sp
 
+from ..core import csr_active
+
 if TYPE_CHECKING:  # pragma: no cover
     from .graph import Graph
 
@@ -24,8 +26,21 @@ __all__ = [
 
 
 def adjacency_matrix(g: "Graph") -> sp.csr_matrix:
-    """The symmetric weighted adjacency matrix ``A`` of ``g`` (CSR)."""
+    """The symmetric weighted adjacency matrix ``A`` of ``g`` (CSR).
+
+    When the graph carries cached CSR adjacency arrays (installed by
+    the CSR-core intersection build, or built on demand under the csr
+    core), the matrix is assembled directly from them — no COO
+    intermediate, no per-edge Python loop.  Both paths produce the
+    same canonical matrix: rows complete, columns sorted, identical
+    float64 values.
+    """
     n = g.num_vertices
+    if g._csr_cache is not None or csr_active():
+        indptr, indices, data = g.csr_arrays()
+        return sp.csr_matrix(
+            (data, indices, indptr), shape=(n, n), copy=False
+        )
     rows = []
     cols = []
     vals = []

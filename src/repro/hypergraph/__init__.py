@@ -6,6 +6,7 @@ transformations.
 """
 
 from .builder import HypergraphBuilder
+from .csr import CsrHypergraph
 from .formats import (
     dumps_bookshelf,
     dumps_hgr,
@@ -44,9 +45,16 @@ from .transform import (
     relabel_modules,
     threshold_nets,
 )
-from .validate import Issue, ValidationReport, check, validate
+from .validate import (
+    Issue,
+    ValidationReport,
+    check,
+    find_incidence_mismatch,
+    validate,
+)
 
 __all__ = [
+    "CsrHypergraph",
     "Hypergraph",
     "HypergraphBuilder",
     "HypergraphStats",
@@ -59,6 +67,7 @@ __all__ = [
     "dumps_hgr",
     "dumps_net",
     "dumps_verilog",
+    "find_incidence_mismatch",
     "from_json",
     "induced_subhypergraph",
     "load_bookshelf",

@@ -1,0 +1,322 @@
+"""Flat CSR incidence arrays — the million-module substrate.
+
+:class:`CsrHypergraph` stores **both** incidence directions of a
+hypergraph as compressed sparse rows:
+
+* net → modules (the pin lists): ``net_indptr`` / ``net_indices``;
+* module → nets (the transpose): ``module_indptr`` / ``module_indices``;
+
+plus float64 ``module_areas`` and (optional) ``net_weights`` vectors.
+All arrays are int64/float64 numpy and frozen (``writeable=False``),
+so a ``CsrHypergraph`` can be shared across threads and cached on its
+source :class:`Hypergraph` without defensive copies.
+
+Conversion is exact and lossless in both directions:
+``CsrHypergraph.from_hypergraph(h).to_hypergraph() == h`` for every
+valid hypergraph, including empty nets, isolated modules, names, areas,
+and explicit net weights (the *absence* of explicit weights is
+preserved too).  Construction cost is O(pins): one pass per direction.
+
+Direct construction cross-validates the two directions — every
+(module, net) pin must appear in both — and rejects inconsistencies
+with a :class:`~repro.errors.HypergraphError` naming the offending
+module and net, rather than surfacing later as a numpy index error.
+"""
+
+from __future__ import annotations
+
+from itertools import chain
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import HypergraphError
+from .hypergraph import Hypergraph
+from .validate import find_incidence_mismatch
+
+__all__ = ["CsrHypergraph"]
+
+
+def _frozen(array: np.ndarray) -> np.ndarray:
+    array.setflags(write=False)
+    return array
+
+
+def _as_indptr(values: Sequence[int], what: str) -> np.ndarray:
+    arr = np.ascontiguousarray(values, dtype=np.int64)
+    if arr.ndim != 1 or arr.size == 0 or arr[0] != 0:
+        raise HypergraphError(
+            f"{what} must be a 1-D int array starting at 0"
+        )
+    if np.any(np.diff(arr) < 0):
+        raise HypergraphError(f"{what} must be non-decreasing")
+    return arr
+
+
+class CsrHypergraph:
+    """Frozen dual-direction CSR incidence for a :class:`Hypergraph`."""
+
+    __slots__ = (
+        "net_indptr",
+        "net_indices",
+        "module_indptr",
+        "module_indices",
+        "module_areas",
+        "net_weights",
+        "module_names",
+        "net_names",
+        "name",
+    )
+
+    def __init__(
+        self,
+        net_indptr: Sequence[int],
+        net_indices: Sequence[int],
+        module_indptr: Sequence[int],
+        module_indices: Sequence[int],
+        module_areas: Optional[Sequence[float]] = None,
+        net_weights: Optional[Sequence[float]] = None,
+        module_names: Optional[Sequence[str]] = None,
+        net_names: Optional[Sequence[str]] = None,
+        name: str = "",
+        validate: bool = True,
+    ):
+        self.net_indptr = _frozen(_as_indptr(net_indptr, "net_indptr"))
+        self.module_indptr = _frozen(
+            _as_indptr(module_indptr, "module_indptr")
+        )
+        self.net_indices = _frozen(
+            np.ascontiguousarray(net_indices, dtype=np.int64)
+        )
+        self.module_indices = _frozen(
+            np.ascontiguousarray(module_indices, dtype=np.int64)
+        )
+        num_modules = self.module_indptr.size - 1
+        num_nets = self.net_indptr.size - 1
+        areas = (
+            np.ones(num_modules, dtype=np.float64)
+            if module_areas is None
+            else np.ascontiguousarray(module_areas, dtype=np.float64)
+        )
+        if areas.shape != (num_modules,):
+            raise HypergraphError(
+                f"module_areas has {areas.size} entries for "
+                f"{num_modules} modules"
+            )
+        self.module_areas = _frozen(areas)
+        if net_weights is None:
+            self.net_weights = None
+        else:
+            weights = np.ascontiguousarray(net_weights, dtype=np.float64)
+            if weights.shape != (num_nets,):
+                raise HypergraphError(
+                    f"net_weights has {weights.size} entries for "
+                    f"{num_nets} nets"
+                )
+            self.net_weights = _frozen(weights)
+        self.module_names = (
+            None if module_names is None else tuple(module_names)
+        )
+        self.net_names = None if net_names is None else tuple(net_names)
+        self.name = name
+        if validate:
+            self._validate()
+
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        if self.net_indptr[-1] != self.net_indices.size:
+            raise HypergraphError(
+                f"net_indptr ends at {int(self.net_indptr[-1])} but "
+                f"net_indices has {self.net_indices.size} pins"
+            )
+        if self.module_indptr[-1] != self.module_indices.size:
+            raise HypergraphError(
+                f"module_indptr ends at {int(self.module_indptr[-1])} "
+                f"but module_indices has {self.module_indices.size} pins"
+            )
+        n, m = self.num_modules, self.num_nets
+        if self.net_indices.size and (
+            self.net_indices.min() < 0 or self.net_indices.max() >= n
+        ):
+            bad = self.net_indices[
+                (self.net_indices < 0) | (self.net_indices >= n)
+            ][0]
+            raise HypergraphError(
+                f"net_indices references module {int(bad)} outside "
+                f"[0, {n})"
+            )
+        if self.module_indices.size and (
+            self.module_indices.min() < 0
+            or self.module_indices.max() >= m
+        ):
+            bad = self.module_indices[
+                (self.module_indices < 0) | (self.module_indices >= m)
+            ][0]
+            raise HypergraphError(
+                f"module_indices references net {int(bad)} outside "
+                f"[0, {m})"
+            )
+        # Rows must be strictly increasing (sorted, duplicate-free),
+        # matching Hypergraph's normalised pin lists.
+        for indptr, indices, what in (
+            (self.net_indptr, self.net_indices, "net"),
+            (self.module_indptr, self.module_indices, "module"),
+        ):
+            if indices.size < 2:
+                continue
+            not_row_start = np.ones(indices.size, dtype=bool)
+            not_row_start[indptr[:-1][indptr[:-1] < indices.size]] = False
+            bad = np.flatnonzero(
+                not_row_start[1:] & (indices[1:] <= indices[:-1])
+            )
+            if bad.size:
+                pos = int(bad[0]) + 1
+                row = int(np.searchsorted(indptr, pos, side="right")) - 1
+                raise HypergraphError(
+                    f"{what} row {row} is not sorted/duplicate-free at "
+                    f"entry {int(indices[pos])}"
+                )
+        mismatch = find_incidence_mismatch(
+            self.net_indptr,
+            self.net_indices,
+            self.module_indptr,
+            self.module_indices,
+        )
+        if mismatch is not None:
+            module, net, missing_from = mismatch
+            present_in = (
+                "module→nets"
+                if missing_from == "net→modules"
+                else "net→modules"
+            )
+            raise HypergraphError(
+                f"inconsistent incidence: pin (module {module}, "
+                f"net {net}) appears in the {present_in} direction but "
+                f"is missing from {missing_from}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def num_modules(self) -> int:
+        return self.module_indptr.size - 1
+
+    @property
+    def num_nets(self) -> int:
+        return self.net_indptr.size - 1
+
+    @property
+    def num_pins(self) -> int:
+        return self.net_indices.size
+
+    def net_sizes(self) -> np.ndarray:
+        """Pins per net (read-only int64 view-free array)."""
+        return np.diff(self.net_indptr)
+
+    def module_degrees(self) -> np.ndarray:
+        """Nets per module."""
+        return np.diff(self.module_indptr)
+
+    def pin_nets(self) -> np.ndarray:
+        """The net id of every pin, aligned with ``net_indices``."""
+        return np.repeat(
+            np.arange(self.num_nets, dtype=np.int64), self.net_sizes()
+        )
+
+    def net_weights_or_unit(self) -> np.ndarray:
+        """Explicit net weights, or a fresh unit vector."""
+        if self.net_weights is not None:
+            return self.net_weights
+        return np.ones(self.num_nets, dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_hypergraph(cls, h: Hypergraph) -> "CsrHypergraph":
+        """Exact O(pins) conversion (trusted input: no re-validation)."""
+        pins = h._pins
+        nets_of = h._nets_of
+        m = h.num_nets
+        n = h.num_modules
+        sizes = np.fromiter(
+            (len(p) for p in pins), dtype=np.int64, count=m
+        )
+        net_indptr = np.zeros(m + 1, dtype=np.int64)
+        np.cumsum(sizes, out=net_indptr[1:])
+        net_indices = np.fromiter(
+            chain.from_iterable(pins), dtype=np.int64, count=h.num_pins
+        )
+        degrees = np.fromiter(
+            (len(inc) for inc in nets_of), dtype=np.int64, count=n
+        )
+        module_indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(degrees, out=module_indptr[1:])
+        module_indices = np.fromiter(
+            chain.from_iterable(nets_of), dtype=np.int64, count=h.num_pins
+        )
+        return cls(
+            net_indptr,
+            net_indices,
+            module_indptr,
+            module_indices,
+            module_areas=h.module_areas,
+            net_weights=h._net_weights,
+            module_names=h._module_names,
+            net_names=h._net_names,
+            name=h.name,
+            validate=False,
+        )
+
+    def to_hypergraph(self) -> Hypergraph:
+        """Rebuild the object representation, losslessly."""
+        nets = [
+            self.net_indices[
+                self.net_indptr[i]:self.net_indptr[i + 1]
+            ].tolist()
+            for i in range(self.num_nets)
+        ]
+        return Hypergraph(
+            nets,
+            num_modules=self.num_modules,
+            module_names=self.module_names,
+            net_names=self.net_names,
+            module_areas=self.module_areas.tolist(),
+            net_weights=(
+                None
+                if self.net_weights is None
+                else self.net_weights.tolist()
+            ),
+            name=self.name,
+        )
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CsrHypergraph):
+            return NotImplemented
+        same_weights = (
+            (self.net_weights is None) == (other.net_weights is None)
+        ) and (
+            self.net_weights is None
+            or np.array_equal(self.net_weights, other.net_weights)
+        )
+        return (
+            np.array_equal(self.net_indptr, other.net_indptr)
+            and np.array_equal(self.net_indices, other.net_indices)
+            and np.array_equal(self.module_indptr, other.module_indptr)
+            and np.array_equal(
+                self.module_indices, other.module_indices
+            )
+            and np.array_equal(self.module_areas, other.module_areas)
+            and same_weights
+            and self.module_names == other.module_names
+            and self.net_names == other.net_names
+            and self.name == other.name
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"CsrHypergraph(modules={self.num_modules}, "
+            f"nets={self.num_nets}, pins={self.num_pins})"
+        )
+
+    def summary(self) -> Tuple[int, int, int]:
+        """(modules, nets, pins) — handy for logging."""
+        return (self.num_modules, self.num_nets, self.num_pins)

@@ -85,6 +85,7 @@ class Hypergraph:
         "_module_areas",
         "_net_weights",
         "_name",
+        "_csr",
     )
 
     def __init__(
@@ -109,6 +110,7 @@ class Hypergraph:
         self._num_modules = int(num_modules)
         self._num_pins = sum(len(p) for p in pins)
         self._name = name
+        self._csr = None
 
         nets_of: List[List[int]] = [[] for _ in range(self._num_modules)]
         for net, net_pins in enumerate(pins):
@@ -333,6 +335,39 @@ class Hypergraph:
         see :mod:`repro.analysis.sparsity` for the exact count.
         """
         return sum(k * (k - 1) for k in self.net_sizes())
+
+    # ------------------------------------------------------------------
+    # CSR core
+    # ------------------------------------------------------------------
+    @property
+    def csr(self):
+        """The :class:`~repro.hypergraph.csr.CsrHypergraph` twin.
+
+        Built lazily on first access (O(pins)) and cached; the cached
+        arrays are frozen, so sharing across threads is safe.  The
+        cache never enters pickles — process-pool workers rebuild it
+        once per worker.
+        """
+        if self._csr is None:
+            from .csr import CsrHypergraph
+
+            self._csr = CsrHypergraph.from_hypergraph(self)
+        return self._csr
+
+    def __getstate__(self):
+        # Exclude the cached CSR arrays: keeps task pickles for the
+        # process backend small, at the cost of one O(pins) rebuild
+        # per worker.
+        return {
+            slot: getattr(self, slot)
+            for slot in self.__slots__
+            if slot != "_csr"
+        }
+
+    def __setstate__(self, state):
+        for slot, value in state.items():
+            setattr(self, slot, value)
+        self._csr = None
 
     # ------------------------------------------------------------------
     # Dunder methods

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple, Union
 
+from ..core import csr_active
 from ..graph import Graph
 from ..hypergraph import Hypergraph
 from ..obs import incr, span
@@ -66,7 +67,14 @@ def intersection_graph(
         "intersection.build", nets=h.num_nets, modules=h.num_modules
     ) as sp:
         if isinstance(weighting, str):
-            weighting = get_weighting(weighting)
+            name = weighting
+            weighting = get_weighting(name)
+            if csr_active():
+                g = _intersection_graph_csr(h, name)
+                sp.set(edges=g.num_edges)
+                incr("intersection.builds")
+                incr("intersection.edges", g.num_edges)
+                return g
         g = Graph(h.num_nets)
         for (net_a, net_b), shared in shared_module_map(h).items():
             weight = weighting(h, net_a, net_b, shared)
@@ -75,6 +83,118 @@ def intersection_graph(
         sp.set(edges=g.num_edges)
         incr("intersection.builds")
         incr("intersection.edges", g.num_edges)
+    return g
+
+
+def _intersection_graph_csr(h: Hypergraph, weighting_name: str) -> Graph:
+    """Vectorised ``G'`` construction from CSR incidence arrays.
+
+    Bit-identical to the dict path by construction:
+
+    * edges are inserted into the :class:`Graph` in the dict path's
+      first-encounter order — sorted by (minimum shared module, a, b) —
+      so every downstream adjacency iteration sees the same sequence;
+    * weights are computed with the same IEEE operations in the same
+      order (per-module contributions accumulate lowest module first,
+      one add per step, exactly like the sequential Python loop).
+
+    Named weightings only; callables take the reference path.
+    """
+    import numpy as np
+
+    csr = h.csr
+    num_nets = h.num_nets
+    g = Graph(num_nets)
+    indptr = csr.module_indptr
+    indices = csr.module_indices
+    degrees = np.diff(indptr)
+
+    # Enumerate every (module, net_a, net_b) co-incidence, batching
+    # modules by degree so each batch is one fancy-indexed gather plus
+    # one triu pair expansion (lexicographic (a, b) within a module,
+    # matching the dict path's nested loop).
+    pair_a_parts = []
+    pair_b_parts = []
+    pair_mod_parts = []
+    for d in np.unique(degrees):
+        if d < 2:
+            continue
+        d = int(d)
+        mods = np.flatnonzero(degrees == d)
+        rows = indices[indptr[mods][:, None] + np.arange(d)]
+        iu, ju = np.triu_indices(d, 1)
+        pair_a_parts.append(rows[:, iu].ravel())
+        pair_b_parts.append(rows[:, ju].ravel())
+        pair_mod_parts.append(np.repeat(mods, iu.size))
+    if not pair_a_parts:
+        g.set_csr_arrays(
+            np.zeros(num_nets + 1, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.float64),
+        )
+        return g
+
+    a = np.concatenate(pair_a_parts)
+    b = np.concatenate(pair_b_parts)
+    mod = np.concatenate(pair_mod_parts)
+    # Group co-incidences by edge; within a group modules stay
+    # ascending, which is the order the dict path's shared lists
+    # accumulate in.
+    order = np.lexsort((mod, b, a))
+    a, b, mod = a[order], b[order], mod[order]
+    boundary = np.empty(a.size, dtype=bool)
+    boundary[0] = True
+    np.logical_or(a[1:] != a[:-1], b[1:] != b[:-1], out=boundary[1:])
+    group_start = np.flatnonzero(boundary)
+    counts = np.diff(np.append(group_start, a.size))
+    edge_a = a[group_start]
+    edge_b = b[group_start]
+    first_mod = mod[group_start]
+
+    sizes = np.diff(csr.net_indptr)
+    if weighting_name == "unit":
+        weights = np.ones(edge_a.size, dtype=np.float64)
+    elif weighting_name == "overlap":
+        weights = counts.astype(np.float64)
+    elif weighting_name == "jaccard":
+        union = sizes[edge_a] + sizes[edge_b] - counts
+        weights = counts / union
+    else:  # "paper" — get_weighting() already rejected unknown names
+        size_term = 1.0 / sizes[edge_a] + 1.0 / sizes[edge_b]
+        contrib = np.repeat(size_term, counts) / (degrees[mod] - 1.0)
+        # Accumulate each edge's per-module terms sequentially (lowest
+        # module first, one IEEE add per round) — exactly the Python
+        # loop's summation order, never numpy's pairwise reduction.
+        weights = np.zeros(edge_a.size, dtype=np.float64)
+        for k in range(int(counts.max())):
+            sel = counts > k
+            weights[sel] += contrib[group_start[sel] + k]
+
+    keep = weights > 0
+    if not np.all(keep):
+        edge_a = edge_a[keep]
+        edge_b = edge_b[keep]
+        first_mod = first_mod[keep]
+        weights = weights[keep]
+
+    enc = np.lexsort((edge_b, edge_a, first_mod))
+    edge_a = edge_a[enc]
+    edge_b = edge_b[enc]
+    weights = weights[enc]
+    for u, v, w in zip(
+        edge_a.tolist(), edge_b.tolist(), weights.tolist()
+    ):
+        g.add_edge(u, v, w)
+
+    # Hand downstream consumers (Laplacian assembly, vectorised König
+    # classification) the canonical symmetric CSR adjacency for free.
+    row = np.concatenate([edge_a, edge_b])
+    col = np.concatenate([edge_b, edge_a])
+    val = np.concatenate([weights, weights])
+    sym = np.lexsort((col, row))
+    sym_indptr = np.zeros(num_nets + 1, dtype=np.int64)
+    np.cumsum(np.bincount(row, minlength=num_nets), out=sym_indptr[1:])
+    g.set_csr_arrays(sym_indptr, col[sym], val[sym])
     return g
 
 

@@ -27,6 +27,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, Iterator, List, Optional
 
+from ..core import csr_active
 from ..errors import MatchingError
 from ..graph import Graph
 from .bipartite import BipartiteGraph
@@ -82,6 +83,9 @@ class IncrementalMatching:
         # every edge, so the Graph method-call overhead would dominate
         # the whole sweep (Theorem 6's inner loop).
         self._adjacency = [list(graph.neighbors(v)) for v in range(n)]
+        # Lazily-built numpy (indptr, indices) mirror of the adjacency,
+        # used by the vectorised classify() under the csr core.
+        self._np_adjacency = None
         #: Plain-int telemetry, always maintained (a few integer adds
         #: per sweep move): successful augmenting paths applied,
         #: searches attempted, and total vertices visited by augmenting
@@ -237,7 +241,14 @@ class IncrementalMatching:
         The matching must be maximum, which :meth:`move_to_right`
         maintains; with a maximum matching the reaches from the two sides
         are disjoint, so the six classes partition the vertices.
+
+        Under the csr core the alternating reachability is computed as
+        a numpy frontier BFS instead of the Python queue.  The marked
+        set is a fixed point of the alternating-reachability relation —
+        independent of visit order — so the codes are identical.
         """
+        if csr_active():
+            return self._classify_vectorised()
         self._epoch += 1
         self._alternating_mark(_LEFT, self._visit_l)
         self._alternating_mark(_RIGHT, self._visit_r)
@@ -288,6 +299,97 @@ class IncrementalMatching:
         # Note: unmatched start vertices were marked before the loop, and
         # every vertex entered mid-loop is matched (else the matching
         # would not be maximum).
+
+    # ------------------------------------------------------------------
+    # Vectorised classification (csr core)
+    # ------------------------------------------------------------------
+    def _ensure_np_adjacency(self):
+        if self._np_adjacency is None:
+            import numpy as np
+
+            cache = self._graph._csr_cache
+            if cache is not None:
+                self._np_adjacency = (cache[0], cache[1])
+            else:
+                n = self.num_vertices
+                counts = np.fromiter(
+                    (len(a) for a in self._adjacency),
+                    dtype=np.int64,
+                    count=n,
+                )
+                indptr = np.zeros(n + 1, dtype=np.int64)
+                np.cumsum(counts, out=indptr[1:])
+                indices = np.fromiter(
+                    (w for a in self._adjacency for w in a),
+                    dtype=np.int64,
+                    count=int(indptr[-1]),
+                )
+                self._np_adjacency = (indptr, indices)
+        return self._np_adjacency
+
+    def _classify_vectorised(self) -> List[int]:
+        import numpy as np
+
+        n = self.num_vertices
+        indptr, indices = self._ensure_np_adjacency()
+        side = np.asarray(self._side, dtype=np.int8)
+        match = np.asarray(self._match, dtype=np.int64)
+        reach_l = self._alternating_mark_vectorised(
+            _LEFT, side, match, indptr, indices
+        )
+        reach_r = self._alternating_mark_vectorised(
+            _RIGHT, side, match, indptr, indices
+        )
+        left = side == _LEFT
+        codes = np.where(left, VertexClass.CORE_L, VertexClass.CORE_R)
+        codes[left & reach_r] = VertexClass.ODD_R
+        codes[left & reach_l] = VertexClass.EVEN_L
+        codes[~left & reach_l] = VertexClass.ODD_L
+        codes[~left & reach_r] = VertexClass.EVEN_R
+        return codes.tolist()
+
+    @staticmethod
+    def _alternating_mark_vectorised(
+        from_side, side, match, indptr, indices
+    ):
+        """The marked set of :meth:`_alternating_mark` as a bool array.
+
+        Frontier BFS over alternating layers: unmatched ``from_side``
+        vertices seed the frontier; each round marks their unvisited
+        opposite-side neighbours, then advances the frontier to those
+        neighbours' unvisited mates.  Computes the same least fixed
+        point the sequential queue does.
+        """
+        import numpy as np
+
+        visited = np.zeros(side.size, dtype=bool)
+        frontier = np.flatnonzero((side == from_side) & (match == -1))
+        visited[frontier] = True
+        while frontier.size:
+            starts = indptr[frontier]
+            ends = indptr[frontier + 1]
+            counts = ends - starts
+            total = int(counts.sum())
+            if total == 0:
+                break
+            offsets = (
+                np.repeat(ends - np.cumsum(counts), counts)
+                + np.arange(total)
+            )
+            neighbours = indices[offsets]
+            crossing = neighbours[
+                (side[neighbours] != from_side) & ~visited[neighbours]
+            ]
+            if crossing.size == 0:
+                break
+            crossing = np.unique(crossing)
+            visited[crossing] = True
+            mates = match[crossing]
+            mates = mates[mates != -1]
+            mates = mates[~visited[mates]]
+            visited[mates] = True
+            frontier = mates
+        return visited
 
     # ------------------------------------------------------------------
     # Snapshots and invariants

@@ -75,6 +75,26 @@ class LinkedGainBuckets:
         return self._count
 
     # ------------------------------------------------------------------
+    @classmethod
+    def from_gains(cls, gains, max_gain: Optional[int] = None
+                   ) -> "LinkedGainBuckets":
+        """Bulk-build from a dense gain vector (cell ``i`` ↦ ``gains[i]``).
+
+        Exactly equivalent to inserting cells ``0..n-1`` in ascending
+        order — same LIFO bucket order, same ``iter_best_first``
+        sequence — but the bound is preset from the data, so the build
+        never triggers an O(bound) ``fm.bucket_grows`` reallocation.
+        This is the natural entry point for gain vectors computed in
+        bulk by the CSR core's vectorised FM initialisation.
+        """
+        gain_list = [int(g) for g in gains]
+        if max_gain is None:
+            max_gain = max((abs(g) for g in gain_list), default=0)
+        buckets = cls(max_gain=max(int(max_gain), 1))
+        for cell, gain in enumerate(gain_list):
+            buckets.insert(cell, gain)
+        return buckets
+
     def insert(self, cell: int, gain: int) -> None:
         if cell in self._nodes:
             raise PartitionError(f"cell {cell} already bucketed")

@@ -21,6 +21,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from ..core import csr_active
 from ..errors import PartitionError
 from ..hypergraph import Hypergraph
 from ..obs import emit, incr, is_enabled, span
@@ -156,15 +157,6 @@ class FMEngine:
         self.sides: List[int] = [int(s) for s in sides]
         if any(s not in (0, 1) for s in self.sides):
             raise PartitionError("sides must be 0/1")
-        self.pin_count = [[0, 0] for _ in range(h.num_nets)]
-        for net, pins in h.iter_nets():
-            for pin in pins:
-                self.pin_count[net][self.sides[pin]] += 1
-        self.cut = sum(
-            1
-            for counts in self.pin_count
-            if counts[0] > 0 and counts[1] > 0
-        )
         self.side_count = [
             self.sides.count(0),
             h.num_modules - self.sides.count(0),
@@ -173,9 +165,63 @@ class FMEngine:
         self.side_area = [0.0, 0.0]
         for v, s in enumerate(self.sides):
             self.side_area[s] += areas[v]
-        self.gains = [self._compute_gain(v) for v in range(h.num_modules)]
+        if csr_active():
+            self._init_counts_csr()
+        else:
+            self.pin_count = [[0, 0] for _ in range(h.num_nets)]
+            for net, pins in h.iter_nets():
+                for pin in pins:
+                    self.pin_count[net][self.sides[pin]] += 1
+            self.cut = sum(
+                1
+                for counts in self.pin_count
+                if counts[0] > 0 and counts[1] > 0
+            )
+            self.gains = [
+                self._compute_gain(v) for v in range(h.num_modules)
+            ]
         # Stats of the most recent run_pass (moved/kept/best_value).
         self.last_pass = {"moved": 0, "kept": 0, "best_value": 0.0}
+
+    # ------------------------------------------------------------------
+    def _init_counts_csr(self) -> None:
+        """Vectorised pin-count / cut / gain initialisation (csr core).
+
+        Pure integer arithmetic over the flat CSR pin arrays, so the
+        results equal the reference loops exactly: bincount the pins by
+        side for per-net counts, then sum each pin's FS/TE critical-net
+        contribution per module.  Only initialisation is vectorised —
+        the incremental :meth:`move` bookkeeping and bucket insertion
+        order (which is visit-order-sensitive) stay untouched.
+        """
+        import numpy as np
+
+        h = self.h
+        m = h.num_nets
+        n = h.num_modules
+        csr = h.csr
+        sizes = np.diff(csr.net_indptr)
+        pin_modules = csr.net_indices
+        pin_nets = np.repeat(np.arange(m, dtype=np.int64), sizes)
+        sides_arr = np.asarray(self.sides, dtype=np.int64)
+        pin_sides = sides_arr[pin_modules]
+        in1 = np.bincount(pin_nets[pin_sides == 1], minlength=m)
+        in0 = sizes - in1
+        self.pin_count = np.stack((in0, in1), axis=1).tolist()
+        self.cut = int(np.count_nonzero((in0 > 0) & (in1 > 0)))
+        valid = sizes >= 2
+        count_same = np.where(pin_sides == 0, in0[pin_nets], in1[pin_nets])
+        count_other = np.where(
+            pin_sides == 0, in1[pin_nets], in0[pin_nets]
+        )
+        contribution = np.where(
+            valid[pin_nets],
+            (count_same == 1).astype(np.int64)
+            - (count_other == 0).astype(np.int64),
+            0,
+        )
+        gains = np.bincount(pin_modules, weights=contribution, minlength=n)
+        self.gains = gains.astype(np.int64).tolist()
 
     # ------------------------------------------------------------------
     def _compute_gain(self, cell: int) -> int:

@@ -48,6 +48,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from .. import obs
 from ..obs.trace import new_trace_id
 from ..clustering import MultilevelConfig, multilevel_partition
+from ..core import use_core
 from ..errors import ReproError
 from ..hypergraph import Hypergraph
 from ..parallel import ParallelConfig
@@ -172,8 +173,19 @@ def run_partitioner(
     h: Hypergraph,
     request: PartitionRequest,
     parallel: Optional[ParallelConfig] = None,
+    core: Optional[str] = None,
 ) -> PartitionResult:
-    """Run the requested algorithm directly (no cache involvement)."""
+    """Run the requested algorithm directly (no cache involvement).
+
+    ``core`` selects the hypergraph core representation for this call
+    (``"dict"`` or ``"csr"``); ``None`` inherits the ambient setting
+    (``repro.core.set_core`` / ``$REPRO_CORE``).  Like ``parallel``, it
+    never affects results — the cores are bit-identical by contract —
+    only wall-clock time, so it does not enter any cache fingerprint.
+    """
+    if core is not None:
+        with use_core(core):
+            return run_partitioner(h, request, parallel=parallel)
     algorithm = request.algorithm
     seed = request.seed
     if algorithm == "ig-match":
@@ -377,9 +389,16 @@ class PartitionEngine:
         slow_threshold_s: float = 1.0,
         slow_capacity: int = 32,
         memprof: bool = False,
+        core: Optional[str] = None,
     ):
         self.cache = cache
         self.parallel = parallel
+        #: Hypergraph core for computes (``"dict"``/``"csr"``; ``None``
+        #: inherits the ambient setting).  Bit-identical by contract,
+        #: so it never enters cache fingerprints — entries written by a
+        #: dict-core server are hits for a csr-core server and vice
+        #: versa.
+        self.core = core
         #: ``True`` forces per-span memory attribution on for every
         #: request's :class:`~repro.obs.TraceCapture` (``repro-serve
         #: --memprof``); ``False`` inherits whatever the surrounding
@@ -595,7 +614,9 @@ class PartitionEngine:
     ) -> PartitionResult:
         self._count("service.computed")
         start = time.perf_counter()
-        result = run_partitioner(h, request, parallel=self.parallel)
+        result = run_partitioner(
+            h, request, parallel=self.parallel, core=self.core
+        )
         self.hists.observe(
             "service.compute.duration_seconds",
             time.perf_counter() - start,

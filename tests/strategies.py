@@ -24,6 +24,7 @@ from hypothesis import strategies as st
 from repro.hypergraph import Hypergraph
 
 __all__ = [
+    "adversarial_csr_hypergraphs",
     "bipartite_graphs",
     "bipartite_strategy",
     "hypergraph_strategy",
@@ -108,6 +109,66 @@ def hypergraphs(
     if allow_singleton_modules:
         num_modules = n + draw(st.integers(0, 3))
     return Hypergraph(nets, num_modules=num_modules)
+
+
+@st.composite
+def adversarial_csr_hypergraphs(draw):
+    """Hypergraphs shaped to stress flat CSR incidence round-trips.
+
+    Every degenerate row shape the CSR conversion must preserve
+    exactly, mixed freely: empty nets (zero-length rows), singleton
+    modules (trailing empty transpose rows), duplicate raw pins
+    (collapsed by the constructor before conversion), isolated modules
+    mid-range, and optionally one hub module on *every* net (a dense
+    transpose row, the worst case for per-degree batching).  Named,
+    weighted, and area-carrying variants are mixed in so the metadata
+    side of the round trip is exercised too.
+    """
+    h = draw(
+        hypergraphs(
+            min_modules=2,
+            max_modules=10,
+            min_nets=0,
+            max_nets=12,
+            allow_empty_nets=True,
+            allow_singleton_modules=True,
+            allow_duplicate_pins=True,
+        )
+    )
+    nets = [list(h.pins(e)) for e in range(h.num_nets)]
+    num_modules = h.num_modules
+    if draw(st.booleans()):
+        # One module on every net: the densest possible transpose row.
+        hub = num_modules
+        num_modules += 1
+        nets = [pins + [hub] for pins in nets]
+    module_areas = None
+    if draw(st.booleans()):
+        module_areas = [
+            draw(st.floats(0.0, 8.0, allow_nan=False))
+            for _ in range(num_modules)
+        ]
+    net_weights = None
+    if draw(st.booleans()):
+        net_weights = [
+            draw(st.floats(0.0, 4.0, allow_nan=False))
+            for _ in range(len(nets))
+        ]
+    module_names = None
+    if draw(st.booleans()):
+        module_names = [f"mod{i}" for i in range(num_modules)]
+    net_names = None
+    if draw(st.booleans()):
+        net_names = [f"sig{i}" for i in range(len(nets))]
+    return Hypergraph(
+        nets,
+        num_modules=num_modules,
+        module_names=module_names,
+        net_names=net_names,
+        module_areas=module_areas,
+        net_weights=net_weights,
+        name=draw(st.sampled_from(["", "adv", "csr-case"])),
+    )
 
 
 def partitionable_hypergraphs(**kwargs):

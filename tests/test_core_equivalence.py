@@ -1,0 +1,296 @@
+"""Cross-representation differential suite: dict core vs CSR core.
+
+The CSR core's contract is not "close enough" — it is **bit identity**.
+Every partitioner, run on the same instance with the same request, must
+produce byte-identical :func:`canonical_result_bytes` and identical
+deterministic observability counters whichever core is active.  This
+suite enforces that contract three ways:
+
+1. End-to-end: all 8 algorithms through :func:`run_partitioner` under
+   ``use_core("dict")`` vs ``use_core("csr")``, comparing canonical
+   bytes *and* the full obs counter dict (so the cores do the same
+   amount of algorithmic work, not just reach the same answer).  An
+   instance that raises must raise the identical error on both cores.
+2. Layer-by-layer: intersection-graph construction (adjacency structure,
+   bitwise edge weights, insertion order), the matcher's Dulmage–
+   Mendelsohn ``classify`` under random sweeps, FM engine
+   initialisation, and the Laplacian adjacency matrix.
+3. Service-level: hypergraph fingerprints are core-blind, a served
+   result equals a direct compute on either core, and a disk cache
+   written by a dict-core engine is a hit — byte-identical — for a
+   CSR-core engine.
+
+Modeled on ``tests/test_parallel_equivalence.py`` (PR 3), which plays
+the same role for the parallel execution backends.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+
+import pytest
+from hypothesis import given, settings
+
+from repro import obs
+from repro.core import use_core
+from repro.errors import ReproError
+from repro.graph import Graph
+from repro.graph.laplacian import adjacency_matrix, laplacian_matrix
+from repro.hypergraph import Hypergraph
+from repro.intersection import intersection_graph
+from repro.matching.incremental import IncrementalMatching
+from repro.partitioning.fm import FMEngine
+from repro.service import (
+    PartitionEngine,
+    PartitionRequest,
+    ResultCache,
+    canonical_result_bytes,
+    run_partitioner,
+)
+from repro.service.engine import ALGORITHMS
+from repro.service.fingerprint import canonical_fingerprint, exact_fingerprint
+from tests.conftest import random_hypergraph
+from tests.strategies import hypergraphs, partitionable_hypergraphs
+
+WEIGHTINGS = ("unit", "overlap", "jaccard", "paper")
+
+
+def run_one(core, h, request):
+    """One full run under ``core``: (outcome, counters).
+
+    ``outcome`` is the canonical result bytes on success, or an
+    ``("error", type-name, message)`` triple when the instance is
+    infeasible — identical errors are equivalent behaviour.  Counters
+    are the complete deterministic obs tally for the run.
+    """
+    with obs.isolated() as state:
+        obs.enable()
+        try:
+            with use_core(core):
+                result = run_partitioner(h, request)
+            outcome = canonical_result_bytes(result)
+        except ReproError as exc:
+            outcome = ("error", type(exc).__name__, str(exc))
+        finally:
+            obs.disable()
+        return outcome, dict(state.counters)
+
+
+def graph_signature(g: Graph) -> list:
+    """Insertion-ordered adjacency with bitwise-exact weights."""
+    return [
+        (v, [(u, struct.pack("<d", w)) for u, w in nbrs.items()])
+        for v, nbrs in enumerate(g._adj)
+    ]
+
+
+# ----------------------------------------------------------------------
+# 1. End-to-end: every algorithm, dict == csr
+# ----------------------------------------------------------------------
+class TestEndToEnd:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_all_algorithms_bit_identical(self, algorithm):
+        for seed in range(6):
+            h = random_hypergraph(seed, num_modules=14, num_nets=18)
+            request = PartitionRequest(
+                algorithm=algorithm, seed=seed, restarts=2, starts=2
+            )
+            d_out, d_counters = run_one("dict", h, request)
+            c_out, c_counters = run_one("csr", h, request)
+            assert d_out == c_out, (
+                f"{algorithm} seed={seed}: results diverge across cores"
+            )
+            assert d_counters == c_counters, (
+                f"{algorithm} seed={seed}: obs counters diverge"
+            )
+
+    @pytest.mark.parametrize("algorithm", ("ig-match", "fm", "multilevel"))
+    @settings(max_examples=20, deadline=None)
+    @given(h=partitionable_hypergraphs(max_modules=16, max_nets=20))
+    def test_fuzzed_instances_bit_identical(self, algorithm, h):
+        request = PartitionRequest(algorithm=algorithm, seed=3, restarts=1)
+        d_out, d_counters = run_one("dict", h, request)
+        c_out, c_counters = run_one("csr", h, request)
+        assert d_out == c_out
+        assert d_counters == c_counters
+
+    def test_split_stride_and_restarts_respected_on_both_cores(self):
+        h = random_hypergraph(9, num_modules=16, num_nets=20)
+        for request in (
+            PartitionRequest("ig-match", seed=1, split_stride=3),
+            PartitionRequest("fm", seed=4, restarts=5),
+            PartitionRequest("ig-vote", seed=2, starts=3),
+        ):
+            assert run_one("dict", h, request) == run_one("csr", h, request)
+
+
+# ----------------------------------------------------------------------
+# 2. Layer-by-layer
+# ----------------------------------------------------------------------
+class TestIntersectionLayer:
+    @pytest.mark.parametrize("weighting", WEIGHTINGS)
+    @settings(max_examples=40, deadline=None)
+    @given(
+        h=hypergraphs(
+            max_modules=12,
+            max_nets=15,
+            allow_empty_nets=True,
+            allow_singleton_modules=True,
+        )
+    )
+    def test_graph_identical_including_order(self, weighting, h):
+        with use_core("dict"):
+            gd = intersection_graph(h, weighting)
+        with use_core("csr"):
+            gc = intersection_graph(h, weighting)
+        assert graph_signature(gd) == graph_signature(gc)
+        assert struct.pack("<d", gd.total_weight) == struct.pack(
+            "<d", gc.total_weight
+        )
+
+    def test_csr_build_installs_matching_adjacency_cache(self):
+        h = random_hypergraph(5, num_modules=12, num_nets=16)
+        with use_core("csr"):
+            g = intersection_graph(h, "paper")
+        assert g._csr_cache is not None
+        cached = tuple(arr.tolist() for arr in g._csr_cache)
+        g._csr_cache = None
+        rebuilt = tuple(arr.tolist() for arr in g.csr_arrays())
+        assert cached == rebuilt
+
+
+class TestSpectralLayer:
+    def test_adjacency_and_laplacian_identical(self):
+        h = random_hypergraph(2, num_modules=14, num_nets=18)
+        with use_core("dict"):
+            g = intersection_graph(h, "paper")
+            ad = adjacency_matrix(g)
+            ld = laplacian_matrix(g)
+        with use_core("csr"):
+            g2 = intersection_graph(h, "paper")
+            ac = adjacency_matrix(g2)
+            lc = laplacian_matrix(g2)
+        for dense, csr in ((ad, ac), (ld, lc)):
+            assert (dense != csr).nnz == 0
+            assert dense.indptr.tolist() == csr.indptr.tolist()
+            assert dense.indices.tolist() == csr.indices.tolist()
+            assert [struct.pack("<d", x) for x in dense.data] == [
+                struct.pack("<d", x) for x in csr.data
+            ]
+
+
+class TestMatchingLayer:
+    @settings(max_examples=30, deadline=None)
+    @given(h=hypergraphs(max_modules=12, max_nets=15))
+    def test_classify_identical_under_random_sweeps(self, h):
+        g = intersection_graph(h, "paper")
+        n = g.num_vertices
+        order = list(range(n))
+        random.Random(7).shuffle(order)
+        with use_core("dict"):
+            md = IncrementalMatching(g)
+        with use_core("csr"):
+            mc = IncrementalMatching(g)
+        for v in order:
+            with use_core("dict"):
+                md.move_to_right(v)
+                codes_d = md.classify()
+            with use_core("csr"):
+                mc.move_to_right(v)
+                codes_c = mc.classify()
+            assert codes_d == codes_c
+        assert (md.augmentations, md.augmentation_attempts, md.search_visits) \
+            == (mc.augmentations, mc.augmentation_attempts, mc.search_visits)
+
+
+class TestFMLayer:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        h=hypergraphs(
+            max_modules=14,
+            max_nets=18,
+            allow_empty_nets=True,
+            allow_singleton_modules=True,
+        )
+    )
+    def test_engine_init_identical(self, h):
+        sides = [v % 2 for v in range(h.num_modules)]
+        with use_core("dict"):
+            ed = FMEngine(h, sides)
+        with use_core("csr"):
+            ec = FMEngine(h, sides)
+        assert ed.pin_count == ec.pin_count
+        assert ed.cut == ec.cut
+        assert ed.gains == ec.gains
+        assert ed.side_count == ec.side_count
+        assert [struct.pack("<d", a) for a in ed.side_area] == [
+            struct.pack("<d", a) for a in ec.side_area
+        ]
+
+
+# ----------------------------------------------------------------------
+# 3. Service level: fingerprints, engines, and the shared disk cache
+# ----------------------------------------------------------------------
+class TestServiceLevel:
+    def test_fingerprints_are_core_blind(self):
+        h = random_hypergraph(11, num_modules=13, num_nets=17)
+        with use_core("dict"):
+            exact_d = exact_fingerprint(h)
+            canon_d = canonical_fingerprint(h)
+        with use_core("csr"):
+            exact_c = exact_fingerprint(h)
+            canon_c = canonical_fingerprint(h)
+        assert exact_d == exact_c
+        assert canon_d == canon_c
+
+    @pytest.mark.parametrize("core", ("dict", "csr"))
+    def test_served_equals_direct(self, core):
+        h = random_hypergraph(4, num_modules=13, num_nets=16)
+        request = PartitionRequest("ig-match", seed=2, restarts=2)
+        engine = PartitionEngine(cache=None, core=core)
+        served = engine.partition(h, request)
+        direct = run_partitioner(h, request, core=core)
+        assert canonical_result_bytes(served.result) == \
+            canonical_result_bytes(direct)
+        assert served.source == "computed"
+        assert not served.cached
+
+    def test_dict_written_disk_cache_hits_for_csr_engine(self, tmp_path):
+        h = random_hypergraph(8, num_modules=14, num_nets=18)
+        request = PartitionRequest("ig-match", seed=5, restarts=2)
+
+        writer = PartitionEngine(
+            cache=ResultCache(disk_dir=tmp_path), core="dict"
+        )
+        first = writer.partition(h, request)
+        assert first.source == "computed"
+
+        # A fresh engine (cold memory tier) on the other core, same
+        # disk directory: the entry must be a hit, because the core
+        # never enters the cache fingerprint.
+        reader = PartitionEngine(
+            cache=ResultCache(disk_dir=tmp_path), core="csr"
+        )
+        second = reader.partition(h, request)
+        assert second.cached
+        assert second.source == "disk"
+        assert second.fingerprint == first.fingerprint
+        assert canonical_result_bytes(second.result) == \
+            canonical_result_bytes(first.result)
+        assert reader.cache.stats["disk_hits"] == 1
+
+    def test_csr_written_disk_cache_hits_for_dict_engine(self, tmp_path):
+        h = random_hypergraph(12, num_modules=12, num_nets=15)
+        request = PartitionRequest("fm", seed=6, restarts=3)
+        writer = PartitionEngine(
+            cache=ResultCache(disk_dir=tmp_path), core="csr"
+        )
+        first = writer.partition(h, request)
+        reader = PartitionEngine(
+            cache=ResultCache(disk_dir=tmp_path), core="dict"
+        )
+        second = reader.partition(h, request)
+        assert second.source == "disk"
+        assert canonical_result_bytes(second.result) == \
+            canonical_result_bytes(first.result)
