@@ -170,6 +170,60 @@ def _run_cache_scenario(args) -> int:
     return EXIT_OK if record["ok"] else EXIT_REGRESSED
 
 
+def _run_eco_scenario(args) -> int:
+    """Handle ``--eco-scenario``: serve a chain of random ECO deltas
+    warm and cold, gate on the speedup floor and cut quality."""
+    from .eco_scenario import run_eco_scenario
+
+    names = args.names or ["Test05"]
+    if len(names) != 1:
+        print(
+            "error: --eco-scenario takes exactly one circuit name",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+    error = _validate_names(names)
+    if error is not None:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_USAGE
+    if args.out == "BENCH_obs.json":  # suite default; not a suite payload
+        args.out = "BENCH_eco.json"
+    try:
+        record = run_eco_scenario(
+            names[0],
+            seed=args.seed,
+            scale=args.scale,
+            algorithm=args.algorithm,
+            deltas=args.eco_deltas,
+            delta_seed=args.eco_delta_seed,
+            min_speedup=args.eco_min_speedup,
+        )
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"{record['circuit']:>10}: base {record['base']['wall_s']:.3f}s, "
+        f"{len(record['edits'])} deltas warm {record['warm_wall_s']:.3f}s "
+        f"vs cold {record['cold_wall_s']:.3f}s"
+        + (f" ({record['speedup']:.0f}x)" if record["speedup"] else "")
+    )
+    for edit in record["edits"]:
+        print(
+            f"  edit {edit['edit']}: warm {edit['warm_wall_s']:.3f}s "
+            f"ratio {edit['warm_ratio_cut']:.6g} | cold "
+            f"{edit['cold_wall_s']:.3f}s ratio {edit['cold_ratio_cut']:.6g}"
+        )
+    for check, ok in record["verified"].items():
+        print(f"  {'PASS' if ok else 'FAIL'}  {check}")
+    out = Path(args.out)
+    out.write_text(
+        json.dumps(record, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(f"wrote {args.out}", file=sys.stderr)
+    return EXIT_OK if record["ok"] else EXIT_REGRESSED
+
+
 def _load_scale_baseline(path: str):
     """Read and validate a ``--compare`` BENCH_scale baseline.
 
@@ -384,6 +438,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "compute phase (writes the record to --out)",
     )
     parser.add_argument(
+        "--eco-scenario", action="store_true",
+        help="run the incremental-partitioning (ECO) scenario instead "
+        "of the suite: serve one circuit, chain random netlist deltas "
+        "through the warm delta path and a cold recompute per edit, "
+        "and gate on warm quality (no worse) and the speedup floor "
+        "(writes the record to --out, default BENCH_eco.json)",
+    )
+    parser.add_argument(
+        "--eco-deltas", type=int, default=5, metavar="N",
+        help="with --eco-scenario: number of chained edits (default 5)",
+    )
+    parser.add_argument(
+        "--eco-delta-seed", type=int, default=1, metavar="SEED",
+        help="with --eco-scenario: RNG seed for the random edits "
+        "(default 1)",
+    )
+    parser.add_argument(
+        "--eco-min-speedup", type=float, default=5.0, metavar="X",
+        help="with --eco-scenario: minimum warm-vs-cold speedup the "
+        "gate accepts (default 5.0)",
+    )
+    parser.add_argument(
         "--scale-curve", action="store_true",
         help="sweep one circuit over a geometric size ladder instead of "
         "running the suite: fit log-log complexity exponents for wall "
@@ -460,6 +536,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.cache_scenario:
         return _run_cache_scenario(args)
+
+    if args.eco_scenario:
+        return _run_eco_scenario(args)
 
     if args.scale_curve:
         return _run_scale_curve(args)

@@ -1,0 +1,171 @@
+"""Warm-vs-cold ECO (incremental partitioning) benchmark scenario.
+
+Measures what :mod:`repro.delta` actually buys in serving terms: a base
+circuit is served cold through a fresh
+:class:`~repro.service.engine.PartitionEngine` (seeding a warm-start
+session), then a chain of random engineering change orders is served
+twice per edit — warm through ``POST /partition/delta`` semantics
+(:meth:`~repro.service.engine.PartitionEngine.partition_delta`) and
+cold by running the full partitioner on the edited hypergraph from
+scratch.  The scenario verifies, not just times:
+
+* every delta request took the warm engine path (the
+  ``service.delta.warm`` counter equals the number of edits served);
+* warm cut quality is **no worse** than the cold recompute's on every
+  edit;
+* the warm chain is at least ``min_speedup`` times faster than the
+  cold recomputes in total wall time.
+
+``python -m repro.bench --eco-scenario`` is the CLI front end; the
+returned payload (``BENCH_eco.json``) is JSON-serialisable and gated
+in CI.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from typing import Any, Dict, List, Optional
+
+from .suite import build_circuit
+
+__all__ = ["run_eco_scenario"]
+
+
+def run_eco_scenario(
+    name: str = "Test05",
+    seed: int = 0,
+    scale: float = 0.4,
+    algorithm: str = "ig-match",
+    deltas: int = 5,
+    delta_seed: int = 1,
+    min_speedup: float = 5.0,
+) -> Dict[str, Any]:
+    """Serve ``deltas`` chained ECO edits warm and cold; verify both
+    the quality contract and the speedup floor.
+
+    Returns a payload with the base serve, one record per edit (warm
+    and cold wall time, cut quality, the sweep window actually used),
+    the aggregate speedup, and a ``verified`` block whose conjunction
+    is the scenario's pass/fail verdict.
+    """
+    from ..delta import dumps_delta, random_delta
+    from ..service.engine import (
+        PartitionEngine,
+        PartitionRequest,
+        run_partitioner,
+    )
+
+    h = build_circuit(name, seed=seed, scale=scale)
+    engine = PartitionEngine()
+    request = PartitionRequest(algorithm=algorithm, seed=seed)
+
+    start = time.perf_counter()
+    base_served = engine.partition(h, request)
+    base_wall = time.perf_counter() - start
+    base_record = {
+        "fingerprint": base_served.fingerprint,
+        "source": base_served.source,
+        "wall_s": round(base_wall, 6),
+        "nets_cut": base_served.result.nets_cut,
+        "ratio_cut": base_served.result.ratio_cut,
+    }
+
+    rng = random.Random(delta_seed)
+    current = h
+    fingerprint = base_served.fingerprint
+    edits: List[Dict[str, Any]] = []
+    warm_total = 0.0
+    cold_total = 0.0
+    quality_ok = True
+    sources_ok = True
+    for index in range(deltas):
+        # module_churn would routinely strand a just-added module with
+        # no nets, collapsing the optimum to a degenerate ratio-0 cut;
+        # net-level edits keep the benchmark measuring real re-solves.
+        delta = random_delta(current, rng, module_churn=False)
+        doc = json.loads(dumps_delta(delta))
+        edited = delta.apply(current)
+
+        start = time.perf_counter()
+        served = engine.partition_delta(fingerprint, doc, request)
+        warm_wall = time.perf_counter() - start
+
+        start = time.perf_counter()
+        cold_result = run_partitioner(edited, request)
+        cold_wall = time.perf_counter() - start
+
+        warm_total += warm_wall
+        cold_total += cold_wall
+        warm_ratio = served.result.ratio_cut
+        cold_ratio = cold_result.ratio_cut
+        quality_ok = quality_ok and warm_ratio <= cold_ratio
+        sources_ok = sources_ok and served.source == "delta-warm"
+        details = served.result.details
+        edits.append(
+            {
+                "edit": index,
+                "modules": edited.num_modules,
+                "nets": edited.num_nets,
+                "source": served.source,
+                "warm_wall_s": round(warm_wall, 6),
+                "cold_wall_s": round(cold_wall, 6),
+                "warm_ratio_cut": warm_ratio,
+                "cold_ratio_cut": cold_ratio,
+                "warm_nets_cut": served.result.nets_cut,
+                "cold_nets_cut": cold_result.nets_cut,
+                "window": [
+                    details.get("window_lo"),
+                    details.get("window_hi"),
+                ],
+                "splits_evaluated": details.get("splits_evaluated"),
+                "fingerprint": served.fingerprint,
+            }
+        )
+        fingerprint = served.fingerprint
+        current = edited
+
+    speedup: Optional[float] = (
+        round(cold_total / warm_total, 1) if warm_total > 0 else None
+    )
+    stats = engine.stats
+    session_stats = engine.sessions.stats_dict()
+    verified = {
+        "all_edits_served_warm": sources_ok
+        and stats["service.delta.warm"] == deltas,
+        "quality_no_worse_than_cold": quality_ok,
+        "speedup_at_least_min": (
+            speedup is not None and speedup >= min_speedup
+        ),
+        "no_base_misses": stats["service.delta.base_miss"] == 0,
+        "sessions_chained": (
+            fingerprint in engine.sessions
+            and session_stats["service.session.entries"] >= 1
+        ),
+    }
+    return {
+        "schema": 1,
+        "scenario": "eco-warm-vs-cold",
+        "circuit": name,
+        "algorithm": algorithm,
+        "seed": seed,
+        "scale": scale,
+        "delta_seed": delta_seed,
+        "modules": h.num_modules,
+        "nets": h.num_nets,
+        "base": base_record,
+        "edits": edits,
+        "warm_wall_s": round(warm_total, 6),
+        "cold_wall_s": round(cold_total, 6),
+        "speedup": speedup,
+        "min_speedup": min_speedup,
+        "counters": {
+            key: value
+            for key, value in sorted(stats.items())
+            if key.startswith("service.delta.")
+        },
+        "sessions": session_stats,
+        "verified": verified,
+        "ok": all(verified.values()),
+    }

@@ -257,6 +257,19 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write one '<module-name> <side>' line per module",
     )
     parser.add_argument(
+        "--delta", metavar="FILE",
+        help="apply a netlist delta (repro-netlist-delta-v1 JSON) to "
+        "the base netlist and partition the edited netlist warm: the "
+        "base is partitioned cold to seed warm-start artifacts, then "
+        "the delta path reuses the intersection graph, sweep window, "
+        "and matching (ig-match) or the gain structures (fm)",
+    )
+    parser.add_argument(
+        "--base", metavar="FILE",
+        help="with --delta: the base netlist file the delta applies to "
+        "(defaults to the positional netlist)",
+    )
+    parser.add_argument(
         "--fingerprint", action="store_true",
         help="print the netlist's canonical (relabeling-invariant) "
         "content fingerprint and exit without partitioning; with "
@@ -386,10 +399,53 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     )
 
 
+def _run_delta_path(h: Hypergraph, args):
+    """Cold-partition the base, then serve ``--delta`` warm against it.
+
+    Returns ``(edited_hypergraph, warm_result)``; the caller's normal
+    output paths (--json/--report/--sides-out) then apply to the edited
+    netlist's result.
+    """
+    from .delta import load_delta, seed_artifacts, warm_partition
+    from .service import run_partitioner
+    from .service.engine import result_to_payload
+
+    request = _request(
+        args.algorithm, args.seed, args.restarts, args.stride, args.starts
+    )
+    parallel = resolve_parallel(args.workers, args.backend)
+    capture: dict = {}
+    base_result = run_partitioner(
+        h, request, parallel=parallel, capture=capture
+    )
+    artifacts = seed_artifacts(
+        h, result_to_payload(base_result), request.algorithm, capture
+    )
+    delta = load_delta(args.delta)
+    application = delta.apply_detailed(h)
+    result, _fresh, warm = warm_partition(
+        h, artifacts, application, request, parallel=parallel
+    )
+    edited = application.hypergraph
+    print(
+        f"base {h.num_modules}m/{h.num_nets}n ratio "
+        f"{base_result.ratio_cut:.6g} -> delta "
+        f"{edited.num_modules}m/{edited.num_nets}n "
+        f"({'warm' if warm else 'cold fallback'})",
+        file=sys.stderr,
+    )
+    return edited, result
+
+
 def _execute(args, parser: argparse.ArgumentParser) -> int:
     try:
+        if args.base and not args.delta:
+            parser.error("--base requires --delta")
+            return 2
         if args.generate:
             h = build_circuit(args.generate, seed=args.seed, scale=args.scale)
+        elif args.delta and args.base:
+            h = _load(args.base)
         elif args.netlist:
             h = _load(args.netlist)
         else:
@@ -422,9 +478,25 @@ def _execute(args, parser: argparse.ArgumentParser) -> int:
             return 0
 
         if args.blocks > 2 or args.algorithm == "spectral-kway":
+            if args.delta:
+                print(
+                    "error: --delta supports bipartitioning "
+                    "algorithms only",
+                    file=sys.stderr,
+                )
+                return 2
             return _run_multiway(h, args)
 
-        if args.cache:
+        if args.delta:
+            if args.cache:
+                print(
+                    "error: --delta bypasses the result cache "
+                    "(drop --cache)",
+                    file=sys.stderr,
+                )
+                return 2
+            h, result = _run_delta_path(h, args)
+        elif args.cache:
             from .service import (
                 PartitionEngine,
                 ResultCache,

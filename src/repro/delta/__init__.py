@@ -1,0 +1,58 @@
+"""Incremental (ECO) partitioning: netlist deltas and warm starts.
+
+An engineering change order arrives as a :class:`NetlistDelta` — a
+value object describing module/net additions, removals, and edits
+against a base hypergraph, with a canonical JSON wire format
+(:data:`DELTA_FORMAT`).  Applying a delta yields the edited hypergraph
+plus the index maps (:class:`DeltaApplication`) that let every
+downstream structure be *patched* instead of rebuilt:
+
+* the CSR twin (:mod:`repro.delta.csrpatch`),
+* the intersection graph (:mod:`repro.delta.igraph`),
+* the IG-Match sweep and FM gain structures (:mod:`repro.delta.warm`).
+
+The serving integration (``POST /partition/delta``) lives in
+:mod:`repro.service`; the measurement harness in ``repro.bench
+--eco-scenario``.
+"""
+
+from .igraph import affected_nets, updated_edge_state
+from .model import (
+    DELTA_FORMAT,
+    DeltaApplication,
+    ModuleAdd,
+    NetAdd,
+    NetlistDelta,
+    delta_from_maps,
+    dumps_delta,
+    load_delta,
+    loads_delta,
+    random_delta,
+    save_delta,
+)
+from .warm import (
+    WARM_WINDOW,
+    SessionArtifacts,
+    seed_artifacts,
+    warm_partition,
+)
+
+__all__ = [
+    "DELTA_FORMAT",
+    "DeltaApplication",
+    "ModuleAdd",
+    "NetAdd",
+    "NetlistDelta",
+    "SessionArtifacts",
+    "WARM_WINDOW",
+    "affected_nets",
+    "delta_from_maps",
+    "dumps_delta",
+    "load_delta",
+    "loads_delta",
+    "random_delta",
+    "save_delta",
+    "seed_artifacts",
+    "updated_edge_state",
+    "warm_partition",
+]

@@ -49,3 +49,7 @@ class PartitionError(ReproError):
 
 class BenchmarkError(ReproError):
     """A benchmark specification could not be realised."""
+
+
+class DeltaError(ReproError):
+    """A netlist delta is malformed or inconsistent with its base."""

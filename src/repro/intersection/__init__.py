@@ -5,7 +5,14 @@ weighted per Section 2.2 of the paper (or any alternative scheme from
 :mod:`repro.intersection.weights`).
 """
 
-from .build import intersection_graph, intersection_nonzeros, shared_module_map
+from .build import (
+    EdgeState,
+    graph_from_edge_state,
+    intersection_edge_state,
+    intersection_graph,
+    intersection_nonzeros,
+    shared_module_map,
+)
 from .weights import (
     available_weightings,
     get_weighting,
@@ -16,8 +23,11 @@ from .weights import (
 )
 
 __all__ = [
+    "EdgeState",
     "available_weightings",
     "get_weighting",
+    "graph_from_edge_state",
+    "intersection_edge_state",
     "intersection_graph",
     "intersection_nonzeros",
     "jaccard_weight",

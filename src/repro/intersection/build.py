@@ -13,7 +13,7 @@ evaluated exactly.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple, Union
+from typing import Dict, List, NamedTuple, Tuple, Union
 
 from ..core import csr_active
 from ..graph import Graph
@@ -21,7 +21,36 @@ from ..hypergraph import Hypergraph
 from ..obs import incr, span
 from .weights import Weighting, get_weighting
 
-__all__ = ["intersection_graph", "shared_module_map", "intersection_nonzeros"]
+__all__ = [
+    "EdgeState",
+    "graph_from_edge_state",
+    "intersection_edge_state",
+    "intersection_graph",
+    "intersection_nonzeros",
+    "shared_module_map",
+]
+
+
+class EdgeState(NamedTuple):
+    """The intersection graph as four parallel arrays.
+
+    One entry per edge ``(edge_a[i], edge_b[i])`` with ``a < b``, weight
+    ``weights[i]``, and ``first_mod[i]`` the smallest shared module.
+    Entries are in canonical order — sorted by ``(first_mod, a, b)``,
+    the dict path's first-encounter order — so replaying them through
+    :func:`graph_from_edge_state` reproduces a cold build's adjacency
+    byte for byte.  This is the representation the incremental ECO
+    machinery (:mod:`repro.delta`) stores and patches.
+    """
+
+    edge_a: "object"  # np.ndarray[int64]
+    edge_b: "object"  # np.ndarray[int64]
+    weights: "object"  # np.ndarray[float64]
+    first_mod: "object"  # np.ndarray[int64]
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.edge_a.size)
 
 
 def shared_module_map(
@@ -100,11 +129,26 @@ def _intersection_graph_csr(h: Hypergraph, weighting_name: str) -> Graph:
 
     Named weightings only; callables take the reference path.
     """
+    return graph_from_edge_state(
+        h.num_nets,
+        intersection_edge_state(h, weighting_name),
+        set_csr=True,
+    )
+
+
+def intersection_edge_state(
+    h: Hypergraph, weighting_name: str = "paper"
+) -> EdgeState:
+    """Compute the canonical :class:`EdgeState` of ``h`` vectorised.
+
+    Named weightings only (the warm-start machinery needs a name it can
+    re-evaluate per edge); weight values are bitwise identical to both
+    cold build paths.  Touches ``h.csr`` (materialising it if needed).
+    """
     import numpy as np
 
+    get_weighting(weighting_name)  # reject unknown names early
     csr = h.csr
-    num_nets = h.num_nets
-    g = Graph(num_nets)
     indptr = csr.module_indptr
     indices = csr.module_indices
     degrees = np.diff(indptr)
@@ -127,12 +171,10 @@ def _intersection_graph_csr(h: Hypergraph, weighting_name: str) -> Graph:
         pair_b_parts.append(rows[:, ju].ravel())
         pair_mod_parts.append(np.repeat(mods, iu.size))
     if not pair_a_parts:
-        g.set_csr_arrays(
-            np.zeros(num_nets + 1, dtype=np.int64),
-            np.empty(0, dtype=np.int64),
-            np.empty(0, dtype=np.float64),
+        empty_i = np.empty(0, dtype=np.int64)
+        return EdgeState(
+            empty_i, empty_i, np.empty(0, dtype=np.float64), empty_i
         )
-        return g
 
     a = np.concatenate(pair_a_parts)
     b = np.concatenate(pair_b_parts)
@@ -178,13 +220,32 @@ def _intersection_graph_csr(h: Hypergraph, weighting_name: str) -> Graph:
         weights = weights[keep]
 
     enc = np.lexsort((edge_b, edge_a, first_mod))
-    edge_a = edge_a[enc]
-    edge_b = edge_b[enc]
-    weights = weights[enc]
+    return EdgeState(
+        edge_a[enc], edge_b[enc], weights[enc], first_mod[enc]
+    )
+
+
+def graph_from_edge_state(
+    num_nets: int, state: EdgeState, set_csr: bool = True
+) -> Graph:
+    """Materialise a :class:`~repro.graph.Graph` from an edge state.
+
+    Edges are inserted in array order — canonical states reproduce the
+    cold builds' adjacency iteration order exactly.  With ``set_csr``
+    the symmetric CSR adjacency is installed too (the CSR-core cold path
+    always does; the dict path never does — pass ``csr_active()`` to
+    mirror whichever cold build the caller is standing in for).
+    """
+    import numpy as np
+
+    g = Graph(num_nets)
+    edge_a, edge_b, weights = state.edge_a, state.edge_b, state.weights
     for u, v, w in zip(
         edge_a.tolist(), edge_b.tolist(), weights.tolist()
     ):
         g.add_edge(u, v, w)
+    if not set_csr:
+        return g
 
     # Hand downstream consumers (Laplacian assembly, vectorised König
     # classification) the canonical symmetric CSR adjacency for free.

@@ -183,6 +183,74 @@ class IncrementalMatching:
             self._matching_size += 1
 
     # ------------------------------------------------------------------
+    # Warm starts (ECO / delta serving)
+    # ------------------------------------------------------------------
+    def jump_start(self, right_vertices, seed=None) -> int:
+        """Jump a fresh matcher straight to a mid-sweep split.
+
+        Flips every vertex in ``right_vertices`` to R in one pass, seeds
+        the matching from ``seed`` — ``(u, v)`` pairs from a previous
+        sweep's matching, silently skipping any pair the new graph or
+        split no longer supports — then restores maximality with
+        :meth:`repair_to_maximum`.  With a good seed the repair does
+        O(changed) work instead of replaying the whole sweep prefix.
+
+        Returns the number of seed pairs actually installed.  Must be
+        called before any :meth:`move_to_right`; König classification
+        afterwards is exactly what the replayed sweep would produce,
+        because the classes depend only on *which* matching is maximum,
+        not how it was found (Dulmage–Mendelsohn canonicity).
+        """
+        if self._left_count != self.num_vertices or self._matching_size:
+            raise MatchingError(
+                "jump_start requires a fresh matcher (all vertices on L, "
+                "empty matching)"
+            )
+        for v in right_vertices:
+            if self._side[v] != _LEFT:
+                raise MatchingError(
+                    f"jump_start vertex {v} listed twice"
+                )
+            self._side[v] = _RIGHT
+            self._left_count -= 1
+        installed = 0
+        if seed:
+            match = self._match
+            side = self._side
+            n = self.num_vertices
+            for u, v in seed:
+                if not (0 <= u < n and 0 <= v < n):
+                    continue
+                if side[u] == side[v]:
+                    continue
+                if match[u] != -1 or match[v] != -1:
+                    continue
+                if not self._graph.has_edge(u, v):
+                    continue
+                match[u] = v
+                match[v] = u
+                installed += 1
+        self._matching_size += installed
+        self.repair_to_maximum()
+        return installed
+
+    def repair_to_maximum(self) -> int:
+        """Grow the current (valid) matching to maximum.
+
+        One augmenting search from every unmatched vertex suffices: a
+        failed search from ``x`` stays failed after augmentations along
+        paths from other vertices (the classical Hungarian-algorithm
+        lemma), and successful augmentations never unmatch a vertex.
+        Returns the number of augmenting paths applied.
+        """
+        grown = 0
+        for v in range(self.num_vertices):
+            if self._match[v] == -1 and self._augment_from(v):
+                self._matching_size += 1
+                grown += 1
+        return grown
+
+    # ------------------------------------------------------------------
     # Augmenting search
     # ------------------------------------------------------------------
     def _augment_from(self, start: int) -> bool:

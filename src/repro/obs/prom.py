@@ -41,7 +41,13 @@ _GAUGE_KEYS = {
         "memory_budget_bytes",
         "disk_enabled",
     },
-    "jobs": {"pending", "running"},
+    # Session-store occupancy is point-in-time (entries and retained
+    # bytes); evictions/hits/misses stay lifetime counters.
+    "service": {
+        "service.session.entries",
+        "service.session.bytes",
+    },
+    "jobs": {"pending", "running", "cancelling"},
     # cpu_*_seconds are lifetime totals (counters); the RSS and
     # tracemalloc fields are point-in-time observations.
     "process": {

@@ -21,7 +21,13 @@ from .bucket_list import LinkedGainBuckets
 from .eig1 import EIG1Config, eig1
 from .exact import exact_min_cut_bisection, exact_min_ratio_cut
 from .fm import FMConfig, FMEngine, GainBuckets, fm_bipartition
-from .igmatch import IGMatchConfig, SplitEvaluation, ig_match, ig_match_sweep
+from .igmatch import (
+    IGMatchConfig,
+    SplitEvaluation,
+    SweepWarmStart,
+    ig_match,
+    ig_match_sweep,
+)
 from .igvote import IGVoteConfig, ig_vote
 from .kl import KLConfig, kl_bisection, kl_bisection_graph
 from .kway import (
@@ -70,6 +76,7 @@ __all__ = [
     "ReplicationResult",
     "SpectralKWayConfig",
     "SplitEvaluation",
+    "SweepWarmStart",
     "anneal",
     "balance_ratio",
     "cut_net_indices",

@@ -30,7 +30,7 @@ from .metrics import ratio_cut_cost
 from .partition import Partition, PartitionResult
 
 __all__ = ["GainBuckets", "SideBuckets", "FMEngine", "FMConfig",
-           "fm_bipartition", "random_balanced_sides"]
+           "fm_bipartition", "fm_refine_engine", "random_balanced_sides"]
 
 
 class GainBuckets:
@@ -182,6 +182,54 @@ class FMEngine:
             ]
         # Stats of the most recent run_pass (moved/kept/best_value).
         self.last_pass = {"moved": 0, "kept": 0, "best_value": 0.0}
+
+    @classmethod
+    def from_state(
+        cls,
+        h: Hypergraph,
+        sides: Sequence[int],
+        pin_count: Sequence[Sequence[int]],
+        cut: int,
+        gains: Sequence[int],
+        recompute_gains: Sequence[int] = (),
+    ) -> "FMEngine":
+        """Build an engine from previously computed gain structures.
+
+        The ECO warm-start constructor: ``pin_count``/``cut``/``gains``
+        are pure functions of ``(h, sides)``, so a caller holding them
+        from an earlier engine (remapped through a netlist delta) can
+        skip the O(pins) cold initialisation and recompute only the
+        ``recompute_gains`` modules whose neighbourhoods the delta
+        touched.  The caller is trusted on the untouched entries — the
+        differential tests assert the patched state equals a cold
+        ``FMEngine(h, sides)`` build.
+        """
+        if len(sides) != h.num_modules:
+            raise PartitionError(
+                f"{len(sides)} sides for {h.num_modules} modules"
+            )
+        if len(pin_count) != h.num_nets or len(gains) != h.num_modules:
+            raise PartitionError("warm FM state does not match hypergraph")
+        engine = cls.__new__(cls)
+        engine.h = h
+        engine.sides = [int(s) for s in sides]
+        if any(s not in (0, 1) for s in engine.sides):
+            raise PartitionError("sides must be 0/1")
+        engine.side_count = [
+            engine.sides.count(0),
+            h.num_modules - engine.sides.count(0),
+        ]
+        areas = h.module_areas
+        engine.side_area = [0.0, 0.0]
+        for v, s in enumerate(engine.sides):
+            engine.side_area[s] += areas[v]
+        engine.pin_count = [list(counts) for counts in pin_count]
+        engine.cut = int(cut)
+        engine.gains = [int(g) for g in gains]
+        for v in recompute_gains:
+            engine.gains[v] = engine._compute_gain(v)
+        engine.last_pass = {"moved": 0, "kept": 0, "best_value": 0.0}
+        return engine
 
     # ------------------------------------------------------------------
     def _init_counts_csr(self) -> None:
@@ -517,8 +565,20 @@ def _optimise_start(
     Returns ``(final_sides, cut, passes)``.  Module-level and driven by
     plain data so multi-start refinement can run it in process workers.
     """
-    engine = FMEngine(h, sides)
+    return fm_refine_engine(FMEngine(h, sides), config)
 
+
+def fm_refine_engine(
+    engine: FMEngine, config: FMConfig
+) -> Tuple[List[int], int, int]:
+    """Run the multi-pass FM loop on an already-initialised engine.
+
+    Returns ``(final_sides, cut, passes)``.  Factored out of
+    :func:`_optimise_start` so the ECO warm path can refine an engine
+    built via :meth:`FMEngine.from_state` without paying a cold
+    initialisation; behaviour is identical for a freshly built engine.
+    """
+    h = engine.h
     total_area = h.total_area
     max_cell_area = max(h.module_areas, default=0.0)
     slack = config.balance_tolerance * total_area + max_cell_area

@@ -41,7 +41,13 @@ from ..spectral import spectral_ordering
 from .metrics import ratio_cut_cost
 from .partition import Partition, PartitionResult
 
-__all__ = ["IGMatchConfig", "SplitEvaluation", "ig_match", "ig_match_sweep"]
+__all__ = [
+    "IGMatchConfig",
+    "SplitEvaluation",
+    "SweepWarmStart",
+    "ig_match",
+    "ig_match_sweep",
+]
 
 _L_SIDE = 0
 _R_SIDE = 1
@@ -101,6 +107,27 @@ class SplitEvaluation:
     nets_cut: float
     ratio_cut: float
     assign_core_to_l: bool
+
+
+@dataclass(frozen=True)
+class SweepWarmStart:
+    """Warm-start directive for :func:`ig_match_sweep`.
+
+    Restricts the sweep to split ranks ``lo..hi`` (inclusive, both in
+    ``1..num_nets-1``).  The matcher reaches the rank ``lo`` state via
+    :meth:`~repro.matching.IncrementalMatching.jump_start` — flipping
+    the first ``lo - 1`` ordered nets in one shot, installing
+    ``matching_seed`` pairs that are still valid crossing edges, and
+    repairing to maximum with a single augmentation pass — instead of
+    replaying ``lo - 1`` incremental moves.  König classes depend only
+    on *which* matching is maximum, never on how it was found, so every
+    evaluation inside the window is identical to the cold sweep's
+    evaluation at the same rank.
+    """
+
+    lo: int
+    hi: int
+    matching_seed: Tuple[Tuple[int, int], ...] = ()
 
 
 class _SweepArrays:
@@ -291,6 +318,8 @@ def ig_match_sweep(
     config: IGMatchConfig = IGMatchConfig(),
     order: Optional[Sequence[int]] = None,
     graph=None,
+    warm: Optional[SweepWarmStart] = None,
+    capture: Optional[dict] = None,
 ) -> Tuple[List[SplitEvaluation], Optional[Partition]]:
     """Run the full IG-Match sweep; return all evaluations and the best
     completed partition.
@@ -298,7 +327,10 @@ def ig_match_sweep(
     ``order`` overrides the spectral net ordering (used by ablations that
     feed the same ordering to several completion strategies); ``graph``
     supplies a prebuilt intersection graph to avoid rebuilding it across
-    multiple sweeps.
+    multiple sweeps.  ``warm`` restricts the sweep to a rank window,
+    jump-starting the matcher (see :class:`SweepWarmStart`); ``capture``,
+    when a dict, receives the best split's rank and matching pairs —
+    observation only, the sweep outcome is unchanged.
     """
     if h.num_modules < 2:
         raise PartitionError("IG-Match needs at least 2 modules")
@@ -324,6 +356,21 @@ def ig_match_sweep(
     best_assign: Optional[List[int]] = None
 
     num_nets = h.num_nets
+    start_index = 0
+    stop_index = num_nets - 1
+    if warm is not None:
+        if not 1 <= warm.lo <= warm.hi <= num_nets - 1:
+            raise PartitionError(
+                f"warm window [{warm.lo}, {warm.hi}] outside valid "
+                f"split ranks 1..{num_nets - 1}"
+            )
+        # Reach the rank ``lo - 1`` state in one shot; the loop below
+        # then performs the rank ``lo`` move exactly like a cold sweep.
+        matcher.jump_start(
+            [order[i] for i in range(warm.lo - 1)], warm.matching_seed
+        )
+        start_index = warm.lo - 1
+        stop_index = warm.hi
     use_weights = config.use_net_weights and h.has_net_weights
     if use_weights and config.check_invariants:
         raise PartitionError(
@@ -348,7 +395,8 @@ def ig_match_sweep(
             if (num_nets >= 64 or use_weights)
             else None
         )
-        for index, net in enumerate(order[:-1]):
+        for index in range(start_index, stop_index):
+            net = order[index]
             if profiling:
                 t_mark = time.perf_counter()
             # Nets swept so far (including this one) form the R side.
@@ -390,6 +438,14 @@ def ig_match_sweep(
             ):
                 best_eval = evaluation
                 best_assign = assign
+                if capture is not None:
+                    md = matcher.matching_dict()
+                    capture["best_rank"] = rank
+                    capture["matching"] = tuple(
+                        sorted(
+                            (v, p) for v, p in md.items() if v < p
+                        )
+                    )
 
         if profiling:
             splits = len(evaluations)
@@ -536,26 +592,33 @@ def _sweep_task(
     config: IGMatchConfig,
     order: Sequence[int],
     graph,
-) -> Tuple[int, Optional[SplitEvaluation], Optional[List[int]]]:
+    capture: bool = False,
+) -> Tuple[
+    int, Optional[SplitEvaluation], Optional[List[int]], Optional[dict]
+]:
     """Run one candidate ordering's sweep (picklable worker task).
 
-    Returns ``(splits_evaluated, best_evaluation, sides)`` with the
-    partition flattened to its side list so process workers never ship
-    a full :class:`Partition` back.
+    Returns ``(splits_evaluated, best_evaluation, sides, captured)``
+    with the partition flattened to its side list so process workers
+    never ship a full :class:`Partition` back.  ``captured`` (the best
+    split's matching snapshot) travels through the return tuple so the
+    process backend works — mutated closures would not survive pickling.
     """
+    captured: Optional[dict] = {} if capture else None
     evaluations, partition = ig_match_sweep(
-        h, config, order=order, graph=graph
+        h, config, order=order, graph=graph, capture=captured
     )
     if partition is None:
-        return len(evaluations), None, None
+        return len(evaluations), None, None, None
     sweep_best = min(evaluations, key=lambda e: (e.ratio_cut, e.rank))
-    return len(evaluations), sweep_best, list(partition.sides)
+    return len(evaluations), sweep_best, list(partition.sides), captured
 
 
 def ig_match(
     h: Hypergraph,
     config: IGMatchConfig = IGMatchConfig(),
     order: Optional[Sequence[int]] = None,
+    capture: Optional[dict] = None,
 ) -> PartitionResult:
     """Partition ``h`` with IG-Match; the paper's primary algorithm.
 
@@ -564,7 +627,10 @@ def ig_match(
     the number of splits evaluated.  With
     ``config.candidate_orderings > 1`` the sweep is repeated for
     orderings from additional Laplacian eigenvectors and the best
-    completion kept (still fully deterministic).
+    completion kept (still fully deterministic).  When ``capture`` is a
+    dict it receives the winning sweep's best rank and matching pairs
+    (the warm-start seed the ECO serving path stores per session);
+    passing it never changes the result.
     """
     start = time.perf_counter()
     if h.num_modules < 2:
@@ -589,15 +655,21 @@ def ig_match(
         # in ordering index order, so the first ordering wins ties.
         sweeps = pstarmap(
             _sweep_task,
-            [(h, config, list(candidate), graph) for candidate in orders],
+            [
+                (h, config, list(candidate), graph, capture is not None)
+                for candidate in orders
+            ],
             config.parallel,
             label="igmatch.orderings",
         )
         best_partition: Optional[Partition] = None
         best_eval: Optional[SplitEvaluation] = None
         best_index = 0
+        best_captured: Optional[dict] = None
         total_evaluations = 0
-        for index, (splits, sweep_best, sides) in enumerate(sweeps):
+        for index, (splits, sweep_best, sides, captured) in enumerate(
+            sweeps
+        ):
             total_evaluations += splits
             if sides is None or sweep_best is None:
                 continue
@@ -607,6 +679,7 @@ def ig_match(
                 best_partition = Partition(h, sides)
                 best_eval = sweep_best
                 best_index = index
+                best_captured = captured
         if best_eval is not None:
             ig_span.set(
                 best_rank=best_eval.rank,
@@ -618,6 +691,9 @@ def ig_match(
         raise PartitionError(
             "IG-Match found no feasible completion at any split"
         )
+    if capture is not None and best_captured:
+        capture.update(best_captured)
+        capture["best_ordering"] = best_index
     return PartitionResult(
         algorithm="IG-Match",
         partition=best_partition,

@@ -70,9 +70,16 @@ from ..partitioning import (
     rcut,
 )
 from ..partitioning.partition import Partition
+from ..delta import (
+    NetlistDelta,
+    SessionArtifacts,
+    seed_artifacts,
+    warm_partition,
+)
 from .cache import ResultCache
 from .fingerprint import request_fingerprint
 from .jobs import Job, JobScheduler
+from .sessions import SessionMissError, SessionStore
 
 __all__ = [
     "ALGORITHMS",
@@ -174,6 +181,7 @@ def run_partitioner(
     request: PartitionRequest,
     parallel: Optional[ParallelConfig] = None,
     core: Optional[str] = None,
+    capture: Optional[Dict[str, Any]] = None,
 ) -> PartitionResult:
     """Run the requested algorithm directly (no cache involvement).
 
@@ -182,10 +190,14 @@ def run_partitioner(
     (``repro.core.set_core`` / ``$REPRO_CORE``).  Like ``parallel``, it
     never affects results — the cores are bit-identical by contract —
     only wall-clock time, so it does not enter any cache fingerprint.
+    ``capture`` (ig-match only) receives the warm-start seed the
+    serving sessions store; it never changes the result.
     """
     if core is not None:
         with use_core(core):
-            return run_partitioner(h, request, parallel=parallel)
+            return run_partitioner(
+                h, request, parallel=parallel, capture=capture
+            )
     algorithm = request.algorithm
     seed = request.seed
     if algorithm == "ig-match":
@@ -196,6 +208,7 @@ def run_partitioner(
                 split_stride=request.split_stride,
                 parallel=parallel,
             ),
+            capture=capture,
         )
     if algorithm == "ig-vote":
         return ig_vote(h, IGVoteConfig(seed=seed))
@@ -219,6 +232,13 @@ def run_partitioner(
     if algorithm == "multilevel":
         return multilevel_partition(h, MultilevelConfig(seed=seed))
     raise ReproError(f"unknown algorithm {algorithm!r}")
+
+
+def _request_key(request: PartitionRequest) -> str:
+    """Canonical per-request artifact key within a serving session."""
+    import json
+
+    return json.dumps(request.key_fields(), sort_keys=True)
 
 
 # ----------------------------------------------------------------------
@@ -390,9 +410,13 @@ class PartitionEngine:
         slow_capacity: int = 32,
         memprof: bool = False,
         core: Optional[str] = None,
+        sessions: Optional[SessionStore] = None,
     ):
         self.cache = cache
         self.parallel = parallel
+        #: Live warm-start sessions for ``POST /partition/delta``
+        #: (always on; bounded LRU+TTL, see :class:`SessionStore`).
+        self.sessions = sessions if sessions is not None else SessionStore()
         #: Hypergraph core for computes (``"dict"``/``"csr"``; ``None``
         #: inherits the ambient setting).  Bit-identical by contract,
         #: so it never enters cache fingerprints — entries written by a
@@ -425,6 +449,11 @@ class PartitionEngine:
             "service.cache.hit.inflight": 0,
             "service.computed": 0,
             "service.rejected": 0,
+            "service.delta.requests": 0,
+            "service.delta.warm": 0,
+            "service.delta.cold": 0,
+            "service.delta.noop": 0,
+            "service.delta.base_miss": 0,
         }
 
     # ------------------------------------------------------------------
@@ -464,8 +493,10 @@ class PartitionEngine:
         if scheduler is None:
             return 0
         snapshot = scheduler.snapshot()
-        return int(snapshot.get("pending", 0)) + int(
-            snapshot.get("running", 0)
+        return (
+            int(snapshot.get("pending", 0))
+            + int(snapshot.get("running", 0))
+            + int(snapshot.get("cancelling", 0))
         )
 
     # ------------------------------------------------------------------
@@ -549,7 +580,11 @@ class PartitionEngine:
     ) -> ServedResult:
         """The cache → single-flight → compute body of one serve."""
         if not use_cache or self.cache is None:
-            result = self._compute(h, request)
+            capture: Dict[str, Any] = {}
+            result = self._compute(h, request, capture=capture)
+            self._seed_session(
+                h, request, key, result_to_payload(result), capture
+            )
             sp.set(source="computed", cached=False)
             return ServedResult(result, key, False, "computed")
 
@@ -562,6 +597,15 @@ class PartitionEngine:
         )
         if payload is not None:
             self._count("service.cache.hit")
+            # Result-only session (no warm engine state): delta serves
+            # on it still reuse the prior sides/rank where they can.
+            if key not in self.sessions:
+                self.sessions.put(
+                    h=h,
+                    fingerprint=key,
+                    request_key=_request_key(request),
+                    artifacts=SessionArtifacts(payload=dict(payload)),
+                )
             sp.set(source=source, cached=True)
             return ServedResult(
                 payload_to_result(h, payload), key, True, source
@@ -585,9 +629,11 @@ class PartitionEngine:
 
         try:
             self._count("service.cache.miss")
-            result = self._compute(h, request)
+            capture = {}
+            result = self._compute(h, request, capture=capture)
             payload = result_to_payload(result)
             self.cache.put(key, payload)
+            self._seed_session(h, request, key, payload, capture)
             flight.payload = payload
         except BaseException as exc:
             flight.error = exc
@@ -610,12 +656,16 @@ class PartitionEngine:
             return flight, True
 
     def _compute(
-        self, h: Hypergraph, request: PartitionRequest
+        self,
+        h: Hypergraph,
+        request: PartitionRequest,
+        capture: Optional[Dict[str, Any]] = None,
     ) -> PartitionResult:
         self._count("service.computed")
         start = time.perf_counter()
         result = run_partitioner(
-            h, request, parallel=self.parallel, core=self.core
+            h, request, parallel=self.parallel, core=self.core,
+            capture=capture,
         )
         self.hists.observe(
             "service.compute.duration_seconds",
@@ -623,6 +673,140 @@ class PartitionEngine:
             algorithm=request.algorithm,
         )
         return result
+
+    def _seed_session(
+        self,
+        h: Hypergraph,
+        request: PartitionRequest,
+        key: str,
+        payload: Dict[str, Any],
+        capture: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Install full warm-start artifacts after a cold compute."""
+        artifacts = seed_artifacts(
+            h, payload, request.algorithm, capture
+        )
+        self.sessions.put(
+            fingerprint=key,
+            h=h,
+            request_key=_request_key(request),
+            artifacts=artifacts,
+        )
+
+    # ------------------------------------------------------------------
+    def partition_delta(
+        self,
+        base_fingerprint: str,
+        delta: Any,
+        request: PartitionRequest,
+        trace_id: Optional[str] = None,
+    ) -> ServedResult:
+        """Serve a netlist delta against a live session.
+
+        ``delta`` is a :class:`~repro.delta.NetlistDelta` or its wire
+        document.  Raises :class:`SessionMissError` when no session
+        holds ``base_fingerprint`` (the HTTP layer maps it to a 404
+        with the reason), and :class:`~repro.errors.DeltaError` (a 400)
+        when the delta is malformed or inconsistent with the base.
+
+        The result is exactly what applying the delta to the base
+        hypergraph and warm-partitioning directly would produce; a
+        no-op delta returns the session's prior answer verbatim.  The
+        edited hypergraph becomes a new session under the returned
+        fingerprint, so clients chain deltas indefinitely.
+        """
+        self._count("service.delta.requests")
+        capture = obs.TraceCapture(
+            trace_id, memprof=True if self.memprof else None
+        )
+        served: Optional[ServedResult] = None
+        try:
+            with capture:
+                with obs.span(
+                    "service.delta",
+                    algorithm=request.algorithm,
+                    base=base_fingerprint[:12],
+                ) as sp:
+                    served = self._serve_delta(
+                        base_fingerprint, delta, request, sp
+                    )
+        finally:
+            duration = capture.duration_s
+            source = served.source if served is not None else "error"
+            self.hists.observe(
+                "service.delta.duration_seconds",
+                duration,
+                algorithm=request.algorithm,
+                source=source,
+            )
+        served.trace_id = capture.trace_id
+        served.duration_s = duration
+        return served
+
+    def _serve_delta(
+        self,
+        base_fingerprint: str,
+        delta: Any,
+        request: PartitionRequest,
+        sp: Any,
+    ) -> ServedResult:
+        entry = self.sessions.get(base_fingerprint)
+        if entry is None:
+            self._count("service.delta.base_miss")
+            raise SessionMissError(
+                base_fingerprint,
+                f"no live session for base {base_fingerprint!r}: serve "
+                "the base netlist first via POST /partition (or the "
+                "session was evicted or expired); then retry the delta",
+            )
+        base = entry.hypergraph
+        if isinstance(delta, NetlistDelta):
+            d = delta
+        else:
+            d = NetlistDelta.from_doc(delta)
+        d.validate(base)
+        application = d.apply_detailed(base)
+        h2 = application.hypergraph
+        new_key = request_fingerprint(h2, request)
+        rkey = _request_key(request)
+        artifacts = entry.artifacts.get(rkey)
+
+        if (
+            new_key == base_fingerprint
+            and artifacts is not None
+            and artifacts.payload
+        ):
+            # No-op delta: the session's stored answer, verbatim.
+            self._count("service.delta.noop")
+            self._count("service.delta.warm")
+            sp.set(source="session", warm=True)
+            return ServedResult(
+                payload_to_result(h2, artifacts.payload),
+                new_key,
+                True,
+                "session",
+            )
+
+        if artifacts is None:
+            artifacts = SessionArtifacts(payload={})
+        result, fresh, warm = warm_partition(
+            base, artifacts, application, request, parallel=self.parallel
+        )
+        self._count("service.delta.warm" if warm else "service.delta.cold")
+        payload = result_to_payload(result)
+        fresh.payload = payload
+        self.sessions.put(
+            fingerprint=new_key,
+            h=h2,
+            request_key=rkey,
+            artifacts=fresh,
+        )
+        source = "delta-warm" if warm else "delta-cold"
+        sp.set(source=source, warm=warm)
+        # Deliberately NOT written to the result cache: warm details
+        # (window, warm flag) differ from a cold compute's, and cache
+        # entries must stay byte-identical to cold serves.
+        return ServedResult(result, new_key, False, source)
 
     # ------------------------------------------------------------------
     def submit(
@@ -692,6 +876,7 @@ class PartitionEngine:
         slow-log summary (engine, cache, jobs)."""
         with self._stats_lock:
             doc: Dict[str, Any] = {"service": dict(self.stats)}
+        doc["service"].update(self.sessions.stats_dict())
         if self.cache is not None:
             doc["cache"] = self.cache.snapshot()
         with self._scheduler_lock:

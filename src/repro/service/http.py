@@ -87,6 +87,7 @@ from ..obs.trace import new_trace_id
 from ..parallel import BACKENDS, ParallelConfig, resolve_parallel
 from .cache import ResultCache
 from .engine import PartitionEngine, PartitionRequest
+from .sessions import SessionMissError
 
 __all__ = ["AccessLog", "create_server", "serve_main"]
 
@@ -103,6 +104,9 @@ _BODY_FIELDS = frozenset(_REQUEST_FIELDS) | {
     "netlist", "net", "cache", "async", "priority", "max_retries",
     "deadline_s",
 }
+
+#: Every key a ``POST /partition/delta`` body may carry.
+_DELTA_BODY_FIELDS = frozenset(_REQUEST_FIELDS) | {"base", "delta"}
 
 #: Inbound ``X-Trace-Id`` values must look like ids, not payloads.
 _TRACE_ID_RE = re.compile(r"[A-Za-z0-9_-]{1,64}$")
@@ -154,7 +158,14 @@ def _parse_body(doc: Dict[str, Any]) -> Tuple[Hypergraph, PartitionRequest]:
 #: collapses to one label value so per-job ids cannot explode the series
 #: cardinality, and unknown paths share a single ``other`` bucket.
 _LITERAL_ROUTES = frozenset(
-    {"/partition", "/healthz", "/readyz", "/metrics", "/debug/slow"}
+    {
+        "/partition",
+        "/partition/delta",
+        "/healthz",
+        "/readyz",
+        "/metrics",
+        "/debug/slow",
+    }
 )
 
 
@@ -466,7 +477,7 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _post(self) -> None:
         engine: PartitionEngine = self.server.engine
-        if self._route_path != "/partition":
+        if self._route_path not in ("/partition", "/partition/delta"):
             self._send_error_json(
                 404, f"unknown path {self._route_path!r}"
             )
@@ -509,6 +520,9 @@ class _Handler(BaseHTTPRequestHandler):
         except (UnicodeDecodeError, ValueError) as exc:
             self._send_error_json(400, f"invalid JSON body: {exc}")
             return
+        if self._route_path == "/partition/delta":
+            self._post_delta(engine, doc)
+            return
         try:
             h, request = _parse_body(doc)
         except ReproError as exc:
@@ -545,6 +559,60 @@ class _Handler(BaseHTTPRequestHandler):
         self._provenance = (served.source, served.cached)
         self._send_json(200, served.response())
 
+    def _post_delta(self, engine: PartitionEngine, doc: Any) -> None:
+        """``POST /partition/delta``: base fingerprint + delta → warm
+        result and the edited netlist's new fingerprint."""
+        if not isinstance(doc, dict):
+            self._send_error_json(400, "request body must be a JSON object")
+            return
+        unknown = sorted(set(doc) - _DELTA_BODY_FIELDS)
+        if unknown:
+            self._send_error_json(
+                400,
+                f"unknown request field(s): {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(_DELTA_BODY_FIELDS))})",
+            )
+            return
+        base = doc.get("base")
+        if not isinstance(base, str) or not base:
+            self._send_error_json(
+                400,
+                "'base' must be a fingerprint string from a prior "
+                "POST /partition response",
+            )
+            return
+        delta_doc = doc.get("delta")
+        if not isinstance(delta_doc, dict):
+            self._send_error_json(
+                400, "'delta' must be a netlist-delta JSON object"
+            )
+            return
+        config = {k: doc[k] for k in _REQUEST_FIELDS if k in doc}
+        try:
+            request = PartitionRequest.from_mapping(config)
+        except TypeError as exc:
+            self._send_error_json(400, f"bad request config: {exc}")
+            return
+        try:
+            served = engine.partition_delta(
+                base, delta_doc, request, trace_id=self._trace_id
+            )
+        except SessionMissError as exc:
+            self._send_json(
+                404,
+                {
+                    "error": str(exc),
+                    "reason": exc.reason,
+                    "base": exc.fingerprint,
+                },
+            )
+            return
+        except ReproError as exc:
+            self._send_error_json(400, str(exc))
+            return
+        self._provenance = (served.source, served.cached)
+        self._send_json(200, served.response())
+
     def _delete(self) -> None:
         engine: PartitionEngine = self.server.engine
         path = self._route_path
@@ -556,7 +624,14 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_error_json(404, f"unknown job {job_id!r}")
             return
         cancelled = engine.scheduler.cancel(job_id)
-        self._send_json(200, {"job": job_id, "cancelled": cancelled})
+        # Re-read after cancel: a pending job is CANCELLED outright, a
+        # running one only CANCELLING — report the honest state rather
+        # than implying the work already stopped.
+        job = engine.scheduler.get(job_id)
+        status = job.status if job is not None else "cancelled"
+        self._send_json(
+            200, {"job": job_id, "cancelled": cancelled, "status": status}
+        )
 
 
 class _Server(ThreadingHTTPServer):

@@ -17,7 +17,12 @@ Semantics worth stating precisely:
   (``backoff_s * 2**(attempt-1)``) at the same priority.  Only job
   *exceptions* trigger retries; cancellation and expiry do not.
 * **Cancellation** flips a pending job to ``cancelled``; the queue
-  entry is abandoned lazily when a worker dequeues it.
+  entry is abandoned lazily when a worker dequeues it.  A *running*
+  job cannot be killed (Python threads), so cancelling one marks it
+  ``cancelling``: the worker lets the work finish, then resolves the
+  job to ``cancelled`` — its result is discarded and retries are
+  suppressed.  ``DELETE /jobs/<id>`` reports the post-cancel status
+  honestly instead of pretending a running job was stopped.
 
 Counters: ``service.jobs.submitted`` / ``completed`` / ``failed`` /
 ``retried`` / ``cancelled`` / ``expired`` are mirrored into
@@ -45,12 +50,17 @@ __all__ = ["Job", "JobScheduler", "JOB_STATES"]
 #: The job lifecycle vocabulary.
 PENDING = "pending"
 RUNNING = "running"
+#: Cancel arrived while the job was running: the work is finishing
+#: (threads cannot be killed) and will resolve to ``cancelled``.
+CANCELLING = "cancelling"
 SUCCEEDED = "succeeded"
 FAILED = "failed"
 CANCELLED = "cancelled"
 EXPIRED = "expired"
 
-JOB_STATES = (PENDING, RUNNING, SUCCEEDED, FAILED, CANCELLED, EXPIRED)
+JOB_STATES = (
+    PENDING, RUNNING, CANCELLING, SUCCEEDED, FAILED, CANCELLED, EXPIRED
+)
 
 _TERMINAL = frozenset({SUCCEEDED, FAILED, CANCELLED, EXPIRED})
 
@@ -188,11 +198,25 @@ class JobScheduler:
             return self._jobs.get(job_id)
 
     def cancel(self, job_id: str) -> bool:
-        """Cancel a still-pending job; running/finished jobs are left."""
+        """Request cancellation of a job; finished jobs are left alone.
+
+        A pending job is cancelled immediately.  A running job is
+        marked ``cancelling`` — the work finishes (threads cannot be
+        killed safely) and the worker then resolves it to
+        ``cancelled``, discarding the result and suppressing retries.
+        Returns ``True`` when the cancellation took effect (including
+        a repeat cancel of an already-``cancelling`` job), ``False``
+        for unknown or already-terminal jobs.
+        """
         with self._lock:
             job = self._jobs.get(job_id)
-            if job is None or job.status != PENDING:
+            if job is None or job.status in _TERMINAL:
                 return False
+            if job.status == CANCELLING:
+                return True  # idempotent repeat
+            if job.status == RUNNING:
+                job.status = CANCELLING
+                return True
             job.status = CANCELLED
             job.finished_at = time.monotonic()
             self.counts["cancelled"] += 1
@@ -223,8 +247,13 @@ class JobScheduler:
             running = sum(
                 1 for j in self._jobs.values() if j.status == RUNNING
             )
+            cancelling = sum(
+                1 for j in self._jobs.values() if j.status == CANCELLING
+            )
             counts = dict(self.counts)
-        counts.update(pending=pending, running=running)
+        counts.update(
+            pending=pending, running=running, cancelling=cancelling
+        )
         return counts
 
     def shutdown(self) -> None:
@@ -299,11 +328,29 @@ class JobScheduler:
             heapq.heappush(self._queue, item)
         return job, wait_s
 
+    def _resolve_cancelled_locked(self, job: Job, note: str) -> None:
+        """Finish a ``cancelling`` job as ``cancelled`` (work is done)."""
+        job.status = CANCELLED
+        job.error = note
+        job.result = None
+        job.finished_at = time.monotonic()
+        self.counts["cancelled"] += 1
+        self._done.notify_all()
+
     def _run_one(self, job: Job) -> None:
         try:
             result = job.fn()
         except Exception as exc:
             with self._lock:
+                if job.status == CANCELLING:
+                    # Cancelled mid-run: no retries, honest final state.
+                    self._resolve_cancelled_locked(
+                        job,
+                        "cancelled while running (work then raised "
+                        f"{type(exc).__name__})",
+                    )
+                    obs.incr("service.jobs.cancelled")
+                    return
                 if job.attempts <= job.max_retries:
                     job.status = PENDING
                     delay = min(
@@ -328,9 +375,22 @@ class JobScheduler:
             )
         else:
             with self._lock:
-                job.result = result
-                job.status = SUCCEEDED
-                job.finished_at = time.monotonic()
-                self.counts["completed"] += 1
-                self._done.notify_all()
-            obs.incr("service.jobs.completed")
+                if job.status == CANCELLING:
+                    self._resolve_cancelled_locked(
+                        job,
+                        "cancelled while running "
+                        "(work completed; result discarded)",
+                    )
+                    cancelled = True
+                else:
+                    job.result = result
+                    job.status = SUCCEEDED
+                    job.finished_at = time.monotonic()
+                    self.counts["completed"] += 1
+                    self._done.notify_all()
+                    cancelled = False
+            obs.incr(
+                "service.jobs.cancelled"
+                if cancelled
+                else "service.jobs.completed"
+            )

@@ -1,0 +1,213 @@
+"""``POST /partition/delta`` over a real server: warm serving, no-op
+replay, 404-with-reason on unknown bases, and body validation."""
+
+import json
+import random
+import threading
+
+import pytest
+
+from repro.delta import NetlistDelta, dumps_delta, random_delta
+from repro.hypergraph import to_json
+from repro.service import (
+    PartitionEngine,
+    canonical_result_bytes,
+    create_server,
+    payload_to_result,
+)
+from tests.conftest import random_hypergraph
+from tests.test_service_http import call
+
+
+@pytest.fixture
+def server():
+    # No result cache: every base serve computes, so sessions always
+    # carry full warm-start artifacts.
+    srv = create_server(engine=PartitionEngine())
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    yield srv
+    srv.shutdown()
+    srv.server_close()
+    thread.join(5)
+
+
+@pytest.fixture
+def h():
+    return random_hypergraph(5, num_modules=30, num_nets=40)
+
+
+def _serve_base(server, h, algorithm="ig-match"):
+    status, doc = call(
+        server,
+        "/partition",
+        {"netlist": to_json(h), "algorithm": algorithm},
+    )
+    assert status == 200
+    return doc
+
+
+def _delta_doc(h, seed=13):
+    return json.loads(dumps_delta(random_delta(h, random.Random(seed))))
+
+
+NOOP = {"format": "repro-netlist-delta-v1"}
+
+
+class TestDeltaServing:
+    @pytest.mark.parametrize("algorithm", ["ig-match", "fm"])
+    def test_warm_serve_returns_new_fingerprint(
+        self, server, h, algorithm
+    ):
+        base = _serve_base(server, h, algorithm)
+        status, doc = call(
+            server,
+            "/partition/delta",
+            {
+                "base": base["fingerprint"],
+                "delta": _delta_doc(h),
+                "algorithm": algorithm,
+            },
+        )
+        assert status == 200
+        assert doc["source"] == "delta-warm"
+        assert doc["fingerprint"] != base["fingerprint"]
+        assert doc["result"]["details"]["warm"] is True
+
+    def test_chained_deltas_keep_serving_warm(self, server, h):
+        base = _serve_base(server, h)
+        fingerprint = base["fingerprint"]
+        current = h
+        rng = random.Random(3)
+        for _ in range(3):
+            delta = random_delta(current, rng)
+            status, doc = call(
+                server,
+                "/partition/delta",
+                {
+                    "base": fingerprint,
+                    "delta": json.loads(dumps_delta(delta)),
+                    "algorithm": "ig-match",
+                },
+            )
+            assert status == 200
+            assert doc["source"] == "delta-warm"
+            fingerprint = doc["fingerprint"]
+            current = delta.apply(current)
+        _status, metrics = call(server, "/metrics")
+        assert metrics["service"]["service.delta.warm"] == 3
+        assert metrics["service"]["service.delta.requests"] == 3
+        assert metrics["service"]["service.session.entries"] == 4
+
+    def test_noop_delta_replays_base_bytes(self, server, h):
+        base = _serve_base(server, h)
+        status, doc = call(
+            server,
+            "/partition/delta",
+            {
+                "base": base["fingerprint"],
+                "delta": dict(NOOP),
+                "algorithm": "ig-match",
+            },
+        )
+        assert status == 200
+        assert doc["source"] == "session"
+        assert doc["cached"] is True
+        assert doc["fingerprint"] == base["fingerprint"]
+        assert canonical_result_bytes(
+            payload_to_result(h, doc["result"])
+        ) == canonical_result_bytes(
+            payload_to_result(h, base["result"])
+        )
+
+    def test_delta_result_matches_cold_serve_of_edited(self, server, h):
+        base = _serve_base(server, h)
+        delta = random_delta(h, random.Random(29), module_churn=False)
+        status, warm_doc = call(
+            server,
+            "/partition/delta",
+            {
+                "base": base["fingerprint"],
+                "delta": json.loads(dumps_delta(delta)),
+                "algorithm": "ig-match",
+            },
+        )
+        assert status == 200
+        edited = delta.apply(h)
+        _status, cold_doc = call(
+            server,
+            "/partition",
+            {"netlist": to_json(edited), "algorithm": "ig-match"},
+        )
+        assert (
+            warm_doc["result"]["ratio_cut"]
+            <= cold_doc["result"]["ratio_cut"]
+        )
+        assert warm_doc["fingerprint"] == cold_doc["fingerprint"]
+
+
+class TestDeltaErrors:
+    def test_unknown_base_404_with_reason(self, server):
+        status, doc = call(
+            server,
+            "/partition/delta",
+            {"base": "0" * 64, "delta": dict(NOOP)},
+        )
+        assert status == 404
+        assert "serve the base netlist first" in doc["reason"]
+        assert doc["base"] == "0" * 64
+        _status, metrics = call(server, "/metrics")
+        assert metrics["service"]["service.delta.base_miss"] == 1
+
+    def test_missing_delta_field_400(self, server, h):
+        base = _serve_base(server, h)
+        status, doc = call(
+            server, "/partition/delta", {"base": base["fingerprint"]}
+        )
+        assert status == 400
+        assert "delta" in doc["error"]
+
+    def test_missing_base_field_400(self, server):
+        status, doc = call(
+            server, "/partition/delta", {"delta": dict(NOOP)}
+        )
+        assert status == 400
+        assert "base" in doc["error"]
+
+    def test_unknown_field_400(self, server, h):
+        base = _serve_base(server, h)
+        status, doc = call(
+            server,
+            "/partition/delta",
+            {
+                "base": base["fingerprint"],
+                "delta": dict(NOOP),
+                "netlist": to_json(h),
+            },
+        )
+        assert status == 400
+        assert "unknown request field" in doc["error"]
+
+    def test_malformed_delta_document_400(self, server, h):
+        base = _serve_base(server, h)
+        status, doc = call(
+            server,
+            "/partition/delta",
+            {
+                "base": base["fingerprint"],
+                "delta": {"format": "wrong-tag"},
+            },
+        )
+        assert status == 400
+
+    def test_invalid_delta_indices_400(self, server, h):
+        base = _serve_base(server, h)
+        bad = json.loads(
+            dumps_delta(NetlistDelta(remove_nets=(10_000,)))
+        )
+        status, doc = call(
+            server,
+            "/partition/delta",
+            {"base": base["fingerprint"], "delta": bad},
+        )
+        assert status == 400

@@ -236,6 +236,34 @@ class TestAsyncJobs:
         status, outcome = call(server, f"/jobs/{job_id}", method="DELETE")
         assert status == 200
         assert outcome["cancelled"] is False
+        assert outcome["status"] == "succeeded"
+
+    def test_delete_running_job_reports_cancelling(self, server):
+        import threading
+
+        release = threading.Event()
+        started = threading.Event()
+
+        def work():
+            started.set()
+            release.wait(10)
+            return "discarded"
+
+        job = server.engine.scheduler.submit(work)
+        try:
+            assert started.wait(5)
+            status, outcome = call(
+                server, f"/jobs/{job.id}", method="DELETE"
+            )
+            assert status == 200
+            assert outcome["cancelled"] is True
+            # Honest state: the work is still draining, not yet dead.
+            assert outcome["status"] == "cancelling"
+        finally:
+            release.set()
+        done = server.engine.scheduler.wait(job.id, timeout=5)
+        assert done.status == "cancelled"
+        assert done.result is None
 
 
 def _call_with_headers(srv, path, body=None, method=None):

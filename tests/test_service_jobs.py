@@ -8,9 +8,11 @@ import pytest
 from repro.service import JobScheduler
 from repro.service.jobs import (
     CANCELLED,
+    CANCELLING,
     EXPIRED,
     FAILED,
     PENDING,
+    RUNNING,
     SUCCEEDED,
 )
 
@@ -145,6 +147,64 @@ class TestCancellation:
 
     def test_cancel_unknown(self, scheduler):
         assert not scheduler.cancel("nope")
+
+    def test_cancel_running_marks_cancelling(self, scheduler):
+        release = threading.Event()
+        started = threading.Event()
+
+        def work():
+            started.set()
+            release.wait(10)
+            return "finished anyway"
+
+        job = scheduler.submit(work)
+        assert started.wait(5)
+        assert job.status == RUNNING
+        assert scheduler.cancel(job.id)
+        assert job.status == CANCELLING
+        # Idempotent while the work is still draining.
+        assert scheduler.cancel(job.id)
+        release.set()
+        done = scheduler.wait(job.id, timeout=5)
+        assert done.status == CANCELLED
+        assert done.result is None
+        assert "result discarded" in done.error
+        assert scheduler.counts["cancelled"] == 1
+
+    def test_cancel_running_suppresses_retries(self, scheduler):
+        release = threading.Event()
+        started = threading.Event()
+
+        def work():
+            started.set()
+            release.wait(10)
+            raise RuntimeError("boom")
+
+        job = scheduler.submit(work, max_retries=3)
+        assert started.wait(5)
+        assert scheduler.cancel(job.id)
+        release.set()
+        done = scheduler.wait(job.id, timeout=5)
+        assert done.status == CANCELLED
+        assert done.attempts == 1
+        assert "cancelled while running" in done.error
+
+    def test_cancelling_counts_as_outstanding(self, scheduler):
+        release = threading.Event()
+        started = threading.Event()
+
+        def work():
+            started.set()
+            release.wait(10)
+
+        job = scheduler.submit(work)
+        assert started.wait(5)
+        scheduler.cancel(job.id)
+        snap = scheduler.snapshot()
+        assert snap["cancelling"] == 1
+        release.set()
+        scheduler.wait(job.id, timeout=5)
+        assert scheduler.snapshot()["cancelling"] == 0
 
 
 class TestDeadlines:
